@@ -1,0 +1,90 @@
+// Ablation of the *dynamic* in "dynamic cache partitioning": a program
+// phase change swaps the capacity appetites of two cores mid-run. A static
+// Equal split cannot respond; the Bank-aware epoch controller re-profiles
+// and reallocates within a few epochs. This is the scenario the paper's
+// monitoring scheme exists for ("dynamically profile the cache
+// requirements of each core ... during the execution of an application").
+//
+// Setup: core 0 runs facerec-like (56-way appetite) next to a statically
+// hungry bzip2 on core 2. After phase 1, core 0's program moves into a
+// gcc-like phase (its working set collapses). The dynamic scheme must
+// detect the collapse (the decaying MSA histogram drains the ghost of the
+// old profile) and hand the freed Center banks to bzip2. We report
+// per-phase misses under Equal-partitions and Bank-aware, plus the
+// allocation trace of the two cores.
+//
+// Scale knobs: BACP_SIM_INSTR (per phase, default 8M), BACP_SIM_EPOCH.
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "sim/system.hpp"
+#include "trace/mix.hpp"
+
+int main() {
+  using namespace bacp;
+  const std::uint64_t phase_instructions =
+      common::env_u64("BACP_SIM_INSTR", 8'000'000);
+  const Cycle epoch = common::env_u64("BACP_SIM_EPOCH", 1'500'000);
+
+  const auto mix = trace::mix_from_names(
+      {"facerec", "gzip", "bzip2", "mesa", "sixtrack", "eon", "crafty", "perlbmk"});
+
+  struct PhaseResult {
+    std::uint64_t phase1_misses = 0;
+    std::uint64_t phase2_misses = 0;
+    std::vector<partition::Allocation> history;
+  };
+
+  auto run_policy = [&](sim::PolicyKind policy) {
+    sim::SystemConfig config = sim::SystemConfig::baseline();
+    config.policy = policy;
+    config.epoch_cycles = epoch;
+    config.finalize();
+    sim::System system(config, mix);
+
+    system.warm_up(phase_instructions / 2);
+    system.run(phase_instructions);
+    PhaseResult result;
+    result.phase1_misses = system.results().l2_misses;
+
+    // Phase change: core 0's working set collapses.
+    system.switch_workload(0, "gcc");
+    system.run(phase_instructions);
+    result.phase2_misses = system.results().l2_misses - result.phase1_misses;
+    result.history = system.allocation_history();
+    return result;
+  };
+
+  const auto equal = run_policy(sim::PolicyKind::EqualPartition);
+  const auto bank = run_policy(sim::PolicyKind::BankAware);
+
+  std::cout << "=== Ablation: adaptation to a program phase change ===\n";
+  common::Table table({"policy", "phase-1 misses", "phase-2 misses (post swap)"});
+  table.begin_row()
+      .add_cell("Equal-partitions (static)")
+      .add_cell(equal.phase1_misses)
+      .add_cell(equal.phase2_misses);
+  table.begin_row()
+      .add_cell("Bank-aware (dynamic)")
+      .add_cell(bank.phase1_misses)
+      .add_cell(bank.phase2_misses);
+  table.print(std::cout);
+
+  std::cout << "\nBank-aware allocation of core0 (facerec->gcc) and core2 "
+               "(bzip2, static) per epoch:\n";
+  common::Table history({"epoch", "core0 ways", "core2 ways"});
+  for (std::size_t e = 0; e < bank.history.size(); ++e) {
+    history.begin_row()
+        .add_cell(std::to_string(e))
+        .add_cell(std::to_string(bank.history[e].ways_per_core[0]))
+        .add_cell(std::to_string(bank.history[e].ways_per_core[2]));
+  }
+  history.print(std::cout);
+  std::cout << "\nexpected: core0's allocation collapses toward one bank over a few\n"
+               "post-swap epochs (histogram decay drains the ghost profile) while\n"
+               "bzip2's grows; the dynamic scheme's phase-2 misses sit below the\n"
+               "static split's.\n";
+  return 0;
+}

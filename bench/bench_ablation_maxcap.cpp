@@ -1,0 +1,78 @@
+// Ablation of the maximum-assignable-capacity restriction (paper Section
+// III-A: each core limited to 9/16 of the cache to shrink the profiler,
+// "the maximum assignable capacity can potentially restrict the
+// effectiveness of our partitioning scheme"). We quantify that risk by
+// running the Unrestricted allocator with different per-core caps over the
+// Monte-Carlo mix distribution and compare against Bank-aware.
+//
+// Scale knobs: BACP_MC_TRIALS, BACP_MC_SEED.
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "msa/miss_curve.hpp"
+#include "partition/bank_aware.hpp"
+#include "partition/unrestricted.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+int main() {
+  using namespace bacp;
+  const std::size_t trials =
+      static_cast<std::size_t>(common::env_u64("BACP_MC_TRIALS", 400));
+  const std::uint64_t seed = common::env_u64("BACP_MC_SEED", 2009);
+
+  partition::CmpGeometry geometry;
+  const auto& suite = trace::spec2000_suite();
+  const WayCount caps[] = {128, 96, geometry.max_assignable_ways(), 48, 32, 16};
+
+  std::vector<common::StreamingStats> cap_stats(std::size(caps));
+  common::StreamingStats bank_stats;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    common::Rng rng(seed, trial);
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    for (const std::size_t index : mix.workload_indices) {
+      const auto& model = suite.at(index);
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const std::vector<WayCount> even(geometry.num_cores,
+                                     geometry.total_ways() / geometry.num_cores);
+    const double fixed = partition::projected_total_misses(curves, even);
+
+    for (std::size_t c = 0; c < std::size(caps); ++c) {
+      partition::UnrestrictedConfig config;
+      config.max_ways_per_core = caps[c];
+      const auto allocation = partition::unrestricted_partition(geometry, curves, config);
+      cap_stats[c].add(
+          partition::projected_total_misses(curves, allocation.ways_per_core) / fixed);
+    }
+    const auto bank = partition::bank_aware_partition(geometry, curves);
+    bank_stats.add(
+        partition::projected_total_misses(curves, bank.allocation.ways_per_core) /
+        fixed);
+  }
+
+  std::cout << "=== Ablation: per-core capacity cap (" << trials << " mixes) ===\n";
+  common::Table table({"allocator", "per-core cap (ways)", "mean miss ratio vs fixed-share"});
+  for (std::size_t c = 0; c < std::size(caps); ++c) {
+    table.begin_row()
+        .add_cell("Unrestricted")
+        .add_cell(std::to_string(caps[c]) +
+                  (caps[c] == geometry.max_assignable_ways() ? " (= 9/16, paper)" : ""))
+        .add_cell(cap_stats[c].mean(), 3);
+  }
+  table.begin_row()
+      .add_cell("Bank-aware")
+      .add_cell(std::to_string(geometry.max_assignable_ways()) + " (built-in)")
+      .add_cell(bank_stats.mean(), 3);
+  table.print(std::cout);
+  std::cout << "\npaper: the 9/16 clamp should cost almost nothing relative to a "
+               "fully unrestricted assignment; tight caps (<=2MB/core) forfeit most "
+               "of the benefit.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Policy-family ablation: where does Bank-aware sit between fairness and
+// throughput? Compares, over the Fig. 7 Monte-Carlo mix distribution:
+//   - Capitalist  (free-for-all)      -> modelled as the fixed even share
+//                                        for projection purposes (the
+//                                        detailed shared run is Fig. 8's
+//                                        No-partition baseline),
+//   - Communist   (equalized misses)  -> Hsu et al.'s fairness policy,
+//   - Utilitarian (minimized misses)  -> the Unrestricted allocator,
+//   - Bank-aware  (the paper).
+// Reported: mean total projected misses vs fixed share, and the mean
+// max-min spread of per-core miss ratios (the fairness metric).
+//
+// Scale knobs: BACP_MC_TRIALS (default 300), BACP_MC_SEED.
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "msa/miss_curve.hpp"
+#include "partition/bank_aware.hpp"
+#include "partition/fairness.hpp"
+#include "partition/unrestricted.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+int main() {
+  using namespace bacp;
+  const std::size_t trials =
+      static_cast<std::size_t>(common::env_u64("BACP_MC_TRIALS", 300));
+  const std::uint64_t seed = common::env_u64("BACP_MC_SEED", 2009);
+
+  partition::CmpGeometry geometry;
+  const auto& suite = trace::spec2000_suite();
+  const std::vector<WayCount> even(geometry.num_cores,
+                                   geometry.total_ways() / geometry.num_cores);
+
+  common::StreamingStats miss_even, miss_communist, miss_utilitarian, miss_bank;
+  common::StreamingStats spread_even, spread_communist, spread_utilitarian,
+      spread_bank;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    common::Rng rng(seed, trial);
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    for (const auto index : mix.workload_indices) {
+      const auto& model = suite[index];
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const double fixed = partition::projected_total_misses(curves, even);
+
+    const auto communist = partition::communist_partition(geometry, curves);
+    const auto utilitarian = partition::unrestricted_partition(geometry, curves);
+    const auto bank = partition::bank_aware_partition(geometry, curves);
+
+    miss_even.add(1.0);
+    miss_communist.add(
+        partition::projected_total_misses(curves, communist.ways_per_core) / fixed);
+    miss_utilitarian.add(
+        partition::projected_total_misses(curves, utilitarian.ways_per_core) / fixed);
+    miss_bank.add(
+        partition::projected_total_misses(curves, bank.allocation.ways_per_core) /
+        fixed);
+
+    spread_even.add(partition::miss_ratio_spread(curves, even));
+    spread_communist.add(partition::miss_ratio_spread(curves, communist.ways_per_core));
+    spread_utilitarian.add(
+        partition::miss_ratio_spread(curves, utilitarian.ways_per_core));
+    spread_bank.add(
+        partition::miss_ratio_spread(curves, bank.allocation.ways_per_core));
+  }
+
+  std::cout << "=== Ablation: Communist / Utilitarian / Bank-aware (" << trials
+            << " mixes) ===\n";
+  common::Table table({"policy", "mean misses vs fixed share",
+                       "mean miss-ratio spread (max-min)"});
+  table.begin_row().add_cell("Fixed even share").add_cell(miss_even.mean(), 3).add_cell(
+      spread_even.mean(), 3);
+  table.begin_row()
+      .add_cell("Communist (equalize)")
+      .add_cell(miss_communist.mean(), 3)
+      .add_cell(spread_communist.mean(), 3);
+  table.begin_row()
+      .add_cell("Utilitarian (Unrestricted)")
+      .add_cell(miss_utilitarian.mean(), 3)
+      .add_cell(spread_utilitarian.mean(), 3);
+  table.begin_row()
+      .add_cell("Bank-aware (paper)")
+      .add_cell(miss_bank.mean(), 3)
+      .add_cell(spread_bank.mean(), 3);
+  table.print(std::cout);
+  std::cout << "\nexpected shape (Hsu et al. / this paper): Communist minimizes the\n"
+               "spread but forfeits misses; Utilitarian minimizes misses; Bank-aware\n"
+               "tracks Utilitarian within a few points under physical constraints.\n";
+  return 0;
+}

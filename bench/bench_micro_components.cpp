@@ -1,0 +1,94 @@
+// Engineering micro-benchmarks (google-benchmark): per-operation cost of
+// the hot simulator components. These back the claim that the profiler and
+// allocator are cheap enough to run at every epoch of a long simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "msa/stack_profiler.hpp"
+#include "nuca/dnuca_cache.hpp"
+#include "partition/bank_aware.hpp"
+#include "partition/static_policies.hpp"
+#include "partition/unrestricted.hpp"
+#include "trace/spec2000.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace bacp;
+
+void BM_GeneratorNext(benchmark::State& state) {
+  const auto& model = trace::spec2000_by_name("bzip2");
+  trace::GeneratorConfig config;
+  trace::SyntheticTraceGenerator generator(model, config, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next().block);
+  }
+}
+BENCHMARK(BM_GeneratorNext);
+
+void BM_ProfilerObserve(benchmark::State& state) {
+  const auto& model = trace::spec2000_by_name("bzip2");
+  trace::GeneratorConfig config;
+  trace::SyntheticTraceGenerator generator(model, config, 1);
+  msa::ProfilerConfig profiler_config;
+  profiler_config.set_sampling = static_cast<std::uint32_t>(state.range(0));
+  msa::StackProfiler profiler(profiler_config);
+  for (auto _ : state) {
+    profiler.observe(generator.next().block);
+  }
+}
+BENCHMARK(BM_ProfilerObserve)->Arg(1)->Arg(32);
+
+void BM_L2Access(benchmark::State& state) {
+  nuca::DnucaConfig config;
+  config.aggregation = static_cast<nuca::AggregationKind>(state.range(0));
+  noc::NocConfig noc_config;
+  noc::Noc noc(noc_config);
+  nuca::DnucaCache l2(config, noc);
+  l2.apply_assignment(partition::equal_partition(config.geometry).assignment);
+
+  const auto& model = trace::spec2000_by_name("art");
+  trace::GeneratorConfig generator_config;
+  trace::SyntheticTraceGenerator generator(model, generator_config, 1);
+  Cycle now = 0;
+  for (auto _ : state) {
+    const auto access = generator.next();
+    benchmark::DoNotOptimize(l2.access(access.block, 0, access.is_write, now));
+    now += 10;
+  }
+}
+BENCHMARK(BM_L2Access)
+    ->Arg(static_cast<int>(nuca::AggregationKind::Parallel))
+    ->Arg(static_cast<int>(nuca::AggregationKind::Cascade));
+
+void BM_BankAwareAllocator(benchmark::State& state) {
+  partition::CmpGeometry geometry;
+  const auto& suite = trace::spec2000_suite();
+  std::vector<msa::MissRatioCurve> curves;
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    const auto& model = suite[core % suite.size()];
+    curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::bank_aware_partition(geometry, curves));
+  }
+}
+BENCHMARK(BM_BankAwareAllocator);
+
+void BM_UnrestrictedAllocator(benchmark::State& state) {
+  partition::CmpGeometry geometry;
+  const auto& suite = trace::spec2000_suite();
+  std::vector<msa::MissRatioCurve> curves;
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    const auto& model = suite[(core * 3) % suite.size()];
+    curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::unrestricted_partition(geometry, curves));
+  }
+}
+BENCHMARK(BM_UnrestrictedAllocator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

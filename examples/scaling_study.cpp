@@ -1,0 +1,48 @@
+// The paper motivates Bank-aware partitioning as a scheme that "can scale
+// with the number of cores". This example exercises exactly that: the same
+// Monte-Carlo comparison (Fig. 7 methodology) on growing CMP geometries —
+// 4 cores / 8 banks up to 16 cores / 32 banks — each keeping the paper's
+// 2-banks-per-core shape. The banking rules and the allocator are geometry-
+// generic, so nothing else changes.
+//
+// Scale knob: BACP_EXAMPLE_TRIALS (default 200).
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "harness/monte_carlo.hpp"
+
+int main() {
+  using namespace bacp;
+
+  struct Shape {
+    std::uint32_t cores;
+    std::uint32_t banks;
+  };
+  const Shape shapes[] = {{4, 8}, {8, 16}, {12, 24}, {16, 32}};
+  const std::size_t trials = common::env_u64("BACP_EXAMPLE_TRIALS", 200);
+
+  std::cout << "=== Bank-aware scalability across CMP geometries ===\n";
+  common::Table table({"cores", "banks", "total ways", "mean Unrestricted/fixed",
+                       "mean Bank-aware/fixed"});
+  for (const auto& shape : shapes) {
+    harness::MonteCarloConfig config;
+    config.geometry.num_cores = shape.cores;
+    config.geometry.num_banks = shape.banks;
+    config.trials = trials;
+    config.seed = 7;
+    const auto summary = harness::run_monte_carlo(config);
+    table.begin_row()
+        .add_cell(std::to_string(shape.cores))
+        .add_cell(std::to_string(shape.banks))
+        .add_cell(std::to_string(config.geometry.total_ways()))
+        .add_cell(summary.mean_unrestricted_ratio, 3)
+        .add_cell(summary.mean_bank_aware_ratio, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe Bank-aware/Unrestricted gap should stay small at every "
+               "scale: the banking\nrestrictions cost a few points regardless "
+               "of core count (paper Section IV-A).\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// simulate — command-line driver for the full-system simulator. Runs any
+// 8-workload mix under any policy without writing C++:
+//
+//   simulate --policy=bank-aware --instr=8000000
+//            mcf art bzip2 gcc sixtrack swim facerec eon   (one mix)
+//   simulate --set=Set7 --policy=none --csv
+//   simulate --list
+//
+// Prints per-core results as a table (or CSV for scripting).
+
+#include <iostream>
+
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "harness/experiments.hpp"
+#include "sim/system.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+namespace {
+
+std::optional<bacp::sim::PolicyKind> parse_policy(const std::string& name) {
+  using bacp::sim::PolicyKind;
+  if (name == "none") return PolicyKind::NoPartition;
+  if (name == "equal") return PolicyKind::EqualPartition;
+  if (name == "bank-aware") return PolicyKind::BankAware;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bacp;
+
+  common::ArgParser parser({
+      {"policy=", "partitioning policy: none | equal | bank-aware (default)"},
+      {"instr=", "measured instructions per core (default 8000000)"},
+      {"warmup=", "warm-up instructions per core (default instr/2)"},
+      {"epoch=", "repartition epoch in cycles (default 8000000)"},
+      {"seed=", "simulation seed (default 42)"},
+      {"set=", "run a paper Table III set (Set1..Set8) instead of a mix"},
+      {"csv", "emit CSV instead of an aligned table"},
+      {"list", "list the available workload models and exit"},
+      {"help", "show this help"},
+  });
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << "\n\n" << parser.help("simulate");
+    return 2;
+  }
+  if (parser.has("help")) {
+    std::cout << parser.help("simulate");
+    return 0;
+  }
+  if (parser.has("list")) {
+    common::Table table({"workload", "L2 APKI", "miss ratio @16 ways", "@72 ways"});
+    for (const auto& model : trace::spec2000_suite()) {
+      table.begin_row()
+          .add_cell(model.name)
+          .add_cell(model.l2_apki, 1)
+          .add_cell(model.miss_ratio(16), 3)
+          .add_cell(model.miss_ratio(72), 3);
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  const auto policy = parse_policy(parser.get("policy", "bank-aware"));
+  if (!policy) {
+    std::cerr << "unknown policy; use none | equal | bank-aware\n";
+    return 2;
+  }
+
+  trace::WorkloadMix mix;
+  std::string label;
+  if (parser.has("set")) {
+    const auto set_name = parser.get("set", "");
+    bool found = false;
+    for (const auto& set : harness::table3_sets()) {
+      if (set.label == set_name) {
+        mix = set.mix();
+        label = set.label;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown set " << set_name << " (use Set1..Set8)\n";
+      return 2;
+    }
+  } else {
+    if (parser.positional().size() != 8) {
+      std::cerr << "need exactly 8 workload names (or --set=SetN); see --list\n";
+      return 2;
+    }
+    for (const auto& name : parser.positional()) {
+      bool known = false;
+      for (const auto& model : trace::spec2000_suite()) {
+        if (model.name == name) known = true;
+      }
+      if (!known) {
+        std::cerr << "unknown workload '" << name << "'; see --list\n";
+        return 2;
+      }
+    }
+    mix = trace::mix_from_names(parser.positional());
+    label = trace::mix_label(mix);
+  }
+
+  const std::uint64_t instructions = parser.get_u64("instr", 8'000'000);
+  const std::uint64_t warmup = parser.get_u64("warmup", instructions / 2);
+
+  sim::SystemConfig config = sim::SystemConfig::baseline();
+  config.policy = *policy;
+  config.epoch_cycles = parser.get_u64("epoch", config.epoch_cycles);
+  config.seed = parser.get_u64("seed", config.seed);
+  config.finalize();
+
+  sim::System system(config, mix);
+  system.warm_up(warmup);
+  system.run(instructions);
+  const auto results = system.results();
+
+  common::Table table({"core", "workload", "ways", "L2 accesses", "L2 misses",
+                       "miss ratio", "CPI"});
+  for (CoreId core = 0; core < config.geometry.num_cores; ++core) {
+    const auto& c = results.cores[core];
+    const std::uint64_t accesses = c.l2_hits + c.l2_misses;
+    table.begin_row()
+        .add_cell(std::to_string(core))
+        .add_cell(c.workload)
+        .add_cell(std::to_string(c.allocated_ways))
+        .add_cell(accesses)
+        .add_cell(c.l2_misses)
+        .add_cell(accesses ? static_cast<double>(c.l2_misses) /
+                                 static_cast<double>(accesses)
+                           : 0.0,
+                  3)
+        .add_cell(c.cpi, 3);
+  }
+
+  std::cout << "mix: " << label << "   policy: " << to_string(*policy)
+            << "   instructions/core: " << instructions << '\n';
+  if (parser.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "total L2 miss ratio " << common::Table::format_double(
+                   results.l2_miss_ratio, 3)
+            << ", mean CPI " << common::Table::format_double(results.mean_cpi, 3)
+            << ", epochs " << results.epochs << '\n';
+  return 0;
+}

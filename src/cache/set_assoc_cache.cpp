@@ -1,0 +1,191 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bacp::cache {
+
+std::uint64_t CacheStats::total_hits() const {
+  return std::accumulate(hits.begin(), hits.end(), std::uint64_t{0});
+}
+
+std::uint64_t CacheStats::total_misses() const {
+  return std::accumulate(misses.begin(), misses.end(), std::uint64_t{0});
+}
+
+double CacheStats::miss_ratio() const {
+  const std::uint64_t total = total_accesses();
+  return total == 0 ? 0.0 : static_cast<double>(total_misses()) / static_cast<double>(total);
+}
+
+void CacheStats::clear() {
+  std::fill(hits.begin(), hits.end(), 0);
+  std::fill(misses.begin(), misses.end(), 0);
+  std::fill(evictions.begin(), evictions.end(), 0);
+}
+
+SetAssocCache::SetAssocCache(const Config& config)
+    : config_(config), stats_(config.num_cores) {
+  BACP_ASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
+  BACP_ASSERT(config_.ways >= 1, "cache needs at least one way");
+  BACP_ASSERT(config_.num_cores >= 1, "cache needs at least one core");
+  sets_.resize(config_.num_sets);
+  for (auto& set : sets_) {
+    set.lines.resize(config_.ways);
+    set.lru_order.resize(config_.ways);
+    std::iota(set.lru_order.begin(), set.lru_order.end(), 0u);
+  }
+  // Default: every core owns every way (unpartitioned shared cache).
+  way_masks_.assign(config_.ways, ~CoreMask{0});
+}
+
+void SetAssocCache::touch_mru(std::uint32_t set, WayIndex way) {
+  auto& order = sets_[set].lru_order;
+  const auto it = std::find(order.begin(), order.end(), way);
+  BACP_DASSERT(it != order.end(), "way missing from LRU order");
+  order.erase(it);
+  order.insert(order.begin(), way);
+}
+
+std::optional<LookupResult> SetAssocCache::find(BlockAddress block) const {
+  const std::uint32_t set = set_index(block);
+  const auto& lines = sets_[set].lines;
+  for (WayIndex way = 0; way < config_.ways; ++way) {
+    if (lines[way].valid && lines[way].block == block) {
+      return LookupResult{true, way};
+    }
+  }
+  return std::nullopt;
+}
+
+LookupResult SetAssocCache::access(BlockAddress block, CoreId core, bool is_write) {
+  BACP_DASSERT(core < config_.num_cores, "core id out of range");
+  const std::uint32_t set = set_index(block);
+  if (const auto found = find(block)) {
+    ++stats_.hits[core];
+    touch_mru(set, found->way);
+    if (is_write) sets_[set].lines[found->way].dirty = true;
+    return *found;
+  }
+  ++stats_.misses[core];
+  return LookupResult{false, 0};
+}
+
+FillResult SetAssocCache::fill(BlockAddress block, CoreId core, bool dirty) {
+  BACP_DASSERT(core < config_.num_cores, "core id out of range");
+  BACP_DASSERT(!probe(block), "fill of a block that is already resident");
+  const std::uint32_t set = set_index(block);
+  auto& lines = sets_[set].lines;
+  const CoreMask bit = core_bit(core);
+
+  // Prefer an invalid owned way; otherwise the LRU-most owned way (paper's
+  // modified LRU: scan recency order from the LRU end, restricted to ways
+  // whose mask includes the requesting core).
+  std::optional<WayIndex> victim;
+  for (WayIndex way = 0; way < config_.ways; ++way) {
+    if ((way_masks_[way] & bit) != 0 && !lines[way].valid) {
+      victim = way;
+      break;
+    }
+  }
+  if (!victim) {
+    const auto& order = sets_[set].lru_order;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if ((way_masks_[*it] & bit) != 0) {
+        victim = *it;
+        break;
+      }
+    }
+  }
+  BACP_ASSERT(victim.has_value(), "fill by a core that owns no ways");
+
+  FillResult result;
+  result.way = *victim;
+  Line& line = lines[*victim];
+  if (line.valid) {
+    result.evicted = line;
+    ++stats_.evictions[core];
+  }
+  line.block = block;
+  line.allocator = core;
+  line.valid = true;
+  line.dirty = dirty;
+  touch_mru(set, *victim);
+  return result;
+}
+
+bool SetAssocCache::probe(BlockAddress block) const { return find(block).has_value(); }
+
+bool SetAssocCache::mark_dirty(BlockAddress block) {
+  const auto found = find(block);
+  if (!found) return false;
+  sets_[set_index(block)].lines[found->way].dirty = true;
+  return true;
+}
+
+std::optional<Line> SetAssocCache::invalidate(BlockAddress block) {
+  const auto found = find(block);
+  if (!found) return std::nullopt;
+  const std::uint32_t set = set_index(block);
+  Line& line = sets_[set].lines[found->way];
+  const Line copy = line;
+  line = Line{};
+  // Demote the freed way to LRU so it is the next allocation target.
+  auto& order = sets_[set].lru_order;
+  const auto it = std::find(order.begin(), order.end(), found->way);
+  order.erase(it);
+  order.push_back(found->way);
+  return copy;
+}
+
+std::optional<Line> SetAssocCache::lru_line_for_core(BlockAddress block, CoreId core) const {
+  const std::uint32_t set = set_index(block);
+  const auto& lines = sets_[set].lines;
+  const auto& order = sets_[set].lru_order;
+  const CoreMask bit = core_bit(core);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((way_masks_[*it] & bit) != 0 && lines[*it].valid) return lines[*it];
+  }
+  return std::nullopt;
+}
+
+void SetAssocCache::set_way_partition(const std::vector<CoreMask>& masks) {
+  BACP_ASSERT(masks.size() == config_.ways, "one mask per way required");
+  for (CoreMask mask : masks) {
+    BACP_ASSERT(mask != 0, "every way must belong to at least one core");
+  }
+  way_masks_ = masks;
+}
+
+WayCount SetAssocCache::ways_owned(CoreId core) const {
+  const CoreMask bit = core_bit(core);
+  WayCount owned = 0;
+  for (CoreMask mask : way_masks_) {
+    if ((mask & bit) != 0) ++owned;
+  }
+  return owned;
+}
+
+std::vector<Line> SetAssocCache::resident_lines() const {
+  std::vector<Line> lines;
+  for (const auto& set : sets_) {
+    for (const auto& line : set.lines) {
+      if (line.valid) lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+std::uint64_t SetAssocCache::valid_lines() const {
+  std::uint64_t count = 0;
+  for (const auto& set : sets_) {
+    for (const auto& line : set.lines) {
+      if (line.valid) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace bacp::cache

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::cache {
+
+/// One cache line's bookkeeping. Addresses are block-granular, so the full
+/// block address doubles as the tag (the set index is re-derivable).
+struct Line {
+  BlockAddress block = 0;
+  CoreId allocator = kInvalidCore;  ///< core whose allocation brought it in
+  bool valid = false;
+  bool dirty = false;
+};
+
+/// Result of a lookup or fill.
+struct LookupResult {
+  bool hit = false;
+  WayIndex way = 0;
+};
+
+struct FillResult {
+  WayIndex way = 0;
+  std::optional<Line> evicted;  ///< set when a valid line was displaced
+};
+
+/// Per-core hit/miss/eviction counters for one cache structure.
+struct CacheStats {
+  std::vector<std::uint64_t> hits;
+  std::vector<std::uint64_t> misses;
+  std::vector<std::uint64_t> evictions;
+
+  explicit CacheStats(std::size_t num_cores = 0)
+      : hits(num_cores, 0), misses(num_cores, 0), evictions(num_cores, 0) {}
+
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+  std::uint64_t total_accesses() const { return total_hits() + total_misses(); }
+  double miss_ratio() const;
+  void clear();
+};
+
+/// Set-associative cache with true LRU and the paper's *vertical fine-grain
+/// cache-way partitioning* (Section III-B, after Iyer's CQoS): every way
+/// carries a core mask, identical across all sets of the structure, and a
+/// modified LRU victim policy only ever replaces a line in a way the
+/// requesting core owns — so workloads in disjoint ways cannot evict each
+/// other's data.
+class SetAssocCache {
+ public:
+  struct Config {
+    std::string name = "cache";
+    std::uint32_t num_sets = 64;
+    WayCount ways = 8;
+    std::uint32_t num_cores = 1;  ///< width of the statistics arrays
+  };
+
+  explicit SetAssocCache(const Config& config);
+
+  /// LRU-updating lookup. On a hit the line moves to MRU and `is_write`
+  /// marks it dirty. A hit is legal in *any* way (partitioning restricts
+  /// replacement, not lookup — exactly as in the paper).
+  LookupResult access(BlockAddress block, CoreId core, bool is_write);
+
+  /// Installs a block for `core`, evicting (modified-LRU) from the ways the
+  /// core owns. Precondition: the block is not present and the core owns at
+  /// least one way.
+  FillResult fill(BlockAddress block, CoreId core, bool dirty);
+
+  /// Non-perturbing presence check.
+  bool probe(BlockAddress block) const;
+
+  /// Marks a resident block dirty without touching LRU state (used for
+  /// writeback updates arriving from the level above). Returns false when
+  /// the block is not resident.
+  bool mark_dirty(BlockAddress block);
+
+  /// Removes a block if present; returns its prior contents.
+  std::optional<Line> invalidate(BlockAddress block);
+
+  /// Least-recently-used valid line of the set that holds `block`'s set
+  /// index, restricted to ways owned by `core` (used by the Cascade
+  /// aggregation to demote down the chain). Empty if all such ways are
+  /// invalid.
+  std::optional<Line> lru_line_for_core(BlockAddress block, CoreId core) const;
+
+  /// Replaces the per-way core masks. Resident lines are untouched: after a
+  /// repartition, stale data in reassigned ways is displaced naturally by
+  /// the new owner's fills (paper Section III-B).
+  void set_way_partition(const std::vector<CoreMask>& masks);
+  const std::vector<CoreMask>& way_partition() const { return way_masks_; }
+
+  /// Number of ways owned by `core`.
+  WayCount ways_owned(CoreId core) const;
+
+  const Config& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void clear_stats() { stats_.clear(); }
+
+  /// Count of valid lines (for occupancy tests).
+  std::uint64_t valid_lines() const;
+
+  /// Snapshot of every valid line (invariant checks and debugging; O(size)).
+  std::vector<Line> resident_lines() const;
+
+  std::uint32_t set_index(BlockAddress block) const {
+    return static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+  }
+
+ private:
+  struct Set {
+    std::vector<Line> lines;          // indexed by way
+    std::vector<WayIndex> lru_order;  // MRU first
+  };
+
+  Line& line_at(std::uint32_t set, WayIndex way) { return sets_[set].lines[way]; }
+  void touch_mru(std::uint32_t set, WayIndex way);
+  std::optional<LookupResult> find(BlockAddress block) const;
+
+  Config config_;
+  std::vector<Set> sets_;
+  std::vector<CoreMask> way_masks_;
+  CacheStats stats_;
+};
+
+}  // namespace bacp::cache

@@ -1,0 +1,147 @@
+#include "coherence/moesi.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace bacp::coherence {
+
+const char* to_string(MoesiState state) {
+  switch (state) {
+    case MoesiState::Invalid: return "I";
+    case MoesiState::Shared: return "S";
+    case MoesiState::Exclusive: return "E";
+    case MoesiState::Owned: return "O";
+    case MoesiState::Modified: return "M";
+  }
+  return "?";
+}
+
+MoesiDirectory::MoesiDirectory(std::uint32_t num_cores) : num_cores_(num_cores) {
+  BACP_ASSERT(num_cores_ >= 1 && num_cores_ <= 32, "1..32 cores supported");
+}
+
+CoherenceAction MoesiDirectory::on_l1_read_fill(BlockAddress block, CoreId core) {
+  BACP_DASSERT(core < num_cores_, "core out of range");
+  ++stats_.read_fills;
+  CoherenceAction action;
+  Entry& entry = entries_[block];
+  const CoreMask bit = core_bit(core);
+  if ((entry.sharers & bit) != 0) return action;  // already has a copy
+
+  if (entry.sharers == 0) {
+    // Sole copy: grant Exclusive (silent-upgrade-friendly, as in MOESI).
+    entry.sharers = bit;
+    entry.owner = core;
+    entry.owner_state = MoesiState::Exclusive;
+    return action;
+  }
+
+  if (entry.owner != kInvalidCore) {
+    switch (entry.owner_state) {
+      case MoesiState::Modified:
+        // Dirty owner forwards data and transitions M -> O.
+        entry.owner_state = MoesiState::Owned;
+        action.interventions = 1;
+        ++stats_.interventions;
+        break;
+      case MoesiState::Owned:
+        action.interventions = 1;
+        ++stats_.interventions;
+        break;
+      case MoesiState::Exclusive:
+        // Clean owner degrades E -> S; data supplied by the L2.
+        entry.owner = kInvalidCore;
+        entry.owner_state = MoesiState::Invalid;
+        break;
+      default:
+        BACP_ASSERT(false, "owner in non-ownership state");
+    }
+  }
+  entry.sharers |= bit;
+  return action;
+}
+
+CoherenceAction MoesiDirectory::on_l1_write_fill(BlockAddress block, CoreId core) {
+  BACP_DASSERT(core < num_cores_, "core out of range");
+  ++stats_.write_fills;
+  CoherenceAction action;
+  Entry& entry = entries_[block];
+  const CoreMask bit = core_bit(core);
+
+  if ((entry.sharers & bit) != 0 && entry.sharers != bit) ++stats_.upgrades;
+
+  const CoreMask others = entry.sharers & ~bit;
+  action.invalidations = static_cast<std::uint32_t>(std::popcount(others));
+  stats_.invalidations += action.invalidations;
+  if (entry.owner != kInvalidCore && entry.owner != core &&
+      (entry.owner_state == MoesiState::Modified ||
+       entry.owner_state == MoesiState::Owned)) {
+    // Dirty remote owner forwards its data with the invalidation.
+    action.interventions = 1;
+    ++stats_.interventions;
+  }
+  entry.sharers = bit;
+  entry.owner = core;
+  entry.owner_state = MoesiState::Modified;
+  return action;
+}
+
+CoherenceAction MoesiDirectory::on_l1_evict(BlockAddress block, CoreId core, bool dirty) {
+  BACP_DASSERT(core < num_cores_, "core out of range");
+  CoherenceAction action;
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return action;
+  Entry& entry = it->second;
+  const CoreMask bit = core_bit(core);
+  if ((entry.sharers & bit) == 0) return action;
+
+  if (entry.owner == core) {
+    const bool was_dirty = entry.owner_state == MoesiState::Modified ||
+                           entry.owner_state == MoesiState::Owned;
+    BACP_ASSERT(was_dirty == dirty || entry.owner_state == MoesiState::Exclusive,
+                "L1 dirty bit disagrees with directory ownership state");
+    if (was_dirty) {
+      action.writeback_below = true;
+      ++stats_.writebacks;
+    }
+    entry.owner = kInvalidCore;
+    entry.owner_state = MoesiState::Invalid;
+  }
+  entry.sharers &= ~bit;
+  if (entry.sharers == 0) entries_.erase(it);
+  return action;
+}
+
+CoherenceAction MoesiDirectory::on_l2_evict(BlockAddress block) {
+  CoherenceAction action;
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return action;
+  Entry& entry = it->second;
+  action.invalidations = static_cast<std::uint32_t>(std::popcount(entry.sharers));
+  stats_.inclusion_recalls += action.invalidations;
+  if (entry.owner != kInvalidCore &&
+      (entry.owner_state == MoesiState::Modified ||
+       entry.owner_state == MoesiState::Owned)) {
+    action.writeback_below = true;
+    ++stats_.writebacks;
+  }
+  entries_.erase(it);
+  return action;
+}
+
+MoesiState MoesiDirectory::state_at(BlockAddress block, CoreId core) const {
+  const auto it = entries_.find(block);
+  if (it == entries_.end()) return MoesiState::Invalid;
+  const Entry& entry = it->second;
+  if ((entry.sharers & core_bit(core)) == 0) return MoesiState::Invalid;
+  if (entry.owner == core) return entry.owner_state;
+  return MoesiState::Shared;
+}
+
+CoreMask MoesiDirectory::sharers_of(BlockAddress block) const {
+  const auto it = entries_.find(block);
+  return it == entries_.end() ? 0 : it->second.sharers;
+}
+
+}  // namespace bacp::coherence

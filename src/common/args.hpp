@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bacp::common {
+
+/// Minimal command-line flag parser for the example drivers and tools.
+/// Accepts `--key=value`, `--key value` and boolean `--flag` forms;
+/// anything not starting with `--` is a positional argument. Unknown flags
+/// are an error (collected, reported by error()).
+class ArgParser {
+ public:
+  /// `spec` declares the accepted flags: name -> help text. A trailing '='
+  /// in the name marks a value flag ("trials=" takes a value, "verbose"
+  /// does not).
+  ArgParser(std::vector<std::pair<std::string, std::string>> spec);
+
+  /// Parses argv. Returns false if unknown flags or malformed input were
+  /// seen (error() explains).
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Usage text built from the spec.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help_text;
+    bool takes_value = false;
+  };
+  std::map<std::string, Flag> spec_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace bacp::common

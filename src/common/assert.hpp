@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking that stays on in release builds. Simulator correctness
+// depends on structural invariants (LRU stack integrity, way-mask coverage,
+// token conservation); a silent violation would corrupt every statistic
+// downstream, so we always abort loudly rather than compile the checks out.
+#define BACP_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "BACP_ASSERT failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+// Cheaper checks in inner loops: enabled unless BACP_NDEBUG_FAST is defined.
+#ifdef BACP_NDEBUG_FAST
+#define BACP_DASSERT(cond, msg) ((void)0)
+#else
+#define BACP_DASSERT(cond, msg) BACP_ASSERT(cond, msg)
+#endif

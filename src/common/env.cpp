@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace bacp::common {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+}  // namespace bacp::common

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bacp::common {
+
+/// Environment-variable overrides for benchmark scale knobs
+/// (e.g. BACP_MC_TRIALS, BACP_SIM_ACCESSES). Missing or malformed values
+/// fall back to the supplied default, so `for b in build/bench/*; do $b; done`
+/// always runs with sane laptop-scale settings.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace bacp::common

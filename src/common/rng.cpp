@@ -1,0 +1,59 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace bacp::common {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  BACP_ASSERT(n > 0, "DiscreteSampler requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    BACP_ASSERT(w >= 0.0, "DiscreteSampler weights must be non-negative");
+    total += w;
+  }
+  BACP_ASSERT(total > 0.0, "DiscreteSampler requires positive total weight");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Standard Walker/Vose construction: partition scaled probabilities into
+  // "small" (< 1) and "large" (>= 1) and pair each small cell with a large
+  // donor.
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = normalized_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining cells are numerically == 1.
+  for (std::uint32_t l : large) probability_[l] = 1.0;
+  for (std::uint32_t s : small) probability_[s] = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  BACP_DASSERT(!probability_.empty(), "sampling from an empty distribution");
+  const std::size_t column = rng.next_below(probability_.size());
+  return rng.next_double() < probability_[column] ? column : alias_[column];
+}
+
+}  // namespace bacp::common

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bacp::common {
+
+/// SplitMix64: used only to expand seeds into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 2^256-period PRNG. Deterministic for a
+/// given seed and stream id, so every experiment is exactly reproducible and
+/// per-trial streams can be fanned out across threads without coordination.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x8A5CD789635D2DFFULL,
+               std::uint64_t stream = 0) {
+    std::uint64_t sm = seed ^ (stream * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses bitmask rejection: unbiased and
+  /// needs no 128-bit arithmetic. Precondition: bound != 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    BACP_DASSERT(bound != 0, "next_below requires a non-zero bound");
+    if (bound == 1) return 0;
+    const std::uint64_t mask = mask_for(bound - 1);
+    while (true) {
+      const std::uint64_t x = next_u64() & mask;
+      if (x < bound) return x;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double probability_true) { return next_double() < probability_true; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  /// Smallest all-ones mask covering x (x != 0 path handled by caller).
+  static constexpr std::uint64_t mask_for(std::uint64_t x) {
+    x |= x >> 1;
+    x |= x >> 2;
+    x |= x >> 4;
+    x |= x >> 8;
+    x |= x >> 16;
+    x |= x >> 32;
+    return x;
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Walker alias method: O(1) sampling from a fixed discrete distribution.
+/// The synthetic trace generators draw a stack distance per L2 access, so
+/// this is the hottest sampling path in the simulator.
+class DiscreteSampler {
+ public:
+  DiscreteSampler() = default;
+
+  /// Builds the alias table from (possibly unnormalized) non-negative
+  /// weights. Zero-weight entries are never drawn.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()). Precondition: non-empty with
+  /// positive total weight.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
+
+  /// Normalized probability of index i (for testing / reporting).
+  double probability_of(std::size_t i) const { return normalized_.at(i); }
+
+ private:
+  std::vector<double> probability_;   // alias-table acceptance probabilities
+  std::vector<std::uint32_t> alias_;  // alias targets
+  std::vector<double> normalized_;    // normalized input distribution
+};
+
+}  // namespace bacp::common

@@ -1,0 +1,37 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+namespace bacp::common {
+
+double geometric_mean(std::span<const double> values) {
+  BACP_ASSERT(!values.empty(), "geometric_mean of an empty range");
+  double log_sum = 0.0;
+  for (double v : values) {
+    BACP_ASSERT(v > 0.0, "geometric_mean requires strictly positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(std::span<const double> values) {
+  BACP_ASSERT(!values.empty(), "arithmetic_mean of an empty range");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double percentile(std::span<const double> values, double p) {
+  BACP_ASSERT(!values.empty(), "percentile of an empty range");
+  BACP_ASSERT(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace bacp::common

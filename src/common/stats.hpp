@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bacp::common {
+
+/// Single-pass streaming statistics (Welford). Used for latency, queue
+/// depth and Monte-Carlo result summaries.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  void merge(const StreamingStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of strictly positive values; the paper reports GM columns
+/// in Figs. 8 and 9.
+double geometric_mean(std::span<const double> values);
+
+/// Arithmetic mean.
+double arithmetic_mean(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation on a sorted copy.
+double percentile(std::span<const double> values, double p);
+
+/// Safe ratio: returns `fallback` when the denominator is zero.
+inline double ratio(double numerator, double denominator, double fallback = 0.0) {
+  return denominator == 0.0 ? fallback : numerator / denominator;
+}
+
+}  // namespace bacp::common

@@ -1,0 +1,82 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace bacp::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    BACP_ASSERT(!shutting_down_, "submit after shutdown");
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Dynamic chunking: a shared atomic cursor keeps all workers busy even
+  // when per-iteration cost is highly non-uniform (e.g. detailed simulation
+  // trials next to analytic ones).
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto remaining_tasks = std::make_shared<std::atomic<std::size_t>>(workers_.size());
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  for (std::size_t t = 0; t < workers_.size(); ++t) {
+    submit([&, cursor, remaining_tasks] {
+      while (true) {
+        const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        body(i);
+      }
+      if (remaining_tasks->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done = true;
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+}  // namespace bacp::common

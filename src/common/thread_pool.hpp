@@ -1,0 +1,43 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bacp::common {
+
+/// Fixed-size worker pool. The Monte-Carlo harness fans independent trials
+/// out over it; each trial owns a deterministic per-trial RNG stream so the
+/// results are identical for any worker count.
+class ThreadPool {
+ public:
+  /// num_threads == 0 selects hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), partitioned across the pool, and
+  /// blocks until all iterations complete. Exceptions in the body abort the
+  /// program (simulation tasks are noexcept by design).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace bacp::common

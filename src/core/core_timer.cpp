@@ -1,0 +1,99 @@
+#include "core/core_timer.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::core {
+
+CoreTimer::CoreTimer(const CoreTimerConfig& config)
+    : config_(config), rng_(config.seed, config.core) {
+  BACP_ASSERT(config_.base_cpi > 0.0, "base_cpi must be positive");
+  BACP_ASSERT(config_.instructions_per_l2_access > 0.0,
+              "instructions_per_l2_access must be positive");
+  BACP_ASSERT(config_.mlp_window >= 1, "mlp_window must be >= 1");
+  BACP_ASSERT(config_.gap_jitter >= 0.0 && config_.gap_jitter < 1.0,
+              "gap_jitter must be in [0, 1)");
+}
+
+double CoreTimer::next_gap_cycles() const {
+  if (pending_gap_ < 0.0) {
+    const double jitter =
+        1.0 + config_.gap_jitter * (2.0 * rng_.next_double() - 1.0);
+    pending_gap_ = config_.instructions_per_l2_access * config_.base_cpi * jitter;
+  }
+  return pending_gap_;
+}
+
+Cycle CoreTimer::peek_issue() const {
+  double t = time_ + next_gap_cycles();
+  // MLP window: if the window is full of accesses still in flight at t,
+  // issue waits for the earliest to complete.
+  if (outstanding_.size() >= config_.mlp_window) {
+    auto copy = outstanding_;
+    while (copy.size() >= config_.mlp_window && copy.top().done_at <= t) copy.pop();
+    if (copy.size() >= config_.mlp_window) t = copy.top().done_at;
+  }
+  // ROB drain: the oldest in-flight access may pin the ROB.
+  if (!outstanding_.empty()) {
+    auto copy = outstanding_;
+    const double next_instr = instructions_ + config_.instructions_per_l2_access;
+    while (!copy.empty()) {
+      const auto& oldest = copy.top();
+      if (next_instr - oldest.issued_at_instruction >
+          static_cast<double>(config_.rob_entries)) {
+        t = std::max(t, oldest.done_at);
+      }
+      copy.pop();
+    }
+  }
+  return static_cast<Cycle>(t);
+}
+
+Cycle CoreTimer::advance_to_issue() {
+  const double issue = static_cast<double>(peek_issue());
+  pending_gap_ = -1.0;  // consume the drawn gap
+  time_ = issue;
+  instructions_ += config_.instructions_per_l2_access;
+  retire_completed();
+  return static_cast<Cycle>(issue);
+}
+
+void CoreTimer::retire_completed() {
+  while (!outstanding_.empty() && outstanding_.top().done_at <= time_) {
+    outstanding_.pop();
+  }
+}
+
+void CoreTimer::record_completion(Cycle done_at) {
+  outstanding_.push({static_cast<double>(done_at), instructions_});
+  // Invariant: the window can exceed mlp_window only transiently within a
+  // peek/advance pair; enforce it here.
+  while (outstanding_.size() > config_.mlp_window) {
+    time_ = std::max(time_, outstanding_.top().done_at);
+    outstanding_.pop();
+  }
+}
+
+void CoreTimer::drain() {
+  while (!outstanding_.empty()) {
+    time_ = std::max(time_, outstanding_.top().done_at);
+    outstanding_.pop();
+  }
+}
+
+double CoreTimer::cpi() const {
+  return instructions_ == 0.0 ? 0.0 : time_ / instructions_;
+}
+
+void CoreTimer::mark() {
+  mark_time_ = time_;
+  mark_instructions_ = instructions_;
+}
+
+double CoreTimer::cpi_since_mark() const {
+  const double instr = instructions_since_mark();
+  return instr == 0.0 ? 0.0 : cycles_since_mark() / instr;
+}
+
+}  // namespace bacp::core

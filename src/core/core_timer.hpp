@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bacp::core {
+
+/// Timing abstraction of one out-of-order core (Table I: 4 GHz, 30-stage,
+/// 4-wide, 128-entry ROB, 16 outstanding requests). The model executes the
+/// non-memory instruction stream at the workload's base CPI and overlaps
+/// L2 accesses up to a memory-level-parallelism window:
+///   - between consecutive L2 accesses the core retires
+///     `instructions_per_l2_access` instructions in
+///     `instructions_per_l2_access x base_cpi` cycles (jittered to avoid
+///     lock-step artifacts across cores);
+///   - up to `mlp_window` accesses may be in flight; the window models the
+///     ROB's ability to run ahead of outstanding misses, capped by the
+///     MSHR count;
+///   - an access older than `rob_entries` instructions blocks further
+///     issue until it completes (ROB drain).
+/// CPI falls out of the simulation rather than a closed formula, so bank
+/// queueing, DRAM channel contention and partition-latency differences all
+/// surface in Fig. 9-style results.
+struct CoreTimerConfig {
+  double base_cpi = 0.7;
+  double instructions_per_l2_access = 100.0;
+  std::uint32_t mlp_window = 2;
+  std::uint32_t rob_entries = 128;
+  double gap_jitter = 0.5;  ///< uniform +-50% spread on inter-access gaps
+  std::uint64_t seed = 1;
+  CoreId core = 0;
+};
+
+class CoreTimer {
+ public:
+  explicit CoreTimer(const CoreTimerConfig& config);
+
+  /// Issue time of the next L2 access if it were issued now (includes MLP
+  /// and ROB stalls). Does not mutate state.
+  Cycle peek_issue() const;
+
+  /// Executes the gap instructions and stalls; returns the actual issue
+  /// time of the access. Must be followed by record_completion().
+  Cycle advance_to_issue();
+
+  /// Registers the memory system's completion time for the just-issued
+  /// access.
+  void record_completion(Cycle done_at);
+
+  /// Waits for all outstanding accesses (end of simulation).
+  void drain();
+
+  double instructions() const { return instructions_; }
+  Cycle time() const { return static_cast<Cycle>(time_); }
+  double cpi() const;
+
+  /// Snapshots the measurement-window start (end of cache warm-up).
+  void mark();
+  double instructions_since_mark() const { return instructions_ - mark_instructions_; }
+  double cycles_since_mark() const { return time_ - mark_time_; }
+  double cpi_since_mark() const;
+
+  const CoreTimerConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    double done_at = 0.0;
+    double issued_at_instruction = 0.0;
+    bool operator>(const InFlight& other) const { return done_at > other.done_at; }
+  };
+
+  double next_gap_cycles() const;
+  void retire_completed();
+
+  CoreTimerConfig config_;
+  mutable common::Rng rng_;
+  double time_ = 0.0;
+  double instructions_ = 0.0;
+  double mark_time_ = 0.0;
+  double mark_instructions_ = 0.0;
+  // Pre-drawn jittered gap so peek_issue() and advance_to_issue() agree;
+  // mutable because peeking may need to draw it.
+  mutable double pending_gap_ = -1.0;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> outstanding_;
+};
+
+}  // namespace bacp::core

@@ -1,0 +1,88 @@
+#include "harness/experiments.hpp"
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace bacp::harness {
+
+trace::WorkloadMix ExperimentSet::mix() const { return trace::mix_from_names(benchmarks); }
+
+const std::vector<ExperimentSet>& table3_sets() {
+  static const std::vector<ExperimentSet> sets = {
+      {"Set1",
+       {"apsi", "galgel", "gcc", "mgrid", "applu", "mesa", "facerec", "gzip"},
+       {12, 4, 2, 16, 16, 8, 56, 8}},
+      {"Set2",
+       {"crafty", "gap", "mcf", "art", "equake", "equake", "bzip2", "equake"},
+       {12, 4, 24, 16, 8, 8, 48, 8}},
+      {"Set3",
+       {"applu", "galgel", "art", "art", "sixtrack", "gcc", "mgrid", "lucas"},
+       {12, 4, 16, 16, 16, 6, 40, 16}},
+      {"Set4",
+       {"mgrid", "mcf", "art", "equake", "gcc", "equake", "sixtrack", "crafty"},
+       {40, 24, 16, 16, 6, 10, 6, 10}},
+      {"Set5",
+       {"facerec", "fma3d", "sixtrack", "apsi", "fma3d", "ammp", "lucas", "swim"},
+       {56, 8, 16, 16, 6, 10, 6, 10}},
+      {"Set6",
+       {"bzip2", "gcc", "twolf", "mesa", "wupwise", "applu", "fma3d", "ammp"},
+       {48, 8, 16, 24, 6, 10, 6, 10}},
+      {"Set7",
+       {"swim", "parser", "mgrid", "twolf", "fma3d", "parser", "swim", "mcf"},
+       {8, 16, 40, 16, 2, 14, 8, 24}},
+      {"Set8",
+       {"ammp", "eon", "swim", "gap", "gcc", "art", "twolf", "art"},
+       {13, 3, 11, 5, 8, 16, 56, 16}},
+  };
+  return sets;
+}
+
+double SetComparison::equal_relative_misses() const {
+  return common::ratio(static_cast<double>(equal.l2_misses),
+                       static_cast<double>(none.l2_misses), 1.0);
+}
+
+double SetComparison::bank_relative_misses() const {
+  return common::ratio(static_cast<double>(bank_aware.l2_misses),
+                       static_cast<double>(none.l2_misses), 1.0);
+}
+
+double SetComparison::equal_relative_cpi() const {
+  return common::ratio(equal.mean_cpi, none.mean_cpi, 1.0);
+}
+
+double SetComparison::bank_relative_cpi() const {
+  return common::ratio(bank_aware.mean_cpi, none.mean_cpi, 1.0);
+}
+
+namespace {
+
+sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& mix,
+                              const DetailedRunConfig& config) {
+  sim::SystemConfig system_config = sim::SystemConfig::baseline();
+  system_config.policy = policy;
+  system_config.aggregation = config.aggregation;
+  system_config.epoch_cycles = config.epoch_cycles;
+  system_config.seed = config.seed;
+  system_config.finalize();
+
+  sim::System system(system_config, mix);
+  system.warm_up(config.warmup_instructions);
+  system.run(config.measure_instructions);
+  return system.results();
+}
+
+}  // namespace
+
+SetComparison run_set_comparison(const std::string& label, const trace::WorkloadMix& mix,
+                                 const DetailedRunConfig& config) {
+  SetComparison comparison;
+  comparison.label = label;
+  comparison.none = run_policy(sim::PolicyKind::NoPartition, mix, config);
+  comparison.equal = run_policy(sim::PolicyKind::EqualPartition, mix, config);
+  comparison.bank_aware = run_policy(sim::PolicyKind::BankAware, mix, config);
+  BACP_ASSERT(comparison.none.l2_misses > 0, "no misses in the baseline run");
+  return comparison;
+}
+
+}  // namespace bacp::harness

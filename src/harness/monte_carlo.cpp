@@ -1,0 +1,81 @@
+#include "harness/monte_carlo.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "msa/miss_curve.hpp"
+#include "partition/bank_aware.hpp"
+#include "partition/unrestricted.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::harness {
+
+namespace {
+
+/// Intensity-weighted analytic curves for a mix: curves carry projected
+/// miss *counts per kilo-instruction*, so cores with heavier L2 traffic
+/// dominate the Marginal Utility comparisons — mirroring live profilers,
+/// whose histograms are absolute per-epoch counts.
+std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
+                                                WayCount depth) {
+  const auto& suite = trace::spec2000_suite();
+  std::vector<msa::MissRatioCurve> curves;
+  curves.reserve(mix.num_cores());
+  for (const std::size_t index : mix.workload_indices) {
+    const auto& model = suite.at(index);
+    curves.push_back(msa::MissRatioCurve::from_model(model, depth).scaled(model.l2_apki));
+  }
+  return curves;
+}
+
+}  // namespace
+
+MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
+  BACP_ASSERT(config.trials > 0, "need at least one trial");
+  config.geometry.validate();
+  const auto& suite = trace::spec2000_suite();
+  const WayCount even_share =
+      config.geometry.total_ways() / config.geometry.num_cores;
+
+  MonteCarloSummary summary;
+  summary.trials.resize(config.trials);
+
+  common::ThreadPool pool(config.num_threads);
+  pool.parallel_for(config.trials, [&](std::size_t trial) {
+    // Per-trial RNG stream: identical mixes regardless of thread count.
+    common::Rng rng(config.seed, trial);
+    TrialResult result;
+    result.mix = trace::random_mix(rng, suite.size(), config.geometry.num_cores);
+    const auto curves = curves_for_mix(result.mix, config.curve_depth);
+
+    const std::vector<WayCount> even(config.geometry.num_cores, even_share);
+    result.fixed_share_misses = partition::projected_total_misses(curves, even);
+
+    const auto unrestricted =
+        partition::unrestricted_partition(config.geometry, curves);
+    result.unrestricted_misses =
+        partition::projected_total_misses(curves, unrestricted.ways_per_core);
+
+    const auto bank_aware = partition::bank_aware_partition(config.geometry, curves);
+    result.bank_aware_misses = partition::projected_total_misses(
+        curves, bank_aware.allocation.ways_per_core);
+
+    summary.trials[trial] = std::move(result);
+  });
+
+  std::vector<double> unrestricted_ratios;
+  std::vector<double> bank_ratios;
+  unrestricted_ratios.reserve(config.trials);
+  bank_ratios.reserve(config.trials);
+  for (const auto& trial : summary.trials) {
+    BACP_ASSERT(trial.fixed_share_misses > 0.0, "degenerate mix with zero misses");
+    unrestricted_ratios.push_back(trial.unrestricted_ratio());
+    bank_ratios.push_back(trial.bank_aware_ratio());
+  }
+  summary.mean_unrestricted_ratio = common::arithmetic_mean(unrestricted_ratios);
+  summary.mean_bank_aware_ratio = common::arithmetic_mean(bank_ratios);
+  return summary;
+}
+
+}  // namespace bacp::harness

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition_types.hpp"
+#include "trace/mix.hpp"
+
+namespace bacp::harness {
+
+/// Configuration of the paper's Monte-Carlo methodology (Section IV-A):
+/// random 8-workload mixes drawn with repetition from the 26-component
+/// suite (a C(26+8-1, 8) ~ 14M state space), evaluated by MSA projection
+/// rather than detailed simulation.
+struct MonteCarloConfig {
+  std::size_t trials = 1000;
+  std::uint64_t seed = 2009;
+  partition::CmpGeometry geometry;
+  WayCount curve_depth = 128;
+  std::size_t num_threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// One random mix, with projected total miss counts under the three
+/// capacity assignments compared in Fig. 7.
+struct TrialResult {
+  trace::WorkloadMix mix;
+  double fixed_share_misses = 0.0;   ///< static even split (16 ways/core)
+  double unrestricted_misses = 0.0;  ///< UCP-style, no banking restrictions
+  double bank_aware_misses = 0.0;    ///< the paper's scheme
+
+  double unrestricted_ratio() const { return unrestricted_misses / fixed_share_misses; }
+  double bank_aware_ratio() const { return bank_aware_misses / fixed_share_misses; }
+};
+
+struct MonteCarloSummary {
+  std::vector<TrialResult> trials;
+  double mean_unrestricted_ratio = 0.0;  ///< paper: ~0.70 (30% reduction)
+  double mean_bank_aware_ratio = 0.0;    ///< paper: ~0.73 (27% reduction)
+};
+
+/// Runs the sweep across a thread pool. Deterministic for a fixed seed
+/// regardless of thread count (per-trial RNG streams).
+MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config);
+
+}  // namespace bacp::harness

@@ -1,0 +1,31 @@
+#include "msa/overhead_model.hpp"
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bacp::msa {
+
+OverheadReport compute_overhead(const OverheadConfig& config) {
+  BACP_ASSERT(config.profiled_ways >= 2, "profiler needs >= 2 ways");
+  OverheadReport report;
+
+  // Row 1 — partial tags: tag_width x ways x monitored sets.
+  report.partial_tag_bits_total = static_cast<std::uint64_t>(config.partial_tag_bits) *
+                                  config.profiled_ways * config.monitored_sets;
+
+  // Row 2 — LRU stack as a linked list of way pointers: each of the `ways`
+  // entries holds a next-pointer of ceil-ish log2(ways) bits, plus head and
+  // tail pointers, replicated per monitored set. The paper's 27-kbit figure
+  // corresponds to floor(log2(72)) = 6-bit pointers.
+  const std::uint64_t pointer_bits = bacp::log2_floor(config.profiled_ways);
+  report.lru_stack_bits_total =
+      ((pointer_bits * config.profiled_ways) + 2 * pointer_bits) * config.monitored_sets;
+
+  // Row 3 — hit counters: shared across sets, one per stack position.
+  report.hit_counter_bits_total =
+      static_cast<std::uint64_t>(config.profiled_ways) * config.hit_counter_bits;
+
+  return report;
+}
+
+}  // namespace bacp::msa

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace bacp::msa {
+
+/// Hardware-cost model of one MSA profiler — the three rows of Table II.
+/// All sizes in bits; "kbits" in the paper are 1024-bit units.
+struct OverheadConfig {
+  std::uint32_t partial_tag_bits = 12;  ///< stored tag width
+  std::uint32_t profiled_ways = 72;     ///< max assignable: 9/16 of 128 ways
+  std::uint32_t monitored_sets = 64;    ///< 2048 sets / 1-in-32 sampling
+  std::uint32_t hit_counter_bits = 32;  ///< per-stack-position hit counter
+  std::uint32_t num_profilers = 8;      ///< one per core
+};
+
+struct OverheadReport {
+  // Table II row 1: tag_width x ways x cache_sets.
+  std::uint64_t partial_tag_bits_total = 0;
+  // Table II row 2: ((lru_pointer_size x ways) + head/tail) x cache_sets.
+  std::uint64_t lru_stack_bits_total = 0;
+  // Table II row 3: cache_ways x hit_counter_size.
+  std::uint64_t hit_counter_bits_total = 0;
+
+  std::uint64_t per_profiler_bits() const {
+    return partial_tag_bits_total + lru_stack_bits_total + hit_counter_bits_total;
+  }
+
+  double per_profiler_kbits() const {
+    return static_cast<double>(per_profiler_bits()) / 1024.0;
+  }
+
+  /// Overhead of all profilers as a fraction of a cache of `cache_bytes`
+  /// data capacity (paper: ~0.4% of the 16 MB L2).
+  double fraction_of_cache(std::uint64_t cache_bytes, std::uint32_t num_profilers) const {
+    return static_cast<double>(per_profiler_bits()) * num_profilers /
+           (static_cast<double>(cache_bytes) * 8.0);
+  }
+};
+
+/// Evaluates the Table II equations for a configuration.
+OverheadReport compute_overhead(const OverheadConfig& config);
+
+}  // namespace bacp::msa

@@ -1,0 +1,69 @@
+#include "msa/stack_profiler.hpp"
+
+#include <algorithm>
+
+#include "cache/partial_tag.hpp"
+#include "common/assert.hpp"
+
+namespace bacp::msa {
+
+StackProfiler::StackProfiler(const ProfilerConfig& config)
+    : config_(config),
+      histogram_(static_cast<std::size_t>(config.profiled_ways) + 1),
+      stacks_(config.num_sets / std::max(1u, config.set_sampling) +
+              (config.num_sets % std::max(1u, config.set_sampling) ? 1 : 0)) {
+  BACP_ASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
+  BACP_ASSERT(config_.set_sampling >= 1, "set_sampling must be >= 1");
+  BACP_ASSERT(config_.profiled_ways >= 1, "profiled_ways must be >= 1");
+  for (auto& stack : stacks_) stack.reserve(config_.profiled_ways);
+}
+
+std::uint32_t StackProfiler::stored_tag(BlockAddress block) const {
+  // Not used for full tags; callers branch on partial_tag_bits.
+  const BlockAddress tag_bits = block >> log2_floor(config_.num_sets);
+  return cache::partial_tag(tag_bits, config_.partial_tag_bits);
+}
+
+void StackProfiler::observe(BlockAddress block) {
+  ++observed_;
+  const auto set = static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+  if (!is_sampled_set(set)) return;
+  ++sampled_;
+
+  const std::uint64_t entry =
+      config_.partial_tag_bits == 0
+          ? (block >> log2_floor(config_.num_sets))
+          : static_cast<std::uint64_t>(stored_tag(block));
+
+  auto& stack = stacks_[set / config_.set_sampling];
+  const auto it = std::find(stack.begin(), stack.end(), entry);
+  if (it != stack.end()) {
+    const auto depth = static_cast<std::size_t>(it - stack.begin());  // 0-based
+    histogram_.increment(depth);
+    stack.erase(it);
+    stack.insert(stack.begin(), entry);
+  } else {
+    histogram_.increment(config_.profiled_ways);  // C(K+1): miss counter
+    stack.insert(stack.begin(), entry);
+    if (stack.size() > config_.profiled_ways) stack.pop_back();
+  }
+}
+
+MissRatioCurve StackProfiler::curve() const {
+  const auto raw = MissRatioCurve::from_histogram(histogram_);
+  // Scale back up by the sampling factor: 1-in-N sampling sees 1/N of the
+  // stream, and curves must carry absolute (estimated) miss counts so the
+  // allocator can weight cores by intensity.
+  return raw.scaled(static_cast<double>(config_.set_sampling));
+}
+
+void StackProfiler::decay() { histogram_.decay_halve(); }
+
+void StackProfiler::clear() {
+  histogram_.clear();
+  for (auto& stack : stacks_) stack.clear();
+  observed_ = 0;
+  sampled_ = 0;
+}
+
+}  // namespace bacp::msa

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "msa/miss_curve.hpp"
+
+namespace bacp::msa {
+
+/// Hardware-faithful Mattson stack-distance profiler (paper Section III-A).
+///
+/// One profiler shadows one core's L2 reference stream against a
+/// `profiled_ways`-deep LRU stack per monitored set. K+1 counters record
+/// hits per stack position plus misses (Fig. 2). The three hardware cost
+/// reductions the paper applies are all modelled:
+///   - *set sampling* (1-in-N sets monitored; Kessler trace-sampling),
+///   - *partial tags*  (width-limited tag compare; aliasing is real here —
+///     two blocks hashing alike are confused, exactly the 5%-error source
+///     the paper quantifies),
+///   - *maximum assignable capacity* (stack only as deep as a core could
+///     ever be allocated: 9/16 of the cache in the Bank-aware scheme).
+struct ProfilerConfig {
+  std::uint32_t num_sets = 2048;       ///< sets of the monitored cache view
+  std::uint32_t set_sampling = 32;     ///< monitor 1 in N sets (1 = all)
+  std::uint32_t partial_tag_bits = 12; ///< 0 = full-tag reference profiler
+  WayCount profiled_ways = 72;         ///< stack depth == max assignable ways
+};
+
+class StackProfiler {
+ public:
+  explicit StackProfiler(const ProfilerConfig& config);
+
+  /// Feeds one block-granular L2 access. Non-sampled sets are ignored (the
+  /// hardware never sees them).
+  void observe(BlockAddress block);
+
+  /// Counters C1..CK (hits by stack position) plus C(K+1) (misses).
+  const common::Histogram& histogram() const { return histogram_; }
+
+  /// Projection to a miss-ratio curve over 1..profiled_ways, scaled back up
+  /// by the sampling factor so curves are comparable across sampling rates.
+  MissRatioCurve curve() const;
+
+  /// Epoch-boundary decay: halves all counters (and leaves the stacks
+  /// intact, as real hardware would).
+  void decay();
+
+  void clear();
+
+  std::uint64_t observed_accesses() const { return observed_; }
+  std::uint64_t sampled_accesses() const { return sampled_; }
+  const ProfilerConfig& config() const { return config_; }
+
+ private:
+  bool is_sampled_set(std::uint32_t set) const {
+    return set % config_.set_sampling == 0;
+  }
+  std::uint32_t stored_tag(BlockAddress block) const;
+
+  ProfilerConfig config_;
+  common::Histogram histogram_;  // profiled_ways + 1 bins
+  // Per sampled set: tag stack, MRU first. Tags are either partial hashes
+  // or (width 0) the full block address folded to 32+ bits via a map keyed
+  // by 64-bit values — we store 64-bit entries uniformly for simplicity.
+  std::vector<std::vector<std::uint64_t>> stacks_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace bacp::msa

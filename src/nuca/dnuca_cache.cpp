@@ -1,0 +1,301 @@
+#include "nuca/dnuca_cache.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/partial_tag.hpp"
+#include "common/assert.hpp"
+
+namespace bacp::nuca {
+
+const char* to_string(AggregationKind kind) {
+  switch (kind) {
+    case AggregationKind::Parallel: return "Parallel";
+    case AggregationKind::AddressHash: return "AddressHash";
+    case AggregationKind::Cascade: return "Cascade";
+    case AggregationKind::TwoLevelCascade: return "TwoLevelCascade";
+    case AggregationKind::SharedDnuca: return "SharedDnuca";
+  }
+  return "?";
+}
+
+std::uint64_t DnucaStats::total_hits() const {
+  return std::accumulate(hits.begin(), hits.end(), std::uint64_t{0});
+}
+
+std::uint64_t DnucaStats::total_misses() const {
+  return std::accumulate(misses.begin(), misses.end(), std::uint64_t{0});
+}
+
+double DnucaStats::miss_ratio() const {
+  const std::uint64_t total = total_hits() + total_misses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(total_misses()) / static_cast<double>(total);
+}
+
+DnucaCache::DnucaCache(const DnucaConfig& config, noc::Noc& noc)
+    : config_(config), noc_(&noc) {
+  config_.geometry.validate();
+  BACP_ASSERT(is_pow2(config_.sets_per_bank), "sets_per_bank must be a power of two");
+  banks_.reserve(config_.geometry.num_banks);
+  for (BankId id = 0; id < config_.geometry.num_banks; ++id) {
+    cache::SetAssocCache::Config bank_config;
+    bank_config.name = "L2.bank" + std::to_string(id);
+    bank_config.num_sets = config_.sets_per_bank;
+    bank_config.ways = config_.geometry.ways_per_bank;
+    bank_config.num_cores = config_.geometry.num_cores;
+    banks_.emplace_back(bank_config);
+  }
+  // Until a plan is applied, the cache behaves as the No-partition shared
+  // pool: every bank is in every core's view.
+  views_.assign(config_.geometry.num_cores, {});
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    for (BankId id = 0; id < config_.geometry.num_banks; ++id) {
+      views_[core].push_back(id);
+    }
+  }
+  round_robin_.assign(config_.geometry.num_cores, 0);
+  stats_.hits.assign(config_.geometry.num_cores, 0);
+  stats_.misses.assign(config_.geometry.num_cores, 0);
+}
+
+void DnucaCache::apply_assignment(const partition::BankAssignment& assignment) {
+  BACP_ASSERT(assignment.way_masks.size() == banks_.size(), "mask/bank mismatch");
+  BACP_ASSERT(assignment.banks_of_core.size() == views_.size(), "view/core mismatch");
+  for (BankId id = 0; id < banks_.size(); ++id) {
+    banks_[id].set_way_partition(assignment.way_masks[id]);
+  }
+  views_ = assignment.banks_of_core;
+  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  for (CoreId core = 0; core < views_.size(); ++core) {
+    BACP_ASSERT(!views_[core].empty(), "every core needs at least one bank");
+  }
+}
+
+BankId DnucaCache::pick_fill_bank(BlockAddress block, CoreId core) {
+  const auto& view = views_[core];
+  switch (config_.aggregation) {
+    case AggregationKind::Parallel: {
+      const std::size_t index = round_robin_[core]++ % view.size();
+      return view[index];
+    }
+    case AggregationKind::AddressHash: {
+      // Bit-select above the set index; non-power-of-two views fall back to
+      // a modulo (the "complex modulo" hash the paper attributes to
+      // POWER4/5-style three-bank hashing).
+      const BlockAddress tag_bits = block >> log2_floor(config_.sets_per_bank);
+      const std::uint32_t hashed = cache::partial_tag(tag_bits, 20);
+      return view[hashed % view.size()];
+    }
+    case AggregationKind::Cascade:
+    case AggregationKind::TwoLevelCascade:
+      return view[0];
+    case AggregationKind::SharedDnuca: {
+      // Static hash home over the whole structure (identical for every
+      // requester); migration, not placement, builds locality.
+      const BlockAddress tag_bits = block >> log2_floor(config_.sets_per_bank);
+      const std::uint32_t hashed = cache::partial_tag(tag_bits, 20);
+      return static_cast<BankId>(hashed % config_.geometry.num_banks);
+    }
+  }
+  return view[0];
+}
+
+void DnucaCache::fill_with_demotion(BlockAddress block, CoreId core, bool dirty,
+                                    BankId bank_id,
+                                    std::span<const BankId> demotion_chain, Cycle now,
+                                    L2AccessOutcome& outcome) {
+  BlockAddress current_block = block;
+  bool current_dirty = dirty;
+  BankId current_bank = bank_id;
+  std::size_t chain_pos = 0;
+  while (true) {
+    const auto fill = banks_[current_bank].fill(current_block, core, current_dirty);
+    if (!fill.evicted) return;
+    if (chain_pos >= demotion_chain.size()) {
+      outcome.evicted.push_back(*fill.evicted);
+      return;
+    }
+    const BankId next = demotion_chain[chain_pos++];
+    noc_->migrate(current_bank, next, now);
+    ++stats_.demotions;
+    current_block = fill.evicted->block;
+    current_dirty = fill.evicted->dirty;
+    current_bank = next;
+  }
+}
+
+void DnucaCache::migrate_one_step(BlockAddress block, CoreId core, BankId from,
+                                  Cycle now) {
+  const auto& view = views_[core];
+  const auto it = std::find(view.begin(), view.end(), from);
+  BACP_DASSERT(it != view.end(), "migration source outside the view");
+  if (it == view.begin()) return;  // already in the nearest bank
+  const BankId target = *(it - 1);
+
+  // Gradual promotion: swap the hit line one bank closer to the requester,
+  // displacing that bank's LRU victim into the hole left behind.
+  const auto line = banks_[from].invalidate(block);
+  BACP_ASSERT(line.has_value(), "migrating line vanished");
+  const auto fill = banks_[target].fill(line->block, core, line->dirty);
+  ++stats_.promotions;
+  noc_->migrate(from, target, now);
+  if (fill.evicted) {
+    banks_[from].fill(fill.evicted->block, fill.evicted->allocator,
+                      fill.evicted->dirty);
+    ++stats_.demotions;
+    noc_->migrate(target, from, now);
+  }
+}
+
+void DnucaCache::promote_to_head(BlockAddress block, CoreId core, BankId from,
+                                 Cycle now, L2AccessOutcome& outcome) {
+  const auto& view = views_[core];
+  const BankId head = view.front();
+  if (from == head) return;
+  const auto line = banks_[from].invalidate(block);
+  BACP_ASSERT(line.has_value(), "promotion source lost the line");
+  ++stats_.promotions;
+  noc_->migrate(from, head, now);
+
+  // Demote displaced lines down the chain toward the hole left at `from`.
+  std::vector<BankId> chain;
+  if (config_.aggregation == AggregationKind::Cascade) {
+    const auto from_it = std::find(view.begin(), view.end(), from);
+    BACP_DASSERT(from_it != view.end(), "promotion source outside the view");
+    chain.assign(view.begin() + 1, from_it + 1);
+  } else {
+    chain.push_back(from);  // TwoLevelCascade: straight swap with the head
+  }
+  fill_with_demotion(line->block, core, line->dirty, head, chain, now, outcome);
+}
+
+L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_write,
+                                   Cycle now) {
+  BACP_DASSERT(core < views_.size(), "core out of range");
+  L2AccessOutcome outcome;
+  const auto& view = views_[core];
+
+  // Probe the partition first (nearest bank first), then the rest of the
+  // structure for repartition transients.
+  BankId found_bank = kInvalidBank;
+  bool in_view = false;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (banks_[view[i]].probe(block)) {
+      found_bank = view[i];
+      in_view = true;
+      // Lookup energy accounting per scheme: Parallel probes the whole
+      // partition directory at once; AddressHash exactly one bank; Cascade
+      // walks the chain; TwoLevel touches at most the head + the group.
+      switch (config_.aggregation) {
+        case AggregationKind::Parallel: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+        case AggregationKind::AddressHash: outcome.directory_lookups = 1; break;
+        case AggregationKind::Cascade: outcome.directory_lookups = static_cast<std::uint32_t>(i) + 1; break;
+        case AggregationKind::TwoLevelCascade: outcome.directory_lookups = i == 0 ? 1 : 2; break;
+        case AggregationKind::SharedDnuca: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+      }
+      break;
+    }
+  }
+  if (found_bank == kInvalidBank) {
+    switch (config_.aggregation) {
+      case AggregationKind::Parallel: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+      case AggregationKind::AddressHash: outcome.directory_lookups = 1; break;
+      case AggregationKind::Cascade: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+      case AggregationKind::TwoLevelCascade: outcome.directory_lookups = std::min<std::uint32_t>(2, static_cast<std::uint32_t>(view.size())); break;
+      case AggregationKind::SharedDnuca: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+    }
+    for (BankId id = 0; id < banks_.size(); ++id) {
+      if (std::find(view.begin(), view.end(), id) != view.end()) continue;
+      if (banks_[id].probe(block)) {
+        found_bank = id;
+        break;
+      }
+    }
+  }
+  stats_.directory_lookups += outcome.directory_lookups;
+
+  if (found_bank != kInvalidBank && in_view) {
+    ++stats_.hits[core];
+    outcome.hit = true;
+    outcome.bank = found_bank;
+    outcome.ready_at = noc_->request(core, found_bank, now);
+    banks_[found_bank].access(block, core, is_write);
+    if (config_.aggregation == AggregationKind::Cascade ||
+        config_.aggregation == AggregationKind::TwoLevelCascade) {
+      promote_to_head(block, core, found_bank, now, outcome);
+    } else if (config_.aggregation == AggregationKind::SharedDnuca) {
+      migrate_one_step(block, core, found_bank, now);
+    }
+    return outcome;
+  }
+
+  if (found_bank != kInvalidBank) {
+    // Off-view hit: the line survives from before a repartition. Serve it
+    // from where it is, then migrate it into the core's own partition so
+    // the transient drains.
+    ++stats_.hits[core];
+    ++stats_.offview_hits;
+    outcome.hit = true;
+    outcome.bank = found_bank;
+    outcome.ready_at = noc_->request(core, found_bank, now);
+    auto line = banks_[found_bank].invalidate(block);
+    BACP_ASSERT(line.has_value(), "off-view line vanished");
+    const BankId target = pick_fill_bank(block, core);
+    noc_->migrate(found_bank, target, now);
+    std::vector<BankId> chain;
+    if (config_.aggregation == AggregationKind::Cascade) {
+      chain.assign(view.begin() + 1, view.end());
+    } else if (config_.aggregation == AggregationKind::TwoLevelCascade && view.size() > 1) {
+      chain.push_back(view[1]);
+    }
+    fill_with_demotion(block, core, line->dirty || is_write, target, chain, now,
+                       outcome);
+    return outcome;
+  }
+
+  // Miss: detect at the fill bank, install there (caller adds memory
+  // latency on top of ready_at).
+  ++stats_.misses[core];
+  const BankId fill_bank = pick_fill_bank(block, core);
+  outcome.bank = fill_bank;
+  outcome.ready_at = noc_->request(core, fill_bank, now);
+  std::vector<BankId> chain;
+  if (config_.aggregation == AggregationKind::Cascade) {
+    chain.assign(view.begin() + 1, view.end());
+  } else if (config_.aggregation == AggregationKind::TwoLevelCascade && view.size() > 1) {
+    chain.push_back(view[1]);
+  }
+  fill_with_demotion(block, core, is_write, fill_bank, chain, now, outcome);
+  return outcome;
+}
+
+bool DnucaCache::writeback_update(BlockAddress block) {
+  for (auto& bank : banks_) {
+    if (bank.mark_dirty(block)) return true;
+  }
+  return false;
+}
+
+bool DnucaCache::resident(BlockAddress block) const {
+  return bank_of(block) != kInvalidBank;
+}
+
+BankId DnucaCache::bank_of(BlockAddress block) const {
+  for (BankId id = 0; id < banks_.size(); ++id) {
+    if (banks_[id].probe(block)) return id;
+  }
+  return kInvalidBank;
+}
+
+void DnucaCache::clear_stats() {
+  std::fill(stats_.hits.begin(), stats_.hits.end(), 0);
+  std::fill(stats_.misses.begin(), stats_.misses.end(), 0);
+  stats_.promotions = 0;
+  stats_.demotions = 0;
+  stats_.directory_lookups = 0;
+  stats_.offview_hits = 0;
+  for (auto& bank : banks_) bank.clear_stats();
+}
+
+}  // namespace bacp::nuca

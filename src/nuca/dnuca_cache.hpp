@@ -1,0 +1,128 @@
+#pragma once
+
+#include <span>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/set_assoc_cache.hpp"
+#include "common/types.hpp"
+#include "noc/noc.hpp"
+#include "partition/partition_types.hpp"
+
+namespace bacp::nuca {
+
+/// How a core's multi-bank partition behaves as one logical cache — the
+/// three aggregation schemes of paper Fig. 4, plus the paper's mitigation
+/// (Fig. 4c: cascading limited to two levels over a Parallel group).
+enum class AggregationKind {
+  /// Fig. 4 "Parallel": a line may live in any bank of the partition;
+  /// allocation is round-robin; lookups probe the partition-wide partial-tag
+  /// directory (wider lookups, low migration). The paper's choice.
+  Parallel,
+  /// Fig. 4 "Address Hash": the line's address selects the bank. Lowest
+  /// lookup cost; requires symmetric bank capacities.
+  AddressHash,
+  /// Fig. 4a/b "Cascade": banks chained head-to-tail as one deep LRU;
+  /// fills enter at the head, evictions demote down the chain, hits promote
+  /// back to the head. Most flexible, prohibitive migration rate.
+  Cascade,
+  /// Fig. 4c: cascading limited to two levels — the Local bank in front of
+  /// a Parallel group of the remaining banks.
+  TwoLevelCascade,
+  /// The unpartitioned CMP-DNUCA baseline (Beckmann & Wood's shared NUCA
+  /// with gradual migration, which the paper's Section II baseline builds
+  /// on): lines are placed by address hash over all banks and migrate one
+  /// bank closer to the requesting core on each hit (swapping with that
+  /// bank's LRU victim). Each core drags its hot data toward its own Local
+  /// bank, so under multiprogrammed sharing the cores' working sets
+  /// continuously displace each other — the destructive interference the
+  /// paper's No-partition baseline exhibits.
+  SharedDnuca,
+};
+
+const char* to_string(AggregationKind kind);
+
+struct DnucaConfig {
+  partition::CmpGeometry geometry;
+  std::uint32_t sets_per_bank = 2048;  ///< 1 MB bank: 2048 sets x 8 ways x 64 B
+  AggregationKind aggregation = AggregationKind::Parallel;
+};
+
+/// Outcome of one L2 access, including everything the system simulator
+/// needs to account timing and inclusion.
+struct L2AccessOutcome {
+  bool hit = false;
+  BankId bank = kInvalidBank;  ///< serving bank (hit) or fill bank (miss)
+  Cycle ready_at = 0;          ///< bank response time (miss: when the miss is known)
+  std::uint32_t directory_lookups = 0;
+  std::vector<cache::Line> evicted;  ///< lines that left the L2 this access
+};
+
+struct DnucaStats {
+  std::vector<std::uint64_t> hits;    // per core
+  std::vector<std::uint64_t> misses;  // per core
+  std::uint64_t promotions = 0;       // cascade hit-promotions
+  std::uint64_t demotions = 0;        // cascade demotion moves
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t offview_hits = 0;     // hits outside the core's partition
+                                      // (repartition transients)
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+  double miss_ratio() const;
+};
+
+/// The 16-bank DNUCA L2 (paper Section II): per-bank way-partitioned
+/// 8-way caches plus the aggregation policy that welds each core's banks
+/// into one partition. Timing is delegated to the NoC model.
+class DnucaCache {
+ public:
+  DnucaCache(const DnucaConfig& config, noc::Noc& noc);
+
+  /// Installs a partitioning plan: per-bank way masks plus the bank lists
+  /// that define each core's partition view (nearest bank first). Resident
+  /// lines are untouched.
+  void apply_assignment(const partition::BankAssignment& assignment);
+
+  /// Demand access: looks up the whole structure, fills on miss (the caller
+  /// layers DRAM latency on top for misses) and returns evicted lines for
+  /// inclusion handling.
+  L2AccessOutcome access(BlockAddress block, CoreId core, bool is_write, Cycle now);
+
+  /// Dirty-data update from an L1 writeback. Returns false if the block is
+  /// no longer resident (caller forwards to memory).
+  bool writeback_update(BlockAddress block);
+
+  /// Whole-structure presence probe (tests / invariants).
+  bool resident(BlockAddress block) const;
+  BankId bank_of(BlockAddress block) const;
+
+  const DnucaStats& stats() const { return stats_; }
+  void clear_stats();
+
+  const DnucaConfig& config() const { return config_; }
+  const cache::SetAssocCache& bank(BankId id) const { return banks_.at(id); }
+  const std::vector<BankId>& view_of(CoreId core) const { return views_.at(core); }
+
+ private:
+  /// Fills `block` into `bank_id` for `core`, cascading the displaced
+  /// victim down `chain` starting at `chain_next` (empty chain: victim
+  /// leaves the cache). Appends fully-evicted lines to `outcome`.
+  void fill_with_demotion(BlockAddress block, CoreId core, bool dirty, BankId bank_id,
+                          std::span<const BankId> demotion_chain, Cycle now,
+                          L2AccessOutcome& outcome);
+
+  BankId pick_fill_bank(BlockAddress block, CoreId core);
+  void promote_to_head(BlockAddress block, CoreId core, BankId from, Cycle now,
+                       L2AccessOutcome& outcome);
+  void migrate_one_step(BlockAddress block, CoreId core, BankId from, Cycle now);
+
+  DnucaConfig config_;
+  noc::Noc* noc_;
+  std::vector<cache::SetAssocCache> banks_;
+  std::vector<std::vector<BankId>> views_;      // per core: banks with owned ways
+  std::vector<std::size_t> round_robin_;        // per core: Parallel fill cursor
+  DnucaStats stats_;
+};
+
+}  // namespace bacp::nuca

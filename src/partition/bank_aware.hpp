@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "partition/partition_types.hpp"
+
+namespace bacp::partition {
+
+/// Diagnostics of one Bank-aware run (used by tests, the Table III bench
+/// and the epoch reporter).
+struct BankAwareResult {
+  Allocation allocation;
+  BankAssignment assignment;
+
+  /// Center banks granted to each core (physical ids), nearest-first.
+  std::vector<std::vector<BankId>> center_banks_of_core;
+
+  /// Local-bank sharing pairs resolved in Boxes 4/5, with the split chosen
+  /// (ways of the first / second core out of the pair's 16).
+  struct Pair {
+    CoreId first = kInvalidCore;
+    CoreId second = kInvalidCore;
+    WayCount first_ways = 0;
+    WayCount second_ways = 0;
+  };
+  std::vector<Pair> pairs;
+};
+
+/// The paper's Bank-aware assignment algorithm (Section III-B/C, Fig. 6),
+/// honouring the three banking rules:
+///   1. Center banks are assigned whole to a single core;
+///   2. any core holding Center banks also owns its full Local bank;
+///   3. Local banks may be way-shared, but only with the adjacent core.
+///
+/// Flow: Center banks are handed out one at a time to the core with the
+/// maximum Marginal Utility of one more full bank (each core is presumed to
+/// own its Local bank during these comparisons, and the 9/16 capacity clamp
+/// applies). Cores that received Center banks are then marked complete; the
+/// remaining cores resolve their Local banks by deferred pairing — a core
+/// whose Marginal Utility demands ways beyond its own Local bank is paired
+/// with whichever adjacent incomplete core yields minimal combined misses
+/// under the pair's optimal 16-way split.
+BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
+                                     std::span<const msa::MissRatioCurve> curves);
+
+}  // namespace bacp::partition

@@ -1,0 +1,57 @@
+#include "partition/fairness.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::partition {
+
+Allocation communist_partition(const CmpGeometry& geometry,
+                               std::span<const msa::MissRatioCurve> curves,
+                               const CommunistConfig& config) {
+  geometry.validate();
+  BACP_ASSERT(curves.size() == geometry.num_cores, "one curve per core");
+  const WayCount total = geometry.total_ways();
+  BACP_ASSERT(config.min_ways_per_core * geometry.num_cores <= total,
+              "minimum allocations exceed the cache");
+
+  Allocation allocation;
+  allocation.ways_per_core.assign(geometry.num_cores, config.min_ways_per_core);
+  WayCount balance = total - config.min_ways_per_core * geometry.num_cores;
+
+  while (balance > 0) {
+    // Grant the next way to the currently worst-off core. Ties break to
+    // the lower core id for determinism. Note the deliberate absence of a
+    // utility test: equalization, not throughput, is the objective.
+    CoreId worst = 0;
+    double worst_ratio = -1.0;
+    for (CoreId core = 0; core < geometry.num_cores; ++core) {
+      const double ratio = curves[core].miss_ratio(allocation.ways_per_core[core]);
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst = core;
+      }
+    }
+    ++allocation.ways_per_core[worst];
+    --balance;
+  }
+
+  BACP_ASSERT(allocation.total() == total, "communist allocation must cover the cache");
+  return allocation;
+}
+
+double miss_ratio_spread(std::span<const msa::MissRatioCurve> curves,
+                         std::span<const WayCount> ways) {
+  BACP_ASSERT(curves.size() == ways.size() && !curves.empty(),
+              "curves/ways size mismatch");
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const double ratio = curves[i].miss_ratio(ways[i]);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  return hi - lo;
+}
+
+}  // namespace bacp::partition

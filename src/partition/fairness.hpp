@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+
+#include "partition/partition_types.hpp"
+
+namespace bacp::partition {
+
+/// The policy family of Hsu, Reinhardt, Iyer & Makineni, "Communist,
+/// Utilitarian, and Capitalist Cache Policies on CMPs" (PACT 2006) — the
+/// paper's reference [7] and a standard yardstick for partitioning studies:
+///
+///  - *Capitalist*: the free market — unmanaged LRU sharing. In this
+///    repository that is the No-partition baseline (`no_partition` /
+///    PolicyKind::NoPartition).
+///  - *Utilitarian*: maximize aggregate utility — minimize total misses.
+///    That is exactly `unrestricted_partition`.
+///  - *Communist*: equalize per-core performance regardless of aggregate
+///    cost. Implemented here: ways are granted one at a time to whichever
+///    core currently projects the worst miss ratio, so the allocation
+///    converges toward equal miss ratios even when that wastes capacity on
+///    incompressible workloads.
+///
+/// Useful for the ablation that shows where Bank-aware sits between
+/// fairness and throughput.
+struct CommunistConfig {
+  WayCount min_ways_per_core = 1;
+};
+
+Allocation communist_partition(const CmpGeometry& geometry,
+                               std::span<const msa::MissRatioCurve> curves,
+                               const CommunistConfig& config = {});
+
+/// Max-min fairness metric: the spread (max - min) of per-core miss ratios
+/// under an allocation. Communist should minimize this among the policies.
+double miss_ratio_spread(std::span<const msa::MissRatioCurve> curves,
+                         std::span<const WayCount> ways);
+
+}  // namespace bacp::partition

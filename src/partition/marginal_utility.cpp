@@ -1,0 +1,27 @@
+#include "partition/marginal_utility.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::partition {
+
+double marginal_utility(const msa::MissRatioCurve& curve, WayCount current,
+                        WayCount extra) {
+  BACP_ASSERT(extra >= 1, "marginal utility of a zero increment is undefined");
+  const double removed = curve.miss_count(current) - curve.miss_count(current + extra);
+  return removed / static_cast<double>(extra);
+}
+
+MaxMarginalUtility max_marginal_utility(const msa::MissRatioCurve& curve,
+                                        WayCount current, WayCount max_extra) {
+  MaxMarginalUtility best;
+  for (WayCount n = 1; n <= max_extra; ++n) {
+    const double mu = marginal_utility(curve, current, n);
+    if (mu > best.utility) {
+      best.utility = mu;
+      best.extra = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace bacp::partition

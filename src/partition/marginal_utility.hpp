@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/types.hpp"
+#include "msa/miss_curve.hpp"
+
+namespace bacp::partition {
+
+/// Marginal Utility of growing an allocation (paper Section III-C, after
+/// Wieser):  MU(n) = (MissRate(c) - MissRate(c + n)) / n
+/// i.e. misses removed per additional way. Computed on miss *counts* so
+/// cores of different access intensity compete fairly.
+double marginal_utility(const msa::MissRatioCurve& curve, WayCount current,
+                        WayCount extra);
+
+/// Best increment by lookahead (Qureshi & Patt's UCP refinement): scanning
+/// all n in [1, max_extra] rides through locally-flat regions of non-convex
+/// miss curves that a single-step greedy would stall on.
+struct MaxMarginalUtility {
+  WayCount extra = 0;   ///< 0 when no increment reduces misses
+  double utility = 0.0;
+};
+
+MaxMarginalUtility max_marginal_utility(const msa::MissRatioCurve& curve,
+                                        WayCount current, WayCount max_extra);
+
+}  // namespace bacp::partition

@@ -1,0 +1,55 @@
+#include "partition/static_policies.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::partition {
+
+StaticPlan equal_partition(const CmpGeometry& geometry) {
+  geometry.validate();
+  BACP_ASSERT(geometry.num_banks % geometry.num_cores == 0,
+              "equal partitioning requires banks divisible by cores");
+  const std::uint32_t banks_per_core = geometry.num_banks / geometry.num_cores;
+
+  StaticPlan plan;
+  plan.allocation.ways_per_core.assign(geometry.num_cores,
+                                       banks_per_core * geometry.ways_per_bank);
+  plan.assignment.way_masks.assign(
+      geometry.num_banks, std::vector<CoreMask>(geometry.ways_per_bank, 0));
+  plan.assignment.banks_of_core.assign(geometry.num_cores, {});
+
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    // Local bank + the Center bank in the same column: physically the
+    // nearest private 2 MB slice.
+    const BankId local = geometry.local_bank(core);
+    const BankId center = geometry.num_cores + core;
+    for (const BankId bank : {local, center}) {
+      if (bank >= geometry.num_banks) break;  // geometries without centers
+      for (WayIndex way = 0; way < geometry.ways_per_bank; ++way) {
+        plan.assignment.way_masks[bank][way] = core_bit(core);
+      }
+      plan.assignment.banks_of_core[core].push_back(bank);
+    }
+  }
+  plan.assignment.validate_against(geometry, plan.allocation);
+  return plan;
+}
+
+StaticPlan no_partition(const CmpGeometry& geometry) {
+  geometry.validate();
+  StaticPlan plan;
+  // Shared pool: every core may replace in every way; the "allocation" is
+  // the shared-equivalent view (each core can reach all ways).
+  plan.allocation.ways_per_core.assign(geometry.num_cores, geometry.total_ways());
+  plan.assignment.way_masks.assign(
+      geometry.num_banks,
+      std::vector<CoreMask>(geometry.ways_per_bank, ~CoreMask{0}));
+  plan.assignment.banks_of_core.assign(geometry.num_cores, {});
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    for (BankId bank = 0; bank < geometry.num_banks; ++bank) {
+      plan.assignment.banks_of_core[core].push_back(bank);
+    }
+  }
+  return plan;
+}
+
+}  // namespace bacp::partition

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "partition/partition_types.hpp"
+
+namespace bacp::partition {
+
+/// *Equal-partitions* baseline (paper Section IV-B): private, equal-size
+/// partitions — each core owns its Local bank plus one Center bank
+/// (16 ways = 2 MB per core in the baseline geometry).
+struct StaticPlan {
+  Allocation allocation;
+  BankAssignment assignment;
+};
+
+StaticPlan equal_partition(const CmpGeometry& geometry);
+
+/// *No-partitions* baseline: the whole cache is one shared LRU pool; every
+/// way of every bank is replaceable by every core. The Allocation records
+/// total_ways for projection bookkeeping is not meaningful here, so
+/// ways_per_core is the shared-equivalent (all cores see all ways).
+StaticPlan no_partition(const CmpGeometry& geometry);
+
+}  // namespace bacp::partition

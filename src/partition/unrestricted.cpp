@@ -1,0 +1,67 @@
+#include "partition/unrestricted.hpp"
+
+#include "common/assert.hpp"
+#include "partition/marginal_utility.hpp"
+
+namespace bacp::partition {
+
+Allocation unrestricted_partition(const CmpGeometry& geometry,
+                                  std::span<const msa::MissRatioCurve> curves,
+                                  const UnrestrictedConfig& config) {
+  geometry.validate();
+  BACP_ASSERT(curves.size() == geometry.num_cores, "one curve per core");
+  const WayCount total = geometry.total_ways();
+  const WayCount cap =
+      config.max_ways_per_core == 0 ? total : config.max_ways_per_core;
+  BACP_ASSERT(config.min_ways_per_core * geometry.num_cores <= total,
+              "minimum allocations exceed the cache");
+  BACP_ASSERT(cap * geometry.num_cores >= total,
+              "per-core cap too small to place all ways");
+
+  Allocation allocation;
+  allocation.ways_per_core.assign(geometry.num_cores, config.min_ways_per_core);
+  WayCount balance =
+      total - config.min_ways_per_core * geometry.num_cores;
+
+  while (balance > 0) {
+    CoreId winner = kInvalidCore;
+    MaxMarginalUtility winner_mu;
+    double winner_misses = -1.0;
+    for (CoreId core = 0; core < geometry.num_cores; ++core) {
+      const WayCount current = allocation.ways_per_core[core];
+      const WayCount headroom = std::min<WayCount>(cap - current, balance);
+      if (headroom == 0) continue;
+      const auto mu = max_marginal_utility(curves[core], current, headroom);
+      if (mu.extra == 0) continue;
+      const double misses = curves[core].miss_count(current);
+      const bool better = winner == kInvalidCore || mu.utility > winner_mu.utility ||
+                          (mu.utility == winner_mu.utility && misses > winner_misses);
+      if (better) {
+        winner = core;
+        winner_mu = mu;
+        winner_misses = misses;
+      }
+    }
+
+    if (winner == kInvalidCore) {
+      // Every curve is flat from here on: spread the remaining ways
+      // round-robin so the full cache is still handed out (a way owned by
+      // nobody would be dead capacity).
+      for (CoreId core = 0; core < geometry.num_cores && balance > 0; ++core) {
+        if (allocation.ways_per_core[core] < cap) {
+          ++allocation.ways_per_core[core];
+          --balance;
+        }
+      }
+      continue;
+    }
+
+    allocation.ways_per_core[winner] += winner_mu.extra;
+    balance -= winner_mu.extra;
+  }
+
+  BACP_ASSERT(allocation.total() == total, "unrestricted allocation must cover the cache");
+  return allocation;
+}
+
+}  // namespace bacp::partition

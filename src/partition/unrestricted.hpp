@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "partition/partition_types.hpp"
+
+namespace bacp::partition {
+
+/// The *Unrestricted* MSA-based partitioner the paper compares against
+/// (Section III-B / IV-A): a fully configurable way-granular split of the
+/// whole cache with no banking constraints — in essence Qureshi & Patt's
+/// utility-based cache partitioning with lookahead, generalized to N cores.
+/// It is the performance envelope: physically unrealizable on a banked
+/// DNUCA, but the quality bar the Bank-aware scheme is measured against.
+struct UnrestrictedConfig {
+  WayCount min_ways_per_core = 1;
+  /// 0 means "no cap". The paper's Unrestricted has no 9/16 clamp.
+  WayCount max_ways_per_core = 0;
+};
+
+/// Partitions `geometry.total_ways()` ways among the cores by iterated
+/// maximum Marginal Utility with lookahead. Deterministic: ties break
+/// toward the core with more remaining misses, then the lower core id.
+Allocation unrestricted_partition(const CmpGeometry& geometry,
+                                  std::span<const msa::MissRatioCurve> curves,
+                                  const UnrestrictedConfig& config = {});
+
+}  // namespace bacp::partition

@@ -1,0 +1,328 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "partition/bank_aware.hpp"
+#include "partition/static_policies.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::sim {
+
+System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
+    : config_(config),
+      mix_(mix),
+      noc_(config.noc),
+      dram_(config.dram),
+      directory_(config.geometry.num_cores) {
+  config_.validate();
+  BACP_ASSERT(mix_.num_cores() == config_.geometry.num_cores,
+              "mix size must match the core count");
+
+  nuca::DnucaConfig l2_config;
+  l2_config.geometry = config_.geometry;
+  l2_config.sets_per_bank = config_.sets_per_bank;
+  // The No-partition baseline is the shared CMP-DNUCA itself: hash
+  // placement with gradual migration toward the requester (Section II),
+  // not a partition-aggregation scheme.
+  l2_config.aggregation = config_.policy == PolicyKind::NoPartition
+                              ? nuca::AggregationKind::SharedDnuca
+                              : config_.aggregation;
+  l2_ = std::make_unique<nuca::DnucaCache>(l2_config, noc_);
+
+  const auto& suite = trace::spec2000_suite();
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    const auto& model = suite.at(mix_.workload_indices[core]);
+
+    cache::SetAssocCache::Config l1_config;
+    l1_config.name = "L1.core" + std::to_string(core);
+    l1_config.num_sets = config_.l1_sets;
+    l1_config.ways = config_.l1_ways;
+    l1_config.num_cores = 1;
+    l1_.emplace_back(l1_config);
+
+    trace::GeneratorConfig generator_config;
+    generator_config.num_sets = config_.sets_per_bank;
+    generator_config.max_depth = config_.geometry.total_ways();
+    generator_config.core = core;
+    generators_.push_back(std::make_unique<trace::SyntheticTraceGenerator>(
+        model, generator_config, config_.seed));
+
+    profilers_.push_back(std::make_unique<msa::StackProfiler>(config_.profiler));
+
+    core::CoreTimerConfig timer_config;
+    timer_config.base_cpi = model.base_cpi;
+    timer_config.instructions_per_l2_access = 1000.0 / model.l2_apki;
+    timer_config.mlp_window = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(std::lround(model.mlp)), 1,
+        config_.mshr.entries_per_core);
+    timer_config.gap_jitter = config_.gap_jitter;
+    timer_config.seed = config_.seed ^ 0x5175ULL;
+    timer_config.core = core;
+    timers_.push_back(std::make_unique<core::CoreTimer>(timer_config));
+  }
+
+  snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
+  last_epoch_instructions_.assign(config_.geometry.num_cores, 0.0);
+  decayed_instructions_.assign(config_.geometry.num_cores, 0.0);
+  apply_policy_plan();
+  next_epoch_ = config_.epoch_cycles;
+}
+
+void System::apply_policy_plan() {
+  switch (config_.policy) {
+    case PolicyKind::NoPartition: {
+      auto plan = partition::no_partition(config_.geometry);
+      // Migration needs distance-ordered views: each core's view leads with
+      // its Local bank so hits gradually pull lines toward the requester.
+      for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+        auto& view = plan.assignment.banks_of_core[core];
+        std::sort(view.begin(), view.end(), [&](BankId a, BankId b) {
+          const auto ha = noc_.hops(core, a);
+          const auto hb = noc_.hops(core, b);
+          return ha != hb ? ha < hb : a < b;
+        });
+      }
+      l2_->apply_assignment(plan.assignment);
+      allocation_ = plan.allocation;
+      break;
+    }
+    case PolicyKind::EqualPartition:
+    case PolicyKind::BankAware: {
+      // Bank-aware starts from the equal static plan; the first epoch's
+      // profiles then drive the first dynamic reassignment.
+      const auto plan = partition::equal_partition(config_.geometry);
+      l2_->apply_assignment(plan.assignment);
+      allocation_ = plan.allocation;
+      break;
+    }
+  }
+}
+
+void System::run_epoch_boundary() {
+  ++epochs_;
+  if (config_.policy == PolicyKind::BankAware) {
+    std::vector<msa::MissRatioCurve> curves;
+    curves.reserve(profilers_.size());
+    for (CoreId core = 0; core < profilers_.size(); ++core) {
+      // Normalize each profile to misses-per-megainstruction. Raw per-epoch
+      // counts weight cores by wall-clock request rate, which starves slow
+      // memory-bound cores in a vicious cycle (few ways -> high CPI ->
+      // few samples per epoch -> few ways). Per-instruction weighting is
+      // what the paper's equal-instruction-slice evaluation measures. The
+      // instruction window decays with the same half-life as the histogram
+      // so numerator and denominator cover the same history.
+      const double delta =
+          timers_[core]->instructions() - last_epoch_instructions_[core];
+      last_epoch_instructions_[core] = timers_[core]->instructions();
+      const double window = std::max(1.0, decayed_instructions_[core] + delta);
+      decayed_instructions_[core] = window * 0.5;
+      curves.push_back(profilers_[core]->curve().scaled(1.0e6 / window));
+    }
+    const auto result = partition::bank_aware_partition(config_.geometry, curves);
+    l2_->apply_assignment(result.assignment);
+    allocation_ = result.allocation;
+    allocation_history_.push_back(result.allocation);
+  }
+  // Histogram decay keeps the profile tracking the current phase.
+  for (auto& profiler : profilers_) profiler->decay();
+}
+
+Cycle System::serve_access(CoreId core, Cycle issue_time) {
+  const auto access = generators_[core]->next();
+
+  // L1 lookup. The synthetic stream is the L2-intent stream, so L1 hits are
+  // rare residual locality; their cost is the L1 latency only.
+  if (l1_[core].access(access.block, 0, access.is_write).hit) {
+    return issue_time + config_.l1_latency;
+  }
+
+  // L1 miss: the profiler shadows the L2 reference stream (Section III-A).
+  profilers_[core]->observe(access.block);
+
+  // Coherence: GetS/GetM to the directory. Workload address spaces are
+  // disjoint by construction, so cross-core invalidations cannot occur in
+  // these runs (the protocol paths are exercised by the unit tests).
+  if (access.is_write) {
+    directory_.on_l1_write_fill(access.block, core);
+  } else {
+    directory_.on_l1_read_fill(access.block, core);
+  }
+
+  // L2 access.
+  const Cycle l2_issue = issue_time + config_.l1_latency;
+  auto outcome = l2_->access(access.block, core, access.is_write, l2_issue);
+  Cycle data_ready = outcome.ready_at;
+  if (!outcome.hit) data_ready = dram_.read(outcome.ready_at);
+
+  // Inclusion: lines that left the L2 recall their L1 copies; dirty data
+  // drains to memory. Writebacks are stamped at the bank access time (when
+  // the eviction happens), never at the demand data's return time: a
+  // future-stamped writeback would ratchet the channel ahead of wall-clock
+  // and falsely serialize every later demand read behind it.
+  for (const auto& evicted : outcome.evicted) {
+    const auto action = directory_.on_l2_evict(evicted.block);
+    if (evicted.allocator != kInvalidCore &&
+        evicted.allocator < config_.geometry.num_cores) {
+      l1_[evicted.allocator].invalidate(evicted.block);
+    }
+    if (evicted.dirty || action.writeback_below) dram_.writeback(outcome.ready_at);
+  }
+
+  // L1 fill; its eviction may push dirty data back into the L2.
+  const auto l1_fill = l1_[core].fill(access.block, 0, access.is_write);
+  if (l1_fill.evicted) {
+    const auto action =
+        directory_.on_l1_evict(l1_fill.evicted->block, core, l1_fill.evicted->dirty);
+    if (l1_fill.evicted->dirty || action.writeback_below) {
+      if (!l2_->writeback_update(l1_fill.evicted->block)) {
+        dram_.writeback(outcome.ready_at);
+      }
+    }
+  }
+
+  return data_ready;
+}
+
+void System::execute(std::uint64_t instructions_per_core) {
+  struct QueueEntry {
+    Cycle issue_at;
+    CoreId core;
+    bool operator>(const QueueEntry& other) const { return issue_at > other.issue_at; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  // Equal instruction slices (the paper's methodology): each core's access
+  // quota follows its APKI, so per-policy total miss counts weight each
+  // workload by its real memory intensity.
+  const auto& suite = trace::spec2000_suite();
+  std::vector<std::uint64_t> remaining(config_.geometry.num_cores);
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    const double apki = suite.at(mix_.workload_indices[core]).l2_apki;
+    remaining[core] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(instructions_per_core) *
+                                      apki / 1000.0));
+  }
+  std::uint32_t unfinished = config_.geometry.num_cores;
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    queue.push({timers_[core]->peek_issue(), core});
+  }
+
+  // Co-scheduled slices: every core keeps executing (and keeps polluting
+  // the shared structures and feeding its profiler) until the *slowest*
+  // core completes its quota — a fast core finishing early and going quiet
+  // would both starve its own profile of samples and unrealistically
+  // relieve its co-runners of interference for the tail of the run.
+  // Per-core statistics snapshot at quota completion, so reported counts
+  // always cover exactly `l2_accesses_per_core` accesses per core.
+  while (unfinished > 0) {
+    const auto entry = queue.top();
+    // Epoch boundaries fire in global time order, before any access that
+    // crosses them.
+    if (entry.issue_at >= next_epoch_) {
+      run_epoch_boundary();
+      next_epoch_ += config_.epoch_cycles;
+      continue;
+    }
+    queue.pop();
+
+    const Cycle issue_time = timers_[entry.core]->advance_to_issue();
+    const Cycle done_at = serve_access(entry.core, issue_time);
+    timers_[entry.core]->record_completion(done_at);
+
+    if (remaining[entry.core] > 0 && --remaining[entry.core] == 0) {
+      snapshot_core(entry.core);
+      --unfinished;
+    }
+    if (unfinished > 0) queue.push({timers_[entry.core]->peek_issue(), entry.core});
+  }
+  for (auto& timer : timers_) timer->drain();
+}
+
+void System::snapshot_core(CoreId core) {
+  CoreSnapshot snapshot;
+  snapshot.instructions = timers_[core]->instructions_since_mark();
+  snapshot.cycles = timers_[core]->cycles_since_mark();
+  snapshot.cpi = timers_[core]->cpi_since_mark();
+  snapshot.l2_hits = l2_->stats().hits[core];
+  snapshot.l2_misses = l2_->stats().misses[core];
+  snapshot.taken = true;
+  snapshots_[core] = snapshot;
+}
+
+void System::clear_all_stats() {
+  l2_->clear_stats();
+  dram_.clear_stats();
+  noc_.clear_stats();
+  directory_.clear_stats();
+  for (auto& timer : timers_) timer->mark();
+  snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
+}
+
+void System::switch_workload(CoreId core, std::string_view workload_name) {
+  BACP_ASSERT(core < generators_.size(), "core out of range");
+  generators_[core]->switch_model(trace::spec2000_by_name(workload_name));
+}
+
+void System::warm_up(std::uint64_t instructions_per_core) {
+  execute(instructions_per_core);
+  clear_all_stats();
+}
+
+void System::run(std::uint64_t instructions_per_core) {
+  execute(instructions_per_core);
+}
+
+SystemResults System::results() const {
+  SystemResults results;
+  const auto& suite = trace::spec2000_suite();
+  const auto& l2_stats = l2_->stats();
+  std::vector<double> cpis;
+  std::uint64_t hits_total = 0;
+  std::uint64_t misses_total = 0;
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    CoreResult core_result;
+    if (core < snapshots_.size() && snapshots_[core].taken) {
+      // Quota snapshot: exactly the core's measurement slice.
+      core_result.instructions = snapshots_[core].instructions;
+      core_result.cycles = snapshots_[core].cycles;
+      core_result.cpi = snapshots_[core].cpi;
+      core_result.l2_hits = snapshots_[core].l2_hits;
+      core_result.l2_misses = snapshots_[core].l2_misses;
+    } else {
+      core_result.instructions = timers_[core]->instructions_since_mark();
+      core_result.cycles = timers_[core]->cycles_since_mark();
+      core_result.cpi = timers_[core]->cpi_since_mark();
+      core_result.l2_hits = l2_stats.hits[core];
+      core_result.l2_misses = l2_stats.misses[core];
+    }
+    core_result.allocated_ways = allocation_.ways_per_core.at(core);
+    core_result.workload = suite.at(mix_.workload_indices[core]).name.c_str();
+    cpis.push_back(core_result.cpi);
+    hits_total += core_result.l2_hits;
+    misses_total += core_result.l2_misses;
+    results.cores.push_back(core_result);
+  }
+  results.l2_accesses = hits_total + misses_total;
+  results.live_l2_accesses = l2_stats.total_hits() + l2_stats.total_misses();
+  results.l2_misses = misses_total;
+  results.l2_miss_ratio =
+      results.l2_accesses == 0
+          ? 0.0
+          : static_cast<double>(misses_total) / static_cast<double>(results.l2_accesses);
+  results.mean_cpi = common::arithmetic_mean(cpis);
+  results.epochs = epochs_;
+  results.promotions = l2_stats.promotions;
+  results.demotions = l2_stats.demotions;
+  results.offview_hits = l2_stats.offview_hits;
+  results.directory_lookups = l2_stats.directory_lookups;
+  results.dram_reads = dram_.stats().demand_reads;
+  results.dram_writebacks = dram_.stats().writebacks;
+  results.noc_queue_cycles = noc_.stats().total_queue_cycles;
+  results.inclusion_recalls = directory_.stats().inclusion_recalls;
+  return results;
+}
+
+}  // namespace bacp::sim

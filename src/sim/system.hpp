@@ -1,0 +1,136 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "coherence/moesi.hpp"
+#include "core/core_timer.hpp"
+#include "mem/dram.hpp"
+#include "msa/stack_profiler.hpp"
+#include "noc/noc.hpp"
+#include "nuca/dnuca_cache.hpp"
+#include "sim/system_config.hpp"
+#include "trace/mix.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bacp::sim {
+
+/// Per-core results over the measurement window.
+struct CoreResult {
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double cpi = 0.0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  WayCount allocated_ways = 0;
+  const char* workload = "";
+};
+
+struct SystemResults {
+  std::vector<CoreResult> cores;
+  std::uint64_t l2_accesses = 0;
+  /// All L2 accesses seen live in the measurement window, including the
+  /// post-quota overrun that keeps co-runner interference alive. Use this
+  /// as the denominator for live counters (migrations, directory lookups,
+  /// NoC/DRAM traffic); use l2_accesses for per-quota miss accounting.
+  std::uint64_t live_l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  double l2_miss_ratio = 0.0;
+  double mean_cpi = 0.0;
+  std::uint64_t epochs = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t offview_hits = 0;
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writebacks = 0;
+  std::uint64_t noc_queue_cycles = 0;
+  std::uint64_t inclusion_recalls = 0;
+};
+
+/// The full CMP: synthetic cores -> private L1s -> MOESI directory ->
+/// banked DNUCA L2 -> DRAM, with the epoch controller re-running the
+/// Bank-aware allocator on live MSA profiles. This is the substitution for
+/// the paper's Simics+GEMS stack (see DESIGN.md section 1): a conservative,
+/// issue-time-ordered event simulation over the shared memory subsystem.
+class System {
+ public:
+  System(const SystemConfig& config, const trace::WorkloadMix& mix);
+
+  /// Runs `instructions_per_core` committed instructions on every core to
+  /// warm the hierarchy, then resets all statistics (paper: 100M-instruction
+  /// cache warm-up). Per-core L2-access quotas are derived from each
+  /// workload's APKI, so - as in the paper's equal-instruction slices -
+  /// memory-intensive cores contribute proportionally more L2 traffic.
+  void warm_up(std::uint64_t instructions_per_core);
+
+  /// Measurement run over `instructions_per_core` instructions per core.
+  /// May be called repeatedly; statistics accumulate across calls.
+  void run(std::uint64_t instructions_per_core);
+
+  /// Program phase change on one core: the generator's reuse structure and
+  /// write mix switch to `workload_name` (timing parameters and the mix
+  /// labels keep the original workload — the phase changes *what the
+  /// program does with memory*, which is what the MSA profiler must chase).
+  void switch_workload(CoreId core, std::string_view workload_name);
+
+  SystemResults results() const;
+
+  const partition::Allocation& current_allocation() const { return allocation_; }
+
+  /// One entry per epoch boundary (Bank-aware policy only): the allocation
+  /// installed at that boundary. Lets callers trace how the partitioning
+  /// adapts over time.
+  const std::vector<partition::Allocation>& allocation_history() const {
+    return allocation_history_;
+  }
+  const nuca::DnucaCache& l2() const { return *l2_; }
+  const cache::SetAssocCache& l1(CoreId core) const { return l1_.at(core); }
+  const msa::StackProfiler& profiler(CoreId core) const { return *profilers_.at(core); }
+  std::uint64_t epochs_run() const { return epochs_; }
+
+ private:
+  /// Per-core statistics frozen at quota completion (cores run on past
+  /// their quota to keep interference alive until the slowest finishes).
+  struct CoreSnapshot {
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double cpi = 0.0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    bool taken = false;
+  };
+
+  void execute(std::uint64_t instructions_per_core);
+  void run_epoch_boundary();
+  Cycle serve_access(CoreId core, Cycle issue_time);
+  void apply_policy_plan();
+  void clear_all_stats();
+  void snapshot_core(CoreId core);
+
+  SystemConfig config_;
+  trace::WorkloadMix mix_;
+
+  noc::Noc noc_;
+  mem::Dram dram_;
+  coherence::MoesiDirectory directory_;
+  std::unique_ptr<nuca::DnucaCache> l2_;
+  std::vector<cache::SetAssocCache> l1_;
+  std::vector<std::unique_ptr<trace::SyntheticTraceGenerator>> generators_;
+  std::vector<std::unique_ptr<msa::StackProfiler>> profilers_;
+  std::vector<std::unique_ptr<core::CoreTimer>> timers_;
+
+  partition::Allocation allocation_;
+  std::vector<partition::Allocation> allocation_history_;
+  std::vector<CoreSnapshot> snapshots_;
+  // Per-instruction normalization state for epoch profiles (see
+  // run_epoch_boundary): total instructions at the last boundary, and an
+  // instruction window decayed with the histogram's half-life.
+  std::vector<double> last_epoch_instructions_;
+  std::vector<double> decayed_instructions_;
+  Cycle next_epoch_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace bacp::sim

@@ -1,0 +1,43 @@
+#include "sim/system_config.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::sim {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::NoPartition: return "No-partitions";
+    case PolicyKind::EqualPartition: return "Equal-partitions";
+    case PolicyKind::BankAware: return "Bank-aware";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::baseline() {
+  SystemConfig config;
+  config.finalize();
+  return config;
+}
+
+void SystemConfig::finalize() {
+  noc.num_cores = geometry.num_cores;
+  noc.num_banks = geometry.num_banks;
+  profiler.num_sets = sets_per_bank;
+  // The profiler stack is as deep as the maximum assignable capacity
+  // (paper Section III-A's third reduction technique).
+  profiler.profiled_ways = geometry.max_assignable_ways();
+  validate();
+}
+
+void SystemConfig::validate() const {
+  geometry.validate();
+  BACP_ASSERT(is_pow2(l1_sets), "l1_sets must be a power of two");
+  BACP_ASSERT(l1_ways >= 1, "L1 needs at least one way");
+  BACP_ASSERT(is_pow2(sets_per_bank), "sets_per_bank must be a power of two");
+  BACP_ASSERT(noc.num_cores == geometry.num_cores, "NoC core count mismatch");
+  BACP_ASSERT(noc.num_banks == geometry.num_banks, "NoC bank count mismatch");
+  BACP_ASSERT(profiler.num_sets == sets_per_bank, "profiler set count mismatch");
+  BACP_ASSERT(epoch_cycles > 0, "epoch_cycles must be positive");
+}
+
+}  // namespace bacp::sim

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "common/types.hpp"
+
+namespace bacp::trace {
+
+/// One memory reference at cache-block granularity. The simulator operates
+/// on block addresses throughout; byte offsets within a block never affect
+/// hit/miss behaviour or timing in the modelled hierarchy.
+struct MemoryAccess {
+  BlockAddress block = 0;
+  CoreId core = 0;
+  bool is_write = false;
+};
+
+}  // namespace bacp::trace

@@ -1,0 +1,35 @@
+#include "trace/mix.hpp"
+
+#include "common/assert.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::trace {
+
+WorkloadMix random_mix(common::Rng& rng, std::size_t suite_size, std::size_t num_cores) {
+  BACP_ASSERT(suite_size > 0, "random_mix needs a non-empty suite");
+  WorkloadMix mix;
+  mix.workload_indices.reserve(num_cores);
+  for (std::size_t i = 0; i < num_cores; ++i) {
+    mix.workload_indices.push_back(rng.next_below(suite_size));
+  }
+  return mix;
+}
+
+WorkloadMix mix_from_names(const std::vector<std::string>& names) {
+  WorkloadMix mix;
+  mix.workload_indices.reserve(names.size());
+  for (const auto& name : names) mix.workload_indices.push_back(spec2000_index(name));
+  return mix;
+}
+
+std::string mix_label(const WorkloadMix& mix) {
+  std::string label;
+  const auto& suite = spec2000_suite();
+  for (std::size_t i = 0; i < mix.workload_indices.size(); ++i) {
+    if (i) label += '+';
+    label += suite.at(mix.workload_indices[i]).name;
+  }
+  return label;
+}
+
+}  // namespace bacp::trace

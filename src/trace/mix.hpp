@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/workload_model.hpp"
+
+namespace bacp::trace {
+
+/// An assignment of one workload per core (Section IV-A: random selection
+/// *with repetition* of 8 of the 26 SPEC CPU2000 components).
+struct WorkloadMix {
+  std::vector<std::size_t> workload_indices;  ///< index into spec2000_suite(), per core
+
+  std::size_t num_cores() const { return workload_indices.size(); }
+};
+
+/// Draws a uniform random mix with repetition from `suite_size` workloads,
+/// matching the paper's C(26 + 8 - 1, 8)-sized state space sampling.
+WorkloadMix random_mix(common::Rng& rng, std::size_t suite_size, std::size_t num_cores);
+
+/// Builds a mix from benchmark names (used for the Table III sets); aborts
+/// on unknown names.
+WorkloadMix mix_from_names(const std::vector<std::string>& names);
+
+/// Human-readable "bench0+bench1+..." label.
+std::string mix_label(const WorkloadMix& mix);
+
+}  // namespace bacp::trace

@@ -1,0 +1,110 @@
+#include "trace/spec2000.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bacp::trace {
+
+namespace {
+
+struct Params {
+  const char* name;
+  std::vector<ReuseComponent> components;
+  double cold;
+  double apki;      // L2 accesses per kilo-instruction
+  double l1_hit;
+  double writes;
+  double base_cpi;
+  double mlp;
+};
+
+WorkloadModel make(Params p) {
+  WorkloadModel model;
+  model.name = p.name;
+  model.components = std::move(p.components);
+  model.cold_fraction = p.cold;
+  model.l2_apki = p.apki;
+  model.l1_hit_rate = p.l1_hit;
+  model.write_fraction = p.writes;
+  model.base_cpi = p.base_cpi;
+  model.mlp = p.mlp;
+  model.validate();
+  return model;
+}
+
+std::vector<WorkloadModel> build_suite() {
+  std::vector<WorkloadModel> suite;
+  suite.reserve(kNumSpec2000);
+
+  // {name, {{weight, depth[, cyclic]}...}, cold, apki, l1hit, writes, base_cpi, mlp}
+  //
+  // Every model mixes a shallow *mixed* pool (uniform stack distances:
+  // stack/locals/short reuse) with one or more *loop* pools (cyclic sweeps:
+  // point mass at the loop length) plus a cold/streaming residue.
+  //
+  // Capacity appetites (loop lengths) follow the paper's own evidence -
+  // Fig. 3 pins sixtrack (~6, cliff), applu (~10, flat after) and bzip2
+  // (gradual out to ~45-48); Table III's assignments pin the rest (facerec
+  // 56, mcf 24+, mgrid 40, art 16+, twolf up to 56, gcc/eon tiny). SPEC
+  // CPU2000 lore fixes the intensity tiers: art/mcf/swim/equake/lucas/
+  // mgrid are memory hogs (the FP streamers carry high MLP and so sustain
+  // high request rates); eon/mesa/crafty/perlbmk are compute-bound.
+  const bool L = true;  // loop (cyclic) component marker
+  suite.push_back(make({"ammp",     {{0.35, 6}, {0.25, 13, L}, {0.20, 26, L}},                 0.20, 10.0, 0.96,  0.30, 0.85, 1.8}));
+  suite.push_back(make({"applu",    {{0.30, 4}, {0.63, 10, L}},                                0.07, 6.0,  0.95,  0.25, 0.80, 4.0}));
+  suite.push_back(make({"apsi",     {{0.35, 6}, {0.30, 16, L}, {0.20, 28, L}},                 0.15, 9.0,  0.955, 0.30, 0.85, 3.0}));
+  suite.push_back(make({"art",      {{0.20, 6}, {0.45, 14, L}, {0.12, 36, L}},                 0.23, 40.0, 0.90,  0.20, 1.00, 2.5}));
+  suite.push_back(make({"bzip2",    {{0.30, 6}, {0.20, 16, L}, {0.20, 32, L}, {0.22, 48, L}},  0.08, 18.0, 0.94,  0.35, 0.75, 1.9}));
+  suite.push_back(make({"crafty",   {{0.55, 5}, {0.32, 11, L}},                                0.13, 4.0,  0.975, 0.30, 0.60, 1.6}));
+  suite.push_back(make({"eon",      {{0.90, 2}, {0.08, 4, L}},                                 0.02, 1.5,  0.985, 0.40, 0.55, 1.4}));
+  suite.push_back(make({"equake",   {{0.38, 4}, {0.30, 8, L}, {0.15, 24, L}},                  0.17, 28.0, 0.91,  0.20, 0.95, 3.0}));
+  suite.push_back(make({"facerec",  {{0.25, 8}, {0.22, 24, L}, {0.25, 44, L}, {0.22, 58, L}},  0.06, 20.0, 0.93,  0.20, 0.85, 3.0}));
+  suite.push_back(make({"fma3d",    {{0.45, 3}, {0.30, 7, L}, {0.08, 18, L}},                  0.17, 9.0,  0.95,  0.30, 0.85, 3.0}));
+  suite.push_back(make({"galgel",   {{0.55, 3}, {0.22, 5, L}, {0.08, 12, L}},                  0.15, 10.0, 0.94,  0.20, 0.80, 4.0}));
+  suite.push_back(make({"gap",      {{0.50, 3}, {0.25, 6, L}, {0.12, 14, L}},                  0.13, 7.0,  0.955, 0.35, 0.75, 1.8}));
+  suite.push_back(make({"gcc",      {{0.70, 2}, {0.18, 5, L}},                                 0.12, 5.0,  0.965, 0.40, 0.70, 1.7}));
+  suite.push_back(make({"gzip",     {{0.55, 4}, {0.33, 8, L}},                                 0.12, 6.0,  0.96,  0.35, 0.65, 1.8}));
+  suite.push_back(make({"lucas",    {{0.25, 6}, {0.25, 14, L}, {0.15, 32, L}},                 0.35, 25.0, 0.92,  0.25, 0.90, 7.0}));
+  suite.push_back(make({"mcf",      {{0.22, 8}, {0.26, 24, L}, {0.20, 56, L}},                 0.32, 45.0, 0.88,  0.20, 1.20, 2.0}));
+  suite.push_back(make({"mesa",     {{0.50, 5}, {0.33, 12, L}},                                0.17, 3.0,  0.98,  0.35, 0.60, 1.7}));
+  suite.push_back(make({"mgrid",    {{0.25, 10}, {0.34, 40, L}, {0.10, 64, L}},                0.31, 24.0, 0.925, 0.25, 0.90, 7.0}));
+  suite.push_back(make({"parser",   {{0.40, 6}, {0.28, 16, L}, {0.16, 32, L}},                 0.16, 10.0, 0.95,  0.30, 0.80, 1.6}));
+  suite.push_back(make({"perlbmk",  {{0.65, 4}, {0.25, 8, L}},                                 0.10, 3.0,  0.975, 0.35, 0.65, 1.6}));
+  suite.push_back(make({"sixtrack", {{0.30, 4}, {0.65, 6, L}},                                 0.05, 5.0,  0.965, 0.25, 0.70, 2.2}));
+  suite.push_back(make({"swim",     {{0.25, 5}, {0.25, 6, L}, {0.08, 28, L}},                  0.42, 28.0, 0.915, 0.30, 0.95, 8.0}));
+  suite.push_back(make({"twolf",    {{0.38, 8}, {0.26, 16, L}, {0.24, 50, L}},                 0.12, 14.0, 0.945, 0.30, 0.85, 1.5}));
+  suite.push_back(make({"vortex",   {{0.45, 6}, {0.28, 12, L}, {0.13, 24, L}},                 0.14, 6.0,  0.96,  0.35, 0.75, 1.7}));
+  suite.push_back(make({"vpr",      {{0.40, 7}, {0.28, 16, L}, {0.16, 32, L}},                 0.16, 11.0, 0.95,  0.30, 0.85, 1.6}));
+  suite.push_back(make({"wupwise",  {{0.50, 3}, {0.22, 6, L}, {0.14, 16, L}},                  0.14, 7.0,  0.955, 0.25, 0.75, 5.0}));
+
+  BACP_ASSERT(suite.size() == kNumSpec2000, "suite must have 26 components");
+  BACP_ASSERT(std::is_sorted(suite.begin(), suite.end(),
+                             [](const WorkloadModel& a, const WorkloadModel& b) {
+                               return a.name < b.name;
+                             }),
+              "suite must be sorted by name");
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<WorkloadModel>& spec2000_suite() {
+  static const std::vector<WorkloadModel> suite = build_suite();
+  return suite;
+}
+
+std::size_t spec2000_index(std::string_view name) {
+  const auto& suite = spec2000_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (suite[i].name == name) return i;
+  }
+  BACP_ASSERT(false, "unknown SPEC CPU2000 benchmark name");
+  return 0;  // unreachable
+}
+
+const WorkloadModel& spec2000_by_name(std::string_view name) {
+  return spec2000_suite()[spec2000_index(name)];
+}
+
+}  // namespace bacp::trace

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "trace/workload_model.hpp"
+
+namespace bacp::trace {
+
+/// Number of SPEC CPU2000 components the paper evaluates on (Section IV:
+/// "the 26 components from SPEC CPU2000").
+inline constexpr std::size_t kNumSpec2000 = 26;
+
+/// The calibrated synthetic suite. Models are ordered alphabetically by
+/// name; parameters are calibrated from the paper's own evidence:
+///  - Fig. 3: sixtrack's miss curve flattens near 6 dedicated ways, applu's
+///    near 10 with a flat tail, bzip2 improves gradually out to ~45 ways;
+///  - Table III: the Bank-aware assignments reveal each benchmark's
+///    capacity appetite (facerec 56, bzip2 48, mgrid 40, mcf 24, art 16,
+///    gcc 2..8, eon 3, ...);
+///  - well-known SPEC CPU2000 memory behaviour for intensity (art/mcf/swim
+///    are memory hogs; eon/crafty/mesa are compute-bound).
+/// Returned by reference to a function-local static (immutable after first
+/// use; thread-safe under C++11 magic statics).
+const std::vector<WorkloadModel>& spec2000_suite();
+
+/// Lookup by benchmark name; aborts if unknown (misspelled experiment
+/// definitions should fail loudly, not silently run the wrong mix).
+const WorkloadModel& spec2000_by_name(std::string_view name);
+
+/// Index of a benchmark within spec2000_suite(); aborts if unknown.
+std::size_t spec2000_index(std::string_view name);
+
+}  // namespace bacp::trace

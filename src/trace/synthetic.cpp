@@ -1,0 +1,65 @@
+#include "trace/synthetic.hpp"
+
+#include "common/assert.hpp"
+
+namespace bacp::trace {
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(const WorkloadModel& model,
+                                                 const GeneratorConfig& config,
+                                                 std::uint64_t seed)
+    : model_(&model),
+      config_(config),
+      rng_(seed, config.core),
+      recency_(config.num_sets) {
+  BACP_ASSERT(config_.num_sets > 0, "generator needs at least one set");
+  BACP_ASSERT(config_.max_depth >= 1, "generator needs max_depth >= 1");
+  const auto weights = model.stack_distance_weights(config_.max_depth);
+  depth_sampler_ = common::DiscreteSampler(weights);
+  for (auto& list : recency_) list.reserve(config_.max_depth);
+}
+
+BlockAddress SyntheticTraceGenerator::fresh_block(std::uint32_t set) {
+  // Layout: | core (8b) | unique id | set index |. The low bits carry the
+  // set so the simulated L2's index function places the block exactly where
+  // the generator's recency bookkeeping assumes it lives.
+  const std::uint64_t id = next_block_id_++;
+  const auto set_bits = log2_floor(config_.num_sets);
+  BACP_DASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
+  return (static_cast<std::uint64_t>(config_.core) << 52) | (id << set_bits) |
+         static_cast<std::uint64_t>(set);
+}
+
+void SyntheticTraceGenerator::switch_model(const WorkloadModel& model) {
+  model.validate();
+  model_ = &model;
+  depth_sampler_ =
+      common::DiscreteSampler(model.stack_distance_weights(config_.max_depth));
+}
+
+MemoryAccess SyntheticTraceGenerator::next() {
+  const auto set = static_cast<std::uint32_t>(rng_.next_below(config_.num_sets));
+  auto& list = recency_[set];
+
+  const std::size_t depth_bin = depth_sampler_.sample(rng_);
+  // depth_bin in [0, max_depth-1] => stack distance depth_bin + 1;
+  // depth_bin == max_depth      => cold / beyond-depth access.
+  BlockAddress block;
+  if (depth_bin >= config_.max_depth || depth_bin >= list.size()) {
+    block = fresh_block(set);
+    list.insert(list.begin(), block);
+    if (list.size() > config_.max_depth) list.pop_back();
+  } else {
+    const auto it = list.begin() + static_cast<std::ptrdiff_t>(depth_bin);
+    block = *it;
+    list.erase(it);
+    list.insert(list.begin(), block);
+  }
+
+  MemoryAccess access;
+  access.block = block;
+  access.core = config_.core;
+  access.is_write = rng_.next_bool(model_->write_fraction);
+  return access;
+}
+
+}  // namespace bacp::trace

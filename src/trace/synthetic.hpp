@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/access.hpp"
+#include "trace/workload_model.hpp"
+
+namespace bacp::trace {
+
+/// Geometry knobs for the synthetic stream. Defaults match the baseline L2
+/// viewed as a 128-way-equivalent cache: 16 MB / 64 B / 128 ways = 2048 sets.
+struct GeneratorConfig {
+  std::uint32_t num_sets = 2048;  ///< per-set recency lists
+  WayCount max_depth = 128;       ///< deepest modelled stack distance
+  CoreId core = 0;                ///< stamped into produced accesses
+};
+
+/// Produces an L2 reference stream whose per-set LRU stack-distance
+/// histogram converges to the workload model's distribution — by
+/// construction, not by calibration:
+///
+///   1. pick a set uniformly at random;
+///   2. sample a stack depth d from the model's distribution;
+///   3. if d <= live blocks in that set, re-touch the d-th most recently
+///      used block (and move it to MRU), else touch a fresh block.
+///
+/// Because the MSA profiler measures exactly these per-set LRU depths, the
+/// profiler's histogram over the generated stream is a consistent estimator
+/// of the model — the property the test suite verifies and the property the
+/// paper's entire mechanism rests on.
+class SyntheticTraceGenerator {
+ public:
+  SyntheticTraceGenerator(const WorkloadModel& model, const GeneratorConfig& config,
+                          std::uint64_t seed);
+
+  /// Next access in the stream. Never fails; streams are unbounded.
+  MemoryAccess next();
+
+  /// Switches the workload's reuse structure mid-stream (a program phase
+  /// change): the stack-distance distribution and write mix follow the new
+  /// model immediately, while the resident footprint (recency lists) stays
+  /// — exactly like a real phase boundary, where the old data is still in
+  /// memory but the reuse pattern over it changes.
+  void switch_model(const WorkloadModel& model);
+
+  const WorkloadModel& model() const { return *model_; }
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Number of distinct blocks ever touched (footprint so far).
+  std::uint64_t blocks_allocated() const { return next_block_id_; }
+
+ private:
+  BlockAddress fresh_block(std::uint32_t set);
+
+  const WorkloadModel* model_;  // non-owning; registry outlives generators
+  GeneratorConfig config_;
+  common::Rng rng_;
+  common::DiscreteSampler depth_sampler_;
+  std::vector<std::vector<BlockAddress>> recency_;  // [set] MRU-first
+  std::uint64_t next_block_id_ = 0;
+};
+
+}  // namespace bacp::trace

@@ -1,0 +1,69 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace bacp::trace {
+
+namespace {
+
+void put_u64(std::ofstream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  out.write(bytes, 8);
+}
+
+bool get_u64(std::ifstream& in, std::uint64_t& value) {
+  char bytes[8];
+  if (!in.read(bytes, 8)) return false;
+  value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kTraceMagic, sizeof(kTraceMagic));
+  put_u64(out, accesses.size());
+  for (const auto& access : accesses) {
+    put_u64(out, access.block);
+    const auto flags = static_cast<char>((access.is_write ? 0x80u : 0u) |
+                                         (access.core & 0x1Fu));
+    out.write(&flags, 1);
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[sizeof(kTraceMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t count = 0;
+  if (!get_u64(in, count)) return std::nullopt;
+
+  std::vector<MemoryAccess> accesses;
+  accesses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MemoryAccess access;
+    if (!get_u64(in, access.block)) return std::nullopt;
+    char flags = 0;
+    if (!in.read(&flags, 1)) return std::nullopt;
+    const auto bits = static_cast<unsigned char>(flags);
+    access.is_write = (bits & 0x80u) != 0;
+    access.core = bits & 0x1Fu;
+    accesses.push_back(access);
+  }
+  return accesses;
+}
+
+}  // namespace bacp::trace

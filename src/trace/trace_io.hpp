@@ -1,0 +1,29 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace bacp::trace {
+
+/// Compact binary trace format, for capturing synthetic streams once and
+/// replaying them across experiments (or feeding externally captured
+/// traces into the simulator):
+///
+///   magic "BACPTRC1" (8 bytes) | record count (u64 LE) | records...
+///   record: block address (u64 LE) | flags (u8: bit7 = write, bits 0..4 = core)
+///
+/// 9 bytes per access; a 10M-access trace is ~90 MB.
+inline constexpr char kTraceMagic[8] = {'B', 'A', 'C', 'P', 'T', 'R', 'C', '1'};
+
+/// Writes a whole trace. Returns false on I/O failure.
+bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses);
+
+/// Reads a whole trace; std::nullopt on missing file, bad magic or a
+/// truncated record stream.
+std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path);
+
+}  // namespace bacp::trace

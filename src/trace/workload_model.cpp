@@ -1,0 +1,103 @@
+#include "trace/workload_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bacp::trace {
+
+namespace {
+
+/// Loop lengths are not a single number in practice: they vary across sets
+/// (footprints are not set-uniform) and across phases. A loop of nominal
+/// length d is therefore smeared uniformly over [lo(d), hi(d)] = d +- ~33%,
+/// which turns the idealized LRU step into the steep-but-finite ramp real
+/// MSA histograms show. Both the analytic projection and the generator use
+/// the same smear, so profiled and analytic curves agree.
+struct LoopSpan {
+  bacp::WayCount lo;
+  bacp::WayCount hi;
+};
+
+LoopSpan loop_span(bacp::WayCount depth) {
+  const bacp::WayCount half = std::max<bacp::WayCount>(1, depth / 3);
+  const bacp::WayCount lo = depth > half ? depth - half : 1;
+  return {std::max<bacp::WayCount>(1, lo), depth + half};
+}
+
+}  // namespace
+
+double WorkloadModel::miss_ratio(WayCount ways) const {
+  double hit_fraction = 0.0;
+  for (const auto& component : components) {
+    if (component.cyclic) {
+      const auto span = loop_span(component.depth);
+      if (ways >= span.lo) {
+        const double captured =
+            std::min<double>(1.0, static_cast<double>(ways - span.lo + 1) /
+                                      static_cast<double>(span.hi - span.lo + 1));
+        hit_fraction += component.weight * captured;
+      }
+    } else {
+      const double captured =
+          static_cast<double>(std::min(ways, component.depth)) /
+          static_cast<double>(component.depth);
+      hit_fraction += component.weight * captured;
+    }
+  }
+  return 1.0 - hit_fraction;
+}
+
+std::vector<double> WorkloadModel::stack_distance_weights(WayCount max_depth) const {
+  BACP_ASSERT(max_depth >= 1, "stack_distance_weights needs depth >= 1");
+  std::vector<double> weights(static_cast<std::size_t>(max_depth) + 1, 0.0);
+  for (const auto& component : components) {
+    if (component.cyclic) {
+      // Loop: mass smeared over the loop span (depths beyond the modelled
+      // stack fold into the cold bin).
+      const auto span = loop_span(component.depth);
+      const double per_depth =
+          component.weight / static_cast<double>(span.hi - span.lo + 1);
+      for (WayCount d = span.lo; d <= span.hi; ++d) {
+        if (d <= max_depth) {
+          weights[d - 1] += per_depth;
+        } else {
+          weights[max_depth] += per_depth;
+        }
+      }
+      continue;
+    }
+    const double per_depth = component.weight / static_cast<double>(component.depth);
+    const WayCount covered = std::min(max_depth, component.depth);
+    for (WayCount d = 1; d <= covered; ++d) weights[d - 1] += per_depth;
+    if (component.depth > max_depth) {
+      // Reuse deeper than the modelled stack behaves as a miss at any
+      // allocatable capacity: fold it into the cold bin.
+      weights[max_depth] += per_depth * static_cast<double>(component.depth - max_depth);
+    }
+  }
+  weights[max_depth] += cold_fraction;
+  return weights;
+}
+
+void WorkloadModel::validate() const {
+  BACP_ASSERT(!name.empty(), "workload model must be named");
+  double total = cold_fraction;
+  BACP_ASSERT(cold_fraction >= 0.0 && cold_fraction <= 1.0,
+              "cold_fraction out of [0,1]");
+  for (const auto& component : components) {
+    BACP_ASSERT(component.weight > 0.0, "component weight must be positive");
+    BACP_ASSERT(component.depth >= 1, "component depth must be >= 1");
+    total += component.weight;
+  }
+  BACP_ASSERT(std::abs(total - 1.0) < 1e-9,
+              "component weights + cold_fraction must sum to 1");
+  BACP_ASSERT(l2_apki > 0.0, "l2_apki must be positive");
+  BACP_ASSERT(l1_hit_rate >= 0.0 && l1_hit_rate < 1.0, "l1_hit_rate out of [0,1)");
+  BACP_ASSERT(write_fraction >= 0.0 && write_fraction <= 1.0,
+              "write_fraction out of [0,1]");
+  BACP_ASSERT(base_cpi > 0.0, "base_cpi must be positive");
+  BACP_ASSERT(mlp >= 1.0, "mlp must be >= 1");
+}
+
+}  // namespace bacp::trace

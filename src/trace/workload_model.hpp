@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bacp::trace {
+
+/// One temporal-reuse pool of a workload model, in one of two shapes:
+///
+///  - *mixed* (cyclic = false): stack distances uniform over [1, d] — a
+///    "working-set plateau". With `c` dedicated ways the surviving hit
+///    fraction is w * min(c, d) / d: piecewise-linear miss curves.
+///  - *loop*  (cyclic = true): every access lands at stack distance exactly
+///    d — a cyclic sweep over d blocks per set, the dominant reuse shape of
+///    SPEC loop nests. Under LRU this is all-or-nothing: 100% hits when the
+///    allocation reaches d, 0% below it. This is the cliff visible in the
+///    paper's Fig. 3 (sixtrack "close to zero" past ~6 ways, applu flat
+///    past ~10), and it is what makes unpartitioned sharing destructive:
+///    interference that pushes a loop past the effective reach costs every
+///    one of its hits, not a linear fraction.
+struct ReuseComponent {
+  double weight = 0.0;    ///< fraction of L2 accesses drawn from this pool
+  WayCount depth = 1;     ///< deepest stack distance the pool re-touches
+  bool cyclic = false;    ///< true: point mass at `depth` (loop); false: uniform
+};
+
+/// A synthetic workload: the L2-visible behaviour of one SPEC CPU2000
+/// component, reduced to exactly the quantities the paper's machinery
+/// consumes (stack-distance structure) plus the timing-side parameters the
+/// CPI model needs.
+///
+/// Invariant: sum(component weights) + cold_fraction == 1 (validated).
+struct WorkloadModel {
+  std::string name;
+
+  /// Temporal reuse structure of the L2 reference stream.
+  std::vector<ReuseComponent> components;
+
+  /// Fraction of L2 accesses that are compulsory/streaming misses — they
+  /// never hit regardless of allocated capacity (beyond-LRU-depth accesses).
+  double cold_fraction = 0.0;
+
+  /// L2 accesses (i.e. L1 misses) per 1000 committed instructions.
+  double l2_apki = 10.0;
+
+  /// Fraction of all memory instructions that hit in L1 (modelled as MRU
+  /// re-references; they do not perturb the L2 stream).
+  double l1_hit_rate = 0.95;
+
+  /// Fraction of L2 accesses that are stores.
+  double write_fraction = 0.3;
+
+  /// CPI of the core when every L2 access hits in the nearest bank: captures
+  /// the non-memory pipeline behaviour of the workload.
+  double base_cpi = 0.7;
+
+  /// Average number of overlappable outstanding L2 misses (memory-level
+  /// parallelism); bounds how much miss latency the OoO core hides.
+  double mlp = 2.0;
+
+  /// --- Analytic projections -------------------------------------------
+
+  /// Miss ratio of this workload's L2 stream given `ways` dedicated ways of
+  /// the 128-way-equivalent cache (Section III-A of the paper: MSA
+  /// inclusion-property projection, here evaluated on the model itself).
+  double miss_ratio(WayCount ways) const;
+
+  /// Stack-distance probability weights for depths 1..max_depth followed by
+  /// one bin for cold/beyond-depth accesses (size max_depth + 1). This is
+  /// what the synthetic generator samples from and what a converged MSA
+  /// histogram must match.
+  std::vector<double> stack_distance_weights(WayCount max_depth) const;
+
+  /// Validates invariants; aborts on violation. Called by the registry.
+  void validate() const;
+};
+
+}  // namespace bacp::trace

@@ -1,0 +1,85 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::common {
+namespace {
+
+ArgParser make_parser() {
+  return ArgParser({{"trials=", "number of trials"},
+                    {"policy=", "policy name"},
+                    {"scale=", "scale factor"},
+                    {"verbose", "chatty output"}});
+}
+
+const char* argv_of(const char* s) { return s; }
+
+TEST(ArgParser, ParsesEqualsForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--trials=42", "--policy=bank-aware"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_u64("trials", 0), 42u);
+  EXPECT_EQ(parser.get("policy", ""), "bank-aware");
+}
+
+TEST(ArgParser, ParsesSpaceForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--trials", "7"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_u64("trials", 0), 7u);
+}
+
+TEST(ArgParser, BooleanFlag) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.has("verbose"));
+  EXPECT_FALSE(parser.has("trials"));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "mcf", "--trials=1", "art"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "mcf");
+  EXPECT_EQ(parser.positional()[1], "art");
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--trials"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, ValueOnBooleanFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, MalformedNumberFallsBack) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--trials=12x", "--scale=1.5"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_u64("trials", 9), 9u);
+  EXPECT_DOUBLE_EQ(parser.get_double("scale", 0.0), 1.5);
+}
+
+TEST(ArgParser, HelpListsFlags) {
+  const auto help = make_parser().help("prog");
+  EXPECT_NE(help.find("--trials=<value>"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_EQ(help.find("--verbose=<value>"), std::string::npos);
+  (void)argv_of;
+}
+
+}  // namespace
+}  // namespace bacp::common

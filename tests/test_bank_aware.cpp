@@ -1,0 +1,194 @@
+#include "partition/bank_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::partition {
+namespace {
+
+std::vector<msa::MissRatioCurve> curves_for_names(
+    const std::vector<std::string>& names) {
+  std::vector<msa::MissRatioCurve> curves;
+  for (const auto& name : names) {
+    const auto& model = trace::spec2000_by_name(name);
+    curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+  }
+  return curves;
+}
+
+std::vector<msa::MissRatioCurve> identical_flat_curves(std::size_t n) {
+  std::vector<msa::MissRatioCurve> curves;
+  for (std::size_t i = 0; i < n; ++i) {
+    curves.emplace_back(std::vector<double>(128, 0.0), 1.0);
+  }
+  return curves;
+}
+
+TEST(BankAware, AllocationCoversTheCache) {
+  CmpGeometry geometry;
+  const auto result = bank_aware_partition(geometry, identical_flat_curves(8));
+  EXPECT_EQ(result.allocation.total(), 128u);
+}
+
+TEST(BankAware, AssignmentValidatesAgainstAllocation) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"mcf", "eon", "art", "gcc", "bzip2",
+                                        "sixtrack", "facerec", "gzip"});
+  const auto result = bank_aware_partition(geometry, curves);
+  result.assignment.validate_against(geometry, result.allocation);
+}
+
+TEST(BankAware, RuleOneCenterBanksAreWhollyOwned) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"mcf", "eon", "art", "gcc", "bzip2",
+                                        "sixtrack", "facerec", "gzip"});
+  const auto result = bank_aware_partition(geometry, curves);
+  for (BankId bank = geometry.num_cores; bank < geometry.num_banks; ++bank) {
+    const auto& masks = result.assignment.way_masks[bank];
+    for (const CoreMask mask : masks) {
+      EXPECT_EQ(mask, masks.front()) << "center bank " << bank << " split";
+      EXPECT_EQ(std::popcount(mask), 1) << "center bank " << bank << " shared";
+    }
+  }
+}
+
+TEST(BankAware, RuleTwoCenterHoldersOwnTheirFullLocalBank) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"mcf", "eon", "art", "gcc", "bzip2",
+                                        "sixtrack", "facerec", "gzip"});
+  const auto result = bank_aware_partition(geometry, curves);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    if (result.center_banks_of_core[core].empty()) continue;
+    const auto& local = result.assignment.way_masks[geometry.local_bank(core)];
+    for (const CoreMask mask : local) {
+      EXPECT_EQ(mask, core_bit(core))
+          << "core " << core << " holds center banks but shares its local bank";
+    }
+  }
+}
+
+TEST(BankAware, RuleThreePairsAreAdjacent) {
+  CmpGeometry geometry;
+  common::Rng rng(4242);
+  const auto& suite = trace::spec2000_suite();
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    for (const auto index : mix.workload_indices) {
+      const auto& model = suite[index];
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const auto result = bank_aware_partition(geometry, curves);
+    for (const auto& pair : result.pairs) {
+      EXPECT_TRUE(geometry.adjacent(pair.first, pair.second))
+          << "trial " << trial << ": pair " << pair.first << "," << pair.second;
+      EXPECT_EQ(pair.first_ways + pair.second_ways, 2 * geometry.ways_per_bank);
+      EXPECT_GE(pair.first_ways, 1u);
+      EXPECT_GE(pair.second_ways, 1u);
+    }
+    result.assignment.validate_against(geometry, result.allocation);
+  }
+}
+
+TEST(BankAware, CapacityClampAtNineSixteenths) {
+  CmpGeometry geometry;
+  // One insatiable core against seven tiny ones.
+  auto curves = identical_flat_curves(8);
+  curves[3] = msa::MissRatioCurve(std::vector<double>(128, 100.0), 0.0).scaled(50.0);
+  const auto result = bank_aware_partition(geometry, curves);
+  EXPECT_LE(result.allocation.ways_per_core[3], geometry.max_assignable_ways());
+  EXPECT_EQ(result.allocation.ways_per_core[3], 72u);  // it should max out
+}
+
+TEST(BankAware, IdenticalCurvesYieldEvenBanks) {
+  CmpGeometry geometry;
+  // Identical appetites spanning two banks each -> everyone ends with 16.
+  std::vector<msa::MissRatioCurve> curves;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> hits(128, 0.0);
+    for (int d = 0; d < 16; ++d) hits[static_cast<std::size_t>(d)] = 5.0;
+    curves.emplace_back(hits, 1.0);
+  }
+  const auto result = bank_aware_partition(geometry, curves);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    EXPECT_EQ(result.allocation.ways_per_core[core], 16u) << "core " << core;
+  }
+}
+
+TEST(BankAware, HungryCoreWinsCenterBanks) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"eon", "eon", "eon", "facerec", "eon",
+                                        "eon", "eon", "eon"});
+  const auto result = bank_aware_partition(geometry, curves);
+  EXPECT_GE(result.allocation.ways_per_core[3], 48u);
+  EXPECT_FALSE(result.center_banks_of_core[3].empty());
+}
+
+TEST(BankAware, CenterBanksNearTheirOwner) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"facerec", "eon", "eon", "eon", "eon",
+                                        "eon", "eon", "bzip2"});
+  const auto result = bank_aware_partition(geometry, curves);
+  // facerec (core 0) receives center banks from the left end of the center
+  // row (C8 has column 0); bzip2 (core 7) from the right end.
+  ASSERT_FALSE(result.center_banks_of_core[0].empty());
+  EXPECT_EQ(result.center_banks_of_core[0].front(), 8u);
+  if (!result.center_banks_of_core[7].empty()) {
+    EXPECT_EQ(result.center_banks_of_core[7].front(), 15u);
+  }
+}
+
+TEST(BankAware, LocalBankListedFirstInViews) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"mcf", "eon", "art", "gcc", "bzip2",
+                                        "sixtrack", "facerec", "gzip"});
+  const auto result = bank_aware_partition(geometry, curves);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    const auto& banks = result.assignment.banks_of_core[core];
+    ASSERT_FALSE(banks.empty());
+    EXPECT_EQ(banks.front(), geometry.local_bank(core)) << "core " << core;
+  }
+}
+
+TEST(BankAware, ProjectedMissesNeverWorseThanEvenShareByMuch) {
+  CmpGeometry geometry;
+  common::Rng rng(2718);
+  const auto& suite = trace::spec2000_suite();
+  int wins = 0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    for (const auto index : mix.workload_indices) {
+      const auto& model = suite[index];
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const auto result = bank_aware_partition(geometry, curves);
+    const double bank_aware =
+        projected_total_misses(curves, result.allocation.ways_per_core);
+    const std::vector<WayCount> even(geometry.num_cores, 16);
+    const double fixed = projected_total_misses(curves, even);
+    if (bank_aware <= fixed * 1.001) ++wins;
+  }
+  // The paper's Fig. 7: Bank-aware tracks Unrestricted except outliers; it
+  // must beat or match the fixed share in the overwhelming majority.
+  EXPECT_GE(wins, kTrials * 8 / 10);
+}
+
+TEST(BankAware, DeterministicAcrossCalls) {
+  CmpGeometry geometry;
+  const auto curves = curves_for_names({"mcf", "eon", "art", "gcc", "bzip2",
+                                        "sixtrack", "facerec", "gzip"});
+  const auto a = bank_aware_partition(geometry, curves);
+  const auto b = bank_aware_partition(geometry, curves);
+  EXPECT_EQ(a.allocation.ways_per_core, b.allocation.ways_per_core);
+  EXPECT_EQ(a.assignment.way_masks, b.assignment.way_masks);
+}
+
+}  // namespace
+}  // namespace bacp::partition

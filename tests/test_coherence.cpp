@@ -1,0 +1,215 @@
+#include "coherence/moesi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace bacp::coherence {
+namespace {
+
+constexpr BlockAddress kBlock = 0x1000;
+
+TEST(Moesi, FirstReadGrantsExclusive) {
+  MoesiDirectory directory(4);
+  const auto action = directory.on_l1_read_fill(kBlock, 0);
+  EXPECT_EQ(action.invalidations, 0u);
+  EXPECT_EQ(action.interventions, 0u);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Exclusive);
+}
+
+TEST(Moesi, SecondReaderDegradesExclusiveToShared) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  const auto action = directory.on_l1_read_fill(kBlock, 1);
+  EXPECT_EQ(action.interventions, 0u);  // E is clean: data from L2
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Shared);
+  EXPECT_EQ(directory.state_at(kBlock, 1), MoesiState::Shared);
+}
+
+TEST(Moesi, WriteMakesModifiedAndInvalidatesSharers) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);
+  directory.on_l1_read_fill(kBlock, 2);
+  const auto action = directory.on_l1_write_fill(kBlock, 3);
+  EXPECT_EQ(action.invalidations, 3u);
+  EXPECT_EQ(directory.state_at(kBlock, 3), MoesiState::Modified);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Invalid);
+  EXPECT_EQ(directory.sharers_of(kBlock), core_bit(3));
+}
+
+TEST(Moesi, ReadOfModifiedForcesOwnedWithIntervention) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 0);
+  const auto action = directory.on_l1_read_fill(kBlock, 1);
+  EXPECT_EQ(action.interventions, 1u);  // dirty owner forwards the data
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Owned);
+  EXPECT_EQ(directory.state_at(kBlock, 1), MoesiState::Shared);
+}
+
+TEST(Moesi, OwnedKeepsServingFurtherReaders) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);
+  const auto action = directory.on_l1_read_fill(kBlock, 2);
+  EXPECT_EQ(action.interventions, 1u);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Owned);
+  EXPECT_EQ(std::popcount(directory.sharers_of(kBlock)), 3);
+}
+
+TEST(Moesi, UpgradeFromSharedCountsAsUpgrade) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);
+  directory.on_l1_write_fill(kBlock, 0);
+  EXPECT_EQ(directory.stats().upgrades, 1u);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Modified);
+  EXPECT_EQ(directory.state_at(kBlock, 1), MoesiState::Invalid);
+}
+
+TEST(Moesi, WriteToOwnedRemoteForwardsAndInvalidates) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);  // 0: Owned, 1: Shared
+  const auto action = directory.on_l1_write_fill(kBlock, 2);
+  EXPECT_EQ(action.invalidations, 2u);
+  EXPECT_EQ(action.interventions, 1u);
+  EXPECT_EQ(directory.state_at(kBlock, 2), MoesiState::Modified);
+}
+
+TEST(Moesi, DirtyEvictionWritesBack) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 0);
+  const auto action = directory.on_l1_evict(kBlock, 0, true);
+  EXPECT_TRUE(action.writeback_below);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Invalid);
+  EXPECT_EQ(directory.tracked_blocks(), 0u);
+}
+
+TEST(Moesi, CleanExclusiveEvictionIsSilent) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  const auto action = directory.on_l1_evict(kBlock, 0, false);
+  EXPECT_FALSE(action.writeback_below);
+  EXPECT_EQ(directory.tracked_blocks(), 0u);
+}
+
+TEST(Moesi, SharerEvictionLeavesOthersIntact) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);
+  directory.on_l1_evict(kBlock, 0, false);
+  EXPECT_EQ(directory.state_at(kBlock, 1), MoesiState::Shared);
+  EXPECT_EQ(directory.tracked_blocks(), 1u);
+}
+
+TEST(Moesi, OwnerEvictionPromotesRemainingToCleanShared) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);  // 0: Owned
+  const auto action = directory.on_l1_evict(kBlock, 0, true);
+  EXPECT_TRUE(action.writeback_below);  // dirty data drains below
+  EXPECT_EQ(directory.state_at(kBlock, 1), MoesiState::Shared);
+}
+
+TEST(Moesi, L2EvictionRecallsAllCopies) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  directory.on_l1_read_fill(kBlock, 1);
+  directory.on_l1_read_fill(kBlock, 2);
+  const auto action = directory.on_l2_evict(kBlock);
+  EXPECT_EQ(action.invalidations, 3u);
+  EXPECT_FALSE(action.writeback_below);  // all copies clean
+  EXPECT_EQ(directory.tracked_blocks(), 0u);
+  EXPECT_EQ(directory.stats().inclusion_recalls, 3u);
+}
+
+TEST(Moesi, L2EvictionOfDirtyBlockWritesBack) {
+  MoesiDirectory directory(4);
+  directory.on_l1_write_fill(kBlock, 2);
+  const auto action = directory.on_l2_evict(kBlock);
+  EXPECT_EQ(action.invalidations, 1u);
+  EXPECT_TRUE(action.writeback_below);
+}
+
+TEST(Moesi, L2EvictionOfUntrackedBlockIsNoop) {
+  MoesiDirectory directory(4);
+  const auto action = directory.on_l2_evict(kBlock);
+  EXPECT_EQ(action.invalidations, 0u);
+  EXPECT_FALSE(action.writeback_below);
+}
+
+TEST(Moesi, RereadAfterOwnershipIsStable) {
+  MoesiDirectory directory(4);
+  directory.on_l1_read_fill(kBlock, 0);
+  const auto action = directory.on_l1_read_fill(kBlock, 0);  // already present
+  EXPECT_EQ(action.invalidations + action.interventions, 0u);
+  EXPECT_EQ(directory.state_at(kBlock, 0), MoesiState::Exclusive);
+}
+
+TEST(Moesi, StateToString) {
+  EXPECT_STREQ(to_string(MoesiState::Modified), "M");
+  EXPECT_STREQ(to_string(MoesiState::Owned), "O");
+  EXPECT_STREQ(to_string(MoesiState::Exclusive), "E");
+  EXPECT_STREQ(to_string(MoesiState::Shared), "S");
+  EXPECT_STREQ(to_string(MoesiState::Invalid), "I");
+}
+
+/// Protocol invariants under random event streams, for several core counts:
+/// at most one owner; owner never merely Shared; a Modified owner is the
+/// sole sharer.
+class MoesiInvariants : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MoesiInvariants, RandomStressHoldsInvariants) {
+  const std::uint32_t num_cores = GetParam();
+  MoesiDirectory directory(num_cores);
+  common::Rng rng(GetParam() * 7919);
+  constexpr int kBlocks = 16;
+  for (int step = 0; step < 20000; ++step) {
+    const BlockAddress block = rng.next_below(kBlocks);
+    const auto core = static_cast<CoreId>(rng.next_below(num_cores));
+    switch (rng.next_below(4)) {
+      case 0: directory.on_l1_read_fill(block, core); break;
+      case 1: directory.on_l1_write_fill(block, core); break;
+      case 2:
+        if (directory.state_at(block, core) != MoesiState::Invalid) {
+          const auto state = directory.state_at(block, core);
+          const bool dirty =
+              state == MoesiState::Modified || state == MoesiState::Owned;
+          directory.on_l1_evict(block, core, dirty);
+        }
+        break;
+      default: directory.on_l2_evict(block); break;
+    }
+    // Invariants over every block.
+    for (BlockAddress b = 0; b < kBlocks; ++b) {
+      int owners = 0;
+      int modified = 0;
+      const CoreMask sharers = directory.sharers_of(b);
+      for (CoreId c = 0; c < num_cores; ++c) {
+        const auto state = directory.state_at(b, c);
+        if (state == MoesiState::Invalid) {
+          ASSERT_EQ(sharers & core_bit(c), 0u);
+          continue;
+        }
+        ASSERT_NE(sharers & core_bit(c), 0u);
+        if (state == MoesiState::Modified || state == MoesiState::Owned ||
+            state == MoesiState::Exclusive) {
+          ++owners;
+        }
+        if (state == MoesiState::Modified) ++modified;
+      }
+      ASSERT_LE(owners, 1) << "two owners for block " << b;
+      if (modified == 1) {
+        ASSERT_EQ(std::popcount(sharers), 1) << "M with other sharers";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, MoesiInvariants, ::testing::Values(2u, 4u, 8u));
+
+}  // namespace
+}  // namespace bacp::coherence

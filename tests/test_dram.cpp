@@ -1,0 +1,69 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::mem {
+namespace {
+
+TEST(Dram, UncontendedReadLatency) {
+  Dram dram(DramConfig{});
+  EXPECT_EQ(dram.read(1000), 1000u + 260u);
+  EXPECT_EQ(dram.stats().demand_reads, 1u);
+}
+
+TEST(Dram, ChannelSerializesAtLineRate) {
+  Dram dram(DramConfig{});
+  const Cycle first = dram.read(0);
+  const Cycle second = dram.read(0);  // same instant
+  EXPECT_EQ(first, 260u);
+  EXPECT_EQ(second, 264u);  // 4-cycle line slot behind the first
+  EXPECT_EQ(dram.stats().total_channel_wait, 4u);
+}
+
+TEST(Dram, SpacedRequestsDoNotWait) {
+  Dram dram(DramConfig{});
+  dram.read(0);
+  const Cycle second = dram.read(100);
+  EXPECT_EQ(second, 360u);
+  EXPECT_EQ(dram.stats().total_channel_wait, 0u);
+}
+
+TEST(Dram, WritebacksConsumeBandwidthOnly) {
+  Dram dram(DramConfig{});
+  dram.writeback(0);
+  EXPECT_EQ(dram.stats().writebacks, 1u);
+  // The next read at the same instant queues behind the writeback's slot.
+  EXPECT_EQ(dram.read(0), 4u + 260u);
+}
+
+TEST(Dram, SixtyFourGigabytesPerSecondEquivalence) {
+  // 64 GB/s at 4 GHz = 16 B/cycle = one 64 B line every 4 cycles: the
+  // sustained throughput over N back-to-back lines must match.
+  Dram dram(DramConfig{});
+  Cycle last = 0;
+  constexpr int kLines = 100;
+  for (int i = 0; i < kLines; ++i) last = dram.read(0);
+  EXPECT_EQ(last, 260u + 4u * (kLines - 1));
+}
+
+TEST(Dram, ClearStatsResets) {
+  Dram dram(DramConfig{});
+  dram.read(0);
+  dram.writeback(0);
+  dram.clear_stats();
+  EXPECT_EQ(dram.stats().demand_reads, 0u);
+  EXPECT_EQ(dram.stats().writebacks, 0u);
+  EXPECT_EQ(dram.stats().total_channel_wait, 0u);
+}
+
+TEST(Dram, CustomLatencyConfig) {
+  DramConfig config;
+  config.access_latency = 100;
+  config.cycles_per_line = 2;
+  Dram dram(config);
+  EXPECT_EQ(dram.read(0), 100u);
+  EXPECT_EQ(dram.read(0), 102u);
+}
+
+}  // namespace
+}  // namespace bacp::mem

@@ -1,0 +1,50 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace bacp::common {
+namespace {
+
+TEST(Env, MissingVariableUsesFallback) {
+  ::unsetenv("BACP_TEST_MISSING");
+  EXPECT_EQ(env_u64("BACP_TEST_MISSING", 42), 42u);
+  EXPECT_DOUBLE_EQ(env_double("BACP_TEST_MISSING", 1.5), 1.5);
+  EXPECT_EQ(env_string("BACP_TEST_MISSING", "x"), "x");
+}
+
+TEST(Env, ParsesValidU64) {
+  ::setenv("BACP_TEST_U64", "12345", 1);
+  EXPECT_EQ(env_u64("BACP_TEST_U64", 0), 12345u);
+  ::unsetenv("BACP_TEST_U64");
+}
+
+TEST(Env, MalformedU64FallsBack) {
+  ::setenv("BACP_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_u64("BACP_TEST_BAD", 9), 9u);
+  ::setenv("BACP_TEST_BAD", "", 1);
+  EXPECT_EQ(env_u64("BACP_TEST_BAD", 9), 9u);
+  ::unsetenv("BACP_TEST_BAD");
+}
+
+TEST(Env, ParsesValidDouble) {
+  ::setenv("BACP_TEST_DBL", "2.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("BACP_TEST_DBL", 0.0), 2.75);
+  ::unsetenv("BACP_TEST_DBL");
+}
+
+TEST(Env, MalformedDoubleFallsBack) {
+  ::setenv("BACP_TEST_DBL2", "x1.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("BACP_TEST_DBL2", 3.0), 3.0);
+  ::unsetenv("BACP_TEST_DBL2");
+}
+
+TEST(Env, StringPassThrough) {
+  ::setenv("BACP_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("BACP_TEST_STR", "d"), "hello");
+  ::unsetenv("BACP_TEST_STR");
+}
+
+}  // namespace
+}  // namespace bacp::common

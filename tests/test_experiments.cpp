@@ -1,0 +1,80 @@
+#include "harness/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/spec2000.hpp"
+
+namespace bacp::harness {
+namespace {
+
+TEST(Table3Sets, ExactlyEightSets) { EXPECT_EQ(table3_sets().size(), 8u); }
+
+TEST(Table3Sets, EverySetHasEightBenchmarksAndWays) {
+  for (const auto& set : table3_sets()) {
+    EXPECT_EQ(set.benchmarks.size(), 8u) << set.label;
+    EXPECT_EQ(set.paper_ways.size(), 8u) << set.label;
+  }
+}
+
+TEST(Table3Sets, BenchmarksResolveInTheSuite) {
+  for (const auto& set : table3_sets()) {
+    const auto mix = set.mix();
+    EXPECT_EQ(mix.num_cores(), 8u);
+    for (const auto index : mix.workload_indices) {
+      EXPECT_LT(index, trace::spec2000_suite().size());
+    }
+  }
+}
+
+TEST(Table3Sets, MatchesPaperListing) {
+  const auto& sets = table3_sets();
+  EXPECT_EQ(sets[0].label, "Set1");
+  EXPECT_EQ(sets[0].benchmarks[0], "apsi");
+  EXPECT_EQ(sets[0].benchmarks[6], "facerec");
+  EXPECT_EQ(sets[0].paper_ways[6], 56u);
+  EXPECT_EQ(sets[1].benchmarks[6], "bzip2");
+  EXPECT_EQ(sets[1].paper_ways[6], 48u);
+  EXPECT_EQ(sets[6].benchmarks[7], "mcf");
+  EXPECT_EQ(sets[6].paper_ways[7], 24u);
+  EXPECT_EQ(sets[7].benchmarks[1], "eon");
+  EXPECT_EQ(sets[7].paper_ways[1], 3u);
+}
+
+TEST(Table3Sets, MixLabelsAreReadable) {
+  const auto label = trace::mix_label(table3_sets()[0].mix());
+  EXPECT_NE(label.find("apsi"), std::string::npos);
+  EXPECT_NE(label.find("facerec"), std::string::npos);
+}
+
+TEST(SetComparison, RatiosComputeAgainstNoPartition) {
+  SetComparison comparison;
+  comparison.none.l2_misses = 1000;
+  comparison.equal.l2_misses = 400;
+  comparison.bank_aware.l2_misses = 300;
+  comparison.none.mean_cpi = 2.0;
+  comparison.equal.mean_cpi = 1.5;
+  comparison.bank_aware.mean_cpi = 1.2;
+  EXPECT_DOUBLE_EQ(comparison.equal_relative_misses(), 0.4);
+  EXPECT_DOUBLE_EQ(comparison.bank_relative_misses(), 0.3);
+  EXPECT_DOUBLE_EQ(comparison.equal_relative_cpi(), 0.75);
+  EXPECT_DOUBLE_EQ(comparison.bank_relative_cpi(), 0.6);
+}
+
+TEST(SetComparison, EndToEndSmokeRun) {
+  // A miniature full-pipeline run: all three policies on Set2 at toy scale.
+  DetailedRunConfig config;
+  config.warmup_instructions = 400'000;
+  config.measure_instructions = 600'000;
+  config.epoch_cycles = 600'000;
+  const auto comparison =
+      run_set_comparison("smoke", table3_sets()[1].mix(), config);
+  EXPECT_GT(comparison.none.l2_misses, 0u);
+  EXPECT_GT(comparison.equal.l2_misses, 0u);
+  EXPECT_GT(comparison.bank_aware.l2_misses, 0u);
+  EXPECT_GT(comparison.equal_relative_misses(), 0.1);
+  EXPECT_LT(comparison.equal_relative_misses(), 3.0);
+  EXPECT_GT(comparison.none.mean_cpi, 0.0);
+}
+
+}  // namespace
+}  // namespace bacp::harness

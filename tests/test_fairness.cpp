@@ -1,0 +1,109 @@
+#include "partition/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "partition/unrestricted.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::partition {
+namespace {
+
+CmpGeometry small_geometry() {
+  CmpGeometry g;
+  g.num_cores = 2;
+  g.num_banks = 4;
+  g.ways_per_bank = 4;  // 16 ways total
+  return g;
+}
+
+TEST(Communist, CoversTheCache) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 4.0),
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 4.0)};
+  const auto allocation = communist_partition(geometry, curves);
+  EXPECT_EQ(allocation.total(), 16u);
+}
+
+TEST(Communist, IdenticalCurvesSplitEvenly) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 4.0),
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 4.0)};
+  const auto allocation = communist_partition(geometry, curves);
+  EXPECT_EQ(allocation.ways_per_core[0], 8u);
+  EXPECT_EQ(allocation.ways_per_core[1], 8u);
+}
+
+TEST(Communist, FeedsTheWorstOffCore) {
+  const auto geometry = small_geometry();
+  // Core 0 halves its misses with each early way; core 1 is already fine.
+  std::vector<double> steep(16, 0.0);
+  steep[0] = 50;
+  steep[1] = 25;
+  steep[2] = 12;
+  steep[3] = 8;
+  std::vector<double> shallow(16, 0.0);
+  shallow[0] = 99;
+  std::vector<msa::MissRatioCurve> curves{msa::MissRatioCurve(steep, 100.0),
+                                          msa::MissRatioCurve(shallow, 1.0)};
+  const auto allocation = communist_partition(geometry, curves);
+  EXPECT_GT(allocation.ways_per_core[0], allocation.ways_per_core[1]);
+}
+
+TEST(Communist, EqualizesEvenWhenCapacityIsWasted) {
+  const auto geometry = small_geometry();
+  // Core 0 is incompressible (pure streaming): communist still showers it
+  // with ways because its miss ratio stays worst — the classic
+  // throughput-vs-fairness pathology Hsu et al. describe.
+  std::vector<msa::MissRatioCurve> curves{
+      msa::MissRatioCurve(std::vector<double>(16, 0.0), 10.0),  // all misses
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 0.5)};
+  const auto allocation = communist_partition(geometry, curves);
+  EXPECT_GT(allocation.ways_per_core[0], 10u);
+}
+
+TEST(Communist, NeverFairerToBeUtilitarian) {
+  // Property: over random suite mixes, the communist allocation's miss-
+  // ratio spread is never (materially) larger than the utilitarian one's.
+  CmpGeometry geometry;
+  common::Rng rng(31);
+  const auto& suite = trace::spec2000_suite();
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    for (const auto index : mix.workload_indices) {
+      const auto& model = suite[index];
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const auto communist = communist_partition(geometry, curves);
+    const auto utilitarian = unrestricted_partition(geometry, curves);
+    EXPECT_LE(miss_ratio_spread(curves, communist.ways_per_core),
+              miss_ratio_spread(curves, utilitarian.ways_per_core) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(MissRatioSpread, KnownValues) {
+  std::vector<msa::MissRatioCurve> curves{
+      msa::MissRatioCurve({5.0, 5.0}, 0.0),   // 0 misses at 2 ways
+      msa::MissRatioCurve({0.0, 0.0}, 10.0)}; // all misses
+  const std::vector<WayCount> ways{2, 2};
+  EXPECT_DOUBLE_EQ(miss_ratio_spread(curves, ways), 1.0);
+}
+
+TEST(Communist, RespectsMinimumWays) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{
+      msa::MissRatioCurve(std::vector<double>(16, 0.0), 10.0),
+      msa::MissRatioCurve(std::vector<double>(16, 1.0), 0.0)};
+  CommunistConfig config;
+  config.min_ways_per_core = 3;
+  const auto allocation = communist_partition(geometry, curves, config);
+  EXPECT_GE(allocation.ways_per_core[1], 3u);
+}
+
+}  // namespace
+}  // namespace bacp::partition

@@ -1,0 +1,60 @@
+#include "partition/marginal_utility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::partition {
+namespace {
+
+/// Convex curve: hits 10, 6, 3, 1 at depths 1..4, 5 deep misses.
+msa::MissRatioCurve convex() { return msa::MissRatioCurve({10, 6, 3, 1}, 5); }
+
+/// Cliff curve: zero hits until depth 4, then everything (a loop of 4).
+msa::MissRatioCurve cliff() { return msa::MissRatioCurve({0, 0, 0, 20}, 5); }
+
+TEST(MarginalUtility, DefinitionMatchesPaperFormula) {
+  const auto curve = convex();
+  // MU(n) = (Miss(c) - Miss(c+n)) / n
+  EXPECT_DOUBLE_EQ(marginal_utility(curve, 0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(marginal_utility(curve, 1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(marginal_utility(curve, 0, 2), 8.0);
+  EXPECT_DOUBLE_EQ(marginal_utility(curve, 2, 2), 2.0);
+}
+
+TEST(MarginalUtility, ZeroOnFlatRegion) {
+  const auto curve = convex();
+  EXPECT_DOUBLE_EQ(marginal_utility(curve, 4, 3), 0.0);  // curve exhausted
+}
+
+TEST(MaxMarginalUtility, PicksSingleStepOnConvexCurves) {
+  const auto best = max_marginal_utility(convex(), 0, 4);
+  EXPECT_EQ(best.extra, 1u);
+  EXPECT_DOUBLE_EQ(best.utility, 10.0);
+}
+
+TEST(MaxMarginalUtility, LookaheadRidesThroughCliffs) {
+  // Single-step greedy sees MU(1) = 0 at a cliff; lookahead must find the
+  // jump at n = 4 (Qureshi's non-convexity fix).
+  const auto best = max_marginal_utility(cliff(), 0, 4);
+  EXPECT_EQ(best.extra, 4u);
+  EXPECT_DOUBLE_EQ(best.utility, 5.0);  // 20 misses removed / 4 ways
+}
+
+TEST(MaxMarginalUtility, RespectsLookaheadLimit) {
+  const auto best = max_marginal_utility(cliff(), 0, 3);  // cliff is out of reach
+  EXPECT_EQ(best.extra, 0u);
+  EXPECT_DOUBLE_EQ(best.utility, 0.0);
+}
+
+TEST(MaxMarginalUtility, ZeroWhenNoImprovementPossible) {
+  const auto best = max_marginal_utility(convex(), 4, 10);
+  EXPECT_EQ(best.extra, 0u);
+}
+
+TEST(MaxMarginalUtility, StartsFromCurrentAllocation) {
+  const auto best = max_marginal_utility(cliff(), 2, 4);
+  EXPECT_EQ(best.extra, 2u);  // only 2 more ways needed from 2
+  EXPECT_DOUBLE_EQ(best.utility, 10.0);
+}
+
+}  // namespace
+}  // namespace bacp::partition

@@ -1,0 +1,71 @@
+#include "msa/miss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::msa {
+namespace {
+
+TEST(MissRatioCurve, BasicProjection) {
+  // Hits at depths 1..4: 10, 5, 3, 2; deep misses: 10. Total = 30.
+  MissRatioCurve curve({10, 5, 3, 2}, 10);
+  EXPECT_DOUBLE_EQ(curve.total(), 30.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(0), 30.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(1), 20.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(2), 15.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(4), 10.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(100), 10.0);  // clamps beyond max_ways
+  EXPECT_EQ(curve.max_ways(), 4u);
+}
+
+TEST(MissRatioCurve, MissRatioNormalizes) {
+  MissRatioCurve curve({6, 2}, 2);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(1), 0.4);
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(2), 0.2);
+}
+
+TEST(MissRatioCurve, EmptyCurveIsZero) {
+  MissRatioCurve curve;
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.miss_ratio(4), 0.0);
+}
+
+TEST(MissRatioCurve, FromHistogramUsesLastBinAsMisses) {
+  common::Histogram h(4);  // depths 1..3 + miss bin
+  h.increment(0, 7);
+  h.increment(2, 3);
+  h.increment(3, 5);
+  const auto curve = MissRatioCurve::from_histogram(h);
+  EXPECT_DOUBLE_EQ(curve.total(), 15.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(1), 8.0);
+  EXPECT_DOUBLE_EQ(curve.miss_count(3), 5.0);
+}
+
+TEST(MissRatioCurve, ScaledMultipliesCounts) {
+  MissRatioCurve curve({4, 4}, 2);
+  const auto scaled = curve.scaled(2.5);
+  EXPECT_DOUBLE_EQ(scaled.total(), 25.0);
+  EXPECT_DOUBLE_EQ(scaled.miss_count(1), 15.0);
+  // Ratios are scale-invariant.
+  EXPECT_DOUBLE_EQ(scaled.miss_ratio(1), curve.miss_ratio(1));
+}
+
+TEST(MissRatioCurve, MonotoneNonIncreasing) {
+  const auto curve =
+      MissRatioCurve::from_model(trace::spec2000_by_name("twolf"), 128);
+  double previous = curve.miss_count(0);
+  for (WayCount w = 1; w <= 128; ++w) {
+    EXPECT_LE(curve.miss_count(w), previous + 1e-12);
+    previous = curve.miss_count(w);
+  }
+}
+
+TEST(MissRatioCurve, FromModelNormalizedToOneAccess) {
+  const auto curve = MissRatioCurve::from_model(trace::spec2000_by_name("gcc"), 64);
+  EXPECT_NEAR(curve.total(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bacp::msa

@@ -1,0 +1,90 @@
+#include "harness/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::harness {
+namespace {
+
+MonteCarloConfig small(std::size_t trials = 60, std::size_t threads = 1) {
+  MonteCarloConfig config;
+  config.trials = trials;
+  config.seed = 1234;
+  config.num_threads = threads;
+  return config;
+}
+
+TEST(MonteCarlo, ProducesRequestedTrialCount) {
+  const auto summary = run_monte_carlo(small(25));
+  EXPECT_EQ(summary.trials.size(), 25u);
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  const auto one = run_monte_carlo(small(40, 1));
+  const auto four = run_monte_carlo(small(40, 4));
+  ASSERT_EQ(one.trials.size(), four.trials.size());
+  for (std::size_t i = 0; i < one.trials.size(); ++i) {
+    EXPECT_EQ(one.trials[i].mix.workload_indices, four.trials[i].mix.workload_indices);
+    EXPECT_DOUBLE_EQ(one.trials[i].unrestricted_misses,
+                     four.trials[i].unrestricted_misses);
+    EXPECT_DOUBLE_EQ(one.trials[i].bank_aware_misses, four.trials[i].bank_aware_misses);
+  }
+  EXPECT_DOUBLE_EQ(one.mean_unrestricted_ratio, four.mean_unrestricted_ratio);
+}
+
+TEST(MonteCarlo, UnrestrictedNeverWorseThanFixedShare) {
+  const auto summary = run_monte_carlo(small(80));
+  for (const auto& trial : summary.trials) {
+    EXPECT_LE(trial.unrestricted_ratio(), 1.0001);
+  }
+}
+
+TEST(MonteCarlo, BankAwareNeverBeatsUnrestrictedByMuch) {
+  // Unrestricted is the envelope: Bank-aware adds constraints, so it can
+  // only match or lose (numerical ties aside).
+  const auto summary = run_monte_carlo(small(80));
+  for (const auto& trial : summary.trials) {
+    EXPECT_GE(trial.bank_aware_misses, trial.unrestricted_misses * 0.999);
+  }
+}
+
+TEST(MonteCarlo, MeansSitInThePaperNeighbourhood) {
+  // Paper Fig. 7: Unrestricted ~0.70, Bank-aware ~0.73 of the fixed share.
+  const auto summary = run_monte_carlo(small(300));
+  EXPECT_GT(summary.mean_unrestricted_ratio, 0.55);
+  EXPECT_LT(summary.mean_unrestricted_ratio, 0.85);
+  EXPECT_GT(summary.mean_bank_aware_ratio, summary.mean_unrestricted_ratio - 0.01);
+  EXPECT_LT(summary.mean_bank_aware_ratio, 0.90);
+}
+
+TEST(MonteCarlo, MixesDrawWithRepetition) {
+  // With 26 workloads and 8 slots, some trial must repeat a workload
+  // (probability of all-distinct every time is negligible).
+  const auto summary = run_monte_carlo(small(50));
+  bool repeated = false;
+  for (const auto& trial : summary.trials) {
+    auto sorted = trial.mix.workload_indices;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      repeated = true;
+    }
+  }
+  EXPECT_TRUE(repeated);
+}
+
+TEST(MonteCarlo, DifferentSeedsGiveDifferentMixes) {
+  auto config_a = small(10);
+  auto config_b = small(10);
+  config_b.seed = 999;
+  const auto a = run_monte_carlo(config_a);
+  const auto b = run_monte_carlo(config_b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    if (a.trials[i].mix.workload_indices != b.trials[i].mix.workload_indices) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace bacp::harness

@@ -1,0 +1,112 @@
+#include "noc/noc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::noc {
+namespace {
+
+TEST(Noc, LocalBankCostsTenCycles) {
+  Noc noc(NocConfig{});
+  for (CoreId core = 0; core < 8; ++core) {
+    EXPECT_EQ(noc.hops(core, core), 1u);
+    EXPECT_EQ(noc.access_latency(core, core), 10u);
+  }
+}
+
+TEST(Noc, FarthestLocalBankCostsSeventyCycles) {
+  // Paper: "core 0 to access the Local bank next to core 7 ... requires
+  // 7 hops" = 70 cycles.
+  Noc noc(NocConfig{});
+  EXPECT_EQ(noc.hops(0, 7), 7u);
+  EXPECT_EQ(noc.access_latency(0, 7), 70u);
+  EXPECT_EQ(noc.access_latency(7, 0), 70u);
+}
+
+TEST(Noc, LatencyAlwaysInPaperRange) {
+  Noc noc(NocConfig{});
+  for (CoreId core = 0; core < 8; ++core) {
+    for (BankId bank = 0; bank < 16; ++bank) {
+      const Cycle latency = noc.access_latency(core, bank);
+      EXPECT_GE(latency, 10u);
+      EXPECT_LE(latency, 70u);
+    }
+  }
+}
+
+TEST(Noc, CenterBanksCostOneExtraVerticalHop) {
+  Noc noc(NocConfig{});
+  // Center bank 8 sits in column 0: core 0 pays 2 hop-units vs 1 local.
+  EXPECT_EQ(noc.hops(0, 8), 2u);
+  EXPECT_GT(noc.access_latency(0, 8), noc.access_latency(0, 0));
+}
+
+TEST(Noc, CenterLatencyHasSmallerSpreadThanLocal) {
+  // Paper: center banks have higher average latency but less variation.
+  Noc noc(NocConfig{});
+  Cycle local_min = ~Cycle{0}, local_max = 0, center_min = ~Cycle{0}, center_max = 0;
+  for (BankId bank = 0; bank < 8; ++bank) {
+    const Cycle latency = noc.access_latency(0, bank);
+    local_min = std::min(local_min, latency);
+    local_max = std::max(local_max, latency);
+  }
+  for (BankId bank = 8; bank < 16; ++bank) {
+    const Cycle latency = noc.access_latency(0, bank);
+    center_min = std::min(center_min, latency);
+    center_max = std::max(center_max, latency);
+  }
+  EXPECT_LT(center_max - center_min, local_max - local_min);
+  EXPECT_GT(center_min, local_min);
+}
+
+TEST(Noc, UncontendedRequestLatencyIncludesService) {
+  Noc noc(NocConfig{});
+  const Cycle done = noc.request(0, 0, 100);
+  // travel 10 (5 out, 5 back) + 4 service.
+  EXPECT_EQ(done, 100u + 10u + 4u);
+}
+
+TEST(Noc, BackToBackRequestsQueueAtTheBank) {
+  Noc noc(NocConfig{});
+  const Cycle first = noc.request(0, 0, 100);
+  const Cycle second = noc.request(0, 0, 100);  // same instant, same bank
+  EXPECT_EQ(second, first + 4);                 // serialized by bank_busy_cycles
+  EXPECT_EQ(noc.stats().total_queue_cycles, 4u);
+}
+
+TEST(Noc, DistinctBanksDoNotQueue) {
+  Noc noc(NocConfig{});
+  noc.request(0, 0, 100);
+  noc.request(0, 1, 100);
+  EXPECT_EQ(noc.stats().total_queue_cycles, 0u);
+}
+
+TEST(Noc, RequestsCountedPerBank) {
+  Noc noc(NocConfig{});
+  noc.request(0, 3, 0);
+  noc.request(1, 3, 50);
+  noc.request(2, 5, 80);
+  EXPECT_EQ(noc.stats().bank_requests[3], 2u);
+  EXPECT_EQ(noc.stats().bank_requests[5], 1u);
+}
+
+TEST(Noc, MigrationOccupiesDestinationBank) {
+  Noc noc(NocConfig{});
+  noc.migrate(0, 1, 103);  // bank 1 busy until 107
+  EXPECT_EQ(noc.stats().migration_transfers, 1u);
+  // A request arriving at the bank at cycle 105 queues behind the write.
+  const Cycle done = noc.request(1, 1, 100);
+  EXPECT_GT(done, 100u + 10u + 4u);
+}
+
+TEST(Noc, ClearStatsResets) {
+  Noc noc(NocConfig{});
+  noc.request(0, 0, 0);
+  noc.migrate(0, 1, 0);
+  noc.clear_stats();
+  EXPECT_EQ(noc.stats().migration_transfers, 0u);
+  EXPECT_EQ(noc.stats().total_queue_cycles, 0u);
+  EXPECT_EQ(noc.stats().bank_requests[0], 0u);
+}
+
+}  // namespace
+}  // namespace bacp::noc

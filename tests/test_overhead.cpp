@@ -1,0 +1,59 @@
+#include "msa/overhead_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bacp::msa {
+namespace {
+
+TEST(OverheadModel, PaperTableTwoNumbers) {
+  // 12-bit tags x 72 ways x 64 monitored sets = 55296 bits = 54 kbits.
+  const auto report = compute_overhead(OverheadConfig{});
+  EXPECT_EQ(report.partial_tag_bits_total, 12u * 72u * 64u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(report.partial_tag_bits_total) / 1024.0, 54.0);
+
+  // ((6-bit pointers x 72) + head/tail) x 64 = 28416 bits ~ 27.75 kbits
+  // (the paper rounds to 27 kbits).
+  EXPECT_EQ(report.lru_stack_bits_total, ((6u * 72u) + 12u) * 64u);
+  EXPECT_NEAR(static_cast<double>(report.lru_stack_bits_total) / 1024.0, 27.75, 0.01);
+
+  // 72 ways x 32-bit counters = 2304 bits = 2.25 kbits.
+  EXPECT_EQ(report.hit_counter_bits_total, 72u * 32u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(report.hit_counter_bits_total) / 1024.0, 2.25);
+}
+
+TEST(OverheadModel, TotalFractionOfCacheNearPaperEstimate) {
+  const auto report = compute_overhead(OverheadConfig{});
+  const double fraction = report.fraction_of_cache(16ull * 1024 * 1024, 8);
+  // Paper says ~0.4%; the exact equations give ~0.5%.
+  EXPECT_GT(fraction, 0.003);
+  EXPECT_LT(fraction, 0.006);
+}
+
+TEST(OverheadModel, ScalesLinearlyWithMonitoredSets) {
+  OverheadConfig half;
+  half.monitored_sets = 32;
+  const auto base = compute_overhead(OverheadConfig{});
+  const auto reduced = compute_overhead(half);
+  EXPECT_EQ(reduced.partial_tag_bits_total * 2, base.partial_tag_bits_total);
+  EXPECT_EQ(reduced.lru_stack_bits_total * 2, base.lru_stack_bits_total);
+  // Hit counters are shared across sets: unaffected by sampling.
+  EXPECT_EQ(reduced.hit_counter_bits_total, base.hit_counter_bits_total);
+}
+
+TEST(OverheadModel, WiderTagsCostProportionally) {
+  OverheadConfig wide;
+  wide.partial_tag_bits = 24;
+  EXPECT_EQ(compute_overhead(wide).partial_tag_bits_total,
+            2 * compute_overhead(OverheadConfig{}).partial_tag_bits_total);
+}
+
+TEST(OverheadModel, PerProfilerTotalsAddUp) {
+  const auto report = compute_overhead(OverheadConfig{});
+  EXPECT_EQ(report.per_profiler_bits(),
+            report.partial_tag_bits_total + report.lru_stack_bits_total +
+                report.hit_counter_bits_total);
+  EXPECT_NEAR(report.per_profiler_kbits(), 84.0, 0.1);
+}
+
+}  // namespace
+}  // namespace bacp::msa

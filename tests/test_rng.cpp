@@ -1,0 +1,139 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace bacp::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123, 0);
+  Rng b(123, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DifferentStreamIdsProduceDifferentStreams) {
+  Rng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsApproximatelyUniform) {
+  Rng rng(9);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int trues = 0;
+  for (int i = 0; i < 20000; ++i) trues += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(trues / 20000.0, 0.3, 0.02);
+}
+
+TEST(DiscreteSampler, SingleElement) {
+  const double w[] = {3.0};
+  DiscreteSampler sampler{std::span<const double>(w)};
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const double w[] = {1.0, 0.0, 1.0};
+  DiscreteSampler sampler{std::span<const double>(w)};
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, NormalizedProbabilities) {
+  const double w[] = {2.0, 6.0};
+  DiscreteSampler sampler{std::span<const double>(w)};
+  EXPECT_DOUBLE_EQ(sampler.probability_of(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability_of(1), 0.75);
+}
+
+/// Property sweep: for several distribution shapes, empirical frequencies
+/// converge to the normalized weights.
+class DiscreteSamplerConvergence
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(DiscreteSamplerConvergence, EmpiricalMatchesWeights) {
+  const auto& weights = GetParam();
+  DiscreteSampler sampler{std::span<const double>(weights)};
+  Rng rng(77);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kDraws), weights[i] / total, 0.01)
+        << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DiscreteSamplerConvergence,
+    ::testing::Values(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                      std::vector<double>{10.0, 0.0, 1.0, 0.0, 5.0},
+                      std::vector<double>{0.5, 0.25, 0.125, 0.0625, 0.0625},
+                      std::vector<double>(64, 1.0)));
+
+TEST(DiscreteSampler, SizeReflectsInput) {
+  const double w[] = {1.0, 2.0, 3.0};
+  DiscreteSampler sampler{std::span<const double>(w)};
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_FALSE(sampler.empty());
+  EXPECT_TRUE(DiscreteSampler{}.empty());
+}
+
+}  // namespace
+}  // namespace bacp::common

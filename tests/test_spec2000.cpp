@@ -1,0 +1,103 @@
+#include "trace/spec2000.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bacp::trace {
+namespace {
+
+TEST(Spec2000, HasTwentySixComponents) {
+  EXPECT_EQ(spec2000_suite().size(), kNumSpec2000);
+  EXPECT_EQ(kNumSpec2000, 26u);
+}
+
+TEST(Spec2000, NamesAreUniqueAndSorted) {
+  std::set<std::string> names;
+  std::string previous;
+  for (const auto& model : spec2000_suite()) {
+    EXPECT_TRUE(names.insert(model.name).second) << "duplicate " << model.name;
+    EXPECT_LT(previous, model.name);
+    previous = model.name;
+  }
+}
+
+TEST(Spec2000, LookupByNameReturnsMatchingModel) {
+  EXPECT_EQ(spec2000_by_name("mcf").name, "mcf");
+  EXPECT_EQ(spec2000_by_name("sixtrack").name, "sixtrack");
+  EXPECT_EQ(spec2000_index("ammp"), 0u);
+  EXPECT_EQ(spec2000_index("wupwise"), 25u);
+}
+
+// --- Paper-pinned shapes (Fig. 3) -------------------------------------
+
+TEST(Spec2000, SixtrackSaturatesByEightWays) {
+  const auto& m = spec2000_by_name("sixtrack");
+  // "after that point, by giving more ways, its misses are close to zero"
+  EXPECT_LT(m.miss_ratio(8) - m.miss_ratio(128), 0.06);
+  EXPECT_GT(m.miss_ratio(2), 0.4);  // lots of misses with few ways
+}
+
+TEST(Spec2000, AppluFlatPastTenWaysWithLowResidue) {
+  const auto& m = spec2000_by_name("applu");
+  EXPECT_LT(m.miss_ratio(14) - m.miss_ratio(128), 0.02);
+  EXPECT_GT(m.miss_ratio(4) - m.miss_ratio(14), 0.3);  // real knee around 10
+}
+
+TEST(Spec2000, Bzip2ImprovesGraduallyOutToFortyFiveWays) {
+  const auto& m = spec2000_by_name("bzip2");
+  EXPECT_GT(m.miss_ratio(16) - m.miss_ratio(48), 0.2);
+  EXPECT_GT(m.miss_ratio(32) - m.miss_ratio(48), 0.05);
+  EXPECT_LT(m.miss_ratio(64) - m.miss_ratio(128), 0.01);
+}
+
+// --- Table III-implied appetites ---------------------------------------
+
+TEST(Spec2000, FacerecWantsDeepCapacity) {
+  const auto& m = spec2000_by_name("facerec");
+  EXPECT_GT(m.miss_ratio(16) - m.miss_ratio(64), 0.35);
+}
+
+TEST(Spec2000, EonIsTiny) {
+  const auto& m = spec2000_by_name("eon");
+  EXPECT_LT(m.miss_ratio(8), 0.06);
+  EXPECT_LT(m.l2_apki, 3.0);
+}
+
+TEST(Spec2000, GccFitsInAFewWays) {
+  const auto& m = spec2000_by_name("gcc");
+  EXPECT_LT(m.miss_ratio(8) - m.miss_ratio(128), 0.02);
+}
+
+TEST(Spec2000, McfIsIntenseWithLargeIncompressibleResidue) {
+  const auto& m = spec2000_by_name("mcf");
+  EXPECT_GT(m.l2_apki, 30.0);
+  EXPECT_GT(m.miss_ratio(128), 0.3);                    // streaming residue
+  EXPECT_GT(m.miss_ratio(16) - m.miss_ratio(32), 0.1);  // 24-deep loop
+}
+
+TEST(Spec2000, StreamersCarryHighMlp) {
+  // Regular FP sweeps overlap their misses; art/equake are dependent-access
+  // codes and deliberately do not appear here.
+  for (const char* name : {"swim", "mgrid", "lucas", "wupwise", "applu"}) {
+    EXPECT_GE(spec2000_by_name(name).mlp, 4.0) << name;
+  }
+}
+
+TEST(Spec2000, LatencyBoundCodesCarryLowMlp) {
+  for (const char* name : {"mcf", "twolf", "parser", "crafty", "eon"}) {
+    EXPECT_LE(spec2000_by_name(name).mlp, 2.5) << name;
+  }
+}
+
+TEST(Spec2000, IntensityTiersAreRealistic) {
+  EXPECT_GT(spec2000_by_name("art").l2_apki, spec2000_by_name("mesa").l2_apki * 5);
+  EXPECT_LT(spec2000_by_name("perlbmk").l2_apki, 5.0);
+}
+
+TEST(Spec2000, EveryModelValidates) {
+  for (const auto& model : spec2000_suite()) model.validate();
+}
+
+}  // namespace
+}  // namespace bacp::trace

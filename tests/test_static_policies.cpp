@@ -1,0 +1,85 @@
+#include "partition/static_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace bacp::partition {
+namespace {
+
+TEST(EqualPartition, TwoMegabytesPerCore) {
+  CmpGeometry geometry;
+  const auto plan = equal_partition(geometry);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    EXPECT_EQ(plan.allocation.ways_per_core[core], 16u);
+    EXPECT_EQ(plan.assignment.banks_of_core[core].size(), 2u);
+  }
+  EXPECT_EQ(plan.allocation.total(), geometry.total_ways());
+}
+
+TEST(EqualPartition, BanksArePrivate) {
+  CmpGeometry geometry;
+  const auto plan = equal_partition(geometry);
+  for (BankId bank = 0; bank < geometry.num_banks; ++bank) {
+    for (const CoreMask mask : plan.assignment.way_masks[bank]) {
+      EXPECT_EQ(std::popcount(mask), 1) << "bank " << bank;
+    }
+  }
+}
+
+TEST(EqualPartition, EachCoreGetsItsLocalBankPlusTheNearestCenter) {
+  CmpGeometry geometry;
+  const auto plan = equal_partition(geometry);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    const auto& banks = plan.assignment.banks_of_core[core];
+    EXPECT_EQ(banks[0], geometry.local_bank(core));
+    EXPECT_EQ(banks[1], geometry.num_cores + core);
+  }
+}
+
+TEST(EqualPartition, ValidatesAgainstGeometry) {
+  CmpGeometry geometry;
+  const auto plan = equal_partition(geometry);
+  plan.assignment.validate_against(geometry, plan.allocation);
+}
+
+TEST(NoPartition, EveryWaySharedByAllCores) {
+  CmpGeometry geometry;
+  const auto plan = no_partition(geometry);
+  for (const auto& bank : plan.assignment.way_masks) {
+    for (const CoreMask mask : bank) {
+      EXPECT_EQ(mask, ~CoreMask{0});
+    }
+  }
+}
+
+TEST(NoPartition, EveryCoreSeesEveryBank) {
+  CmpGeometry geometry;
+  const auto plan = no_partition(geometry);
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    EXPECT_EQ(plan.assignment.banks_of_core[core].size(), geometry.num_banks);
+    EXPECT_EQ(plan.allocation.ways_per_core[core], geometry.total_ways());
+  }
+}
+
+TEST(CmpGeometry, PaperBaselineNumbers) {
+  CmpGeometry geometry;
+  EXPECT_EQ(geometry.total_ways(), 128u);
+  EXPECT_EQ(geometry.max_assignable_ways(), 72u);  // 9/16 of the cache
+  EXPECT_EQ(geometry.num_center_banks(), 8u);
+  EXPECT_TRUE(geometry.is_center_bank(8));
+  EXPECT_FALSE(geometry.is_center_bank(7));
+  EXPECT_EQ(geometry.local_bank(3), 3u);
+}
+
+TEST(CmpGeometry, AdjacencyIsTheLinearRow) {
+  CmpGeometry geometry;
+  EXPECT_TRUE(geometry.adjacent(0, 1));
+  EXPECT_TRUE(geometry.adjacent(5, 4));
+  EXPECT_FALSE(geometry.adjacent(0, 2));
+  EXPECT_FALSE(geometry.adjacent(3, 3));
+  EXPECT_FALSE(geometry.adjacent(0, 7));
+}
+
+}  // namespace
+}  // namespace bacp::partition

@@ -1,0 +1,111 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bacp::common {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesConcatenation) {
+  Rng rng(3);
+  std::vector<double> all;
+  StreamingStats left, right, merged_reference;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double() * 10.0;
+    all.push_back(x);
+    (i < 200 ? left : right).add(x);
+    merged_reference.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), merged_reference.count());
+  EXPECT_NEAR(left.mean(), merged_reference.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), merged_reference.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), merged_reference.min());
+  EXPECT_DOUBLE_EQ(left.max(), merged_reference.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  const double v1[] = {4.0, 9.0};
+  EXPECT_NEAR(geometric_mean(v1), 6.0, 1e-12);
+  const double v2[] = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(v2), 1.0);
+  const double v3[] = {2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(v3), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, LessThanArithmeticForSpreadValues) {
+  const double v[] = {1.0, 100.0};
+  EXPECT_LT(geometric_mean(v), arithmetic_mean(v));
+}
+
+TEST(ArithmeticMean, KnownValue) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(v), 2.5);
+}
+
+TEST(Percentile, Endpoints) {
+  const double v[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const double v[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const double v[] = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 13.0), 42.0);
+}
+
+TEST(Ratio, FallbackOnZeroDenominator) {
+  EXPECT_DOUBLE_EQ(ratio(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ratio(6.0, 3.0), 2.0);
+}
+
+}  // namespace
+}  // namespace bacp::common

@@ -1,0 +1,129 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "msa/stack_profiler.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::trace {
+namespace {
+
+GeneratorConfig small_config(CoreId core = 0) {
+  GeneratorConfig config;
+  config.num_sets = 256;
+  config.max_depth = 128;
+  config.core = core;
+  return config;
+}
+
+TEST(SyntheticGenerator, DeterministicForSameSeed) {
+  const auto& model = spec2000_by_name("gzip");
+  SyntheticTraceGenerator a(model, small_config(), 5);
+  SyntheticTraceGenerator b(model, small_config(), 5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = a.next();
+    const auto y = b.next();
+    EXPECT_EQ(x.block, y.block);
+    EXPECT_EQ(x.is_write, y.is_write);
+  }
+}
+
+TEST(SyntheticGenerator, DifferentSeedsDiffer) {
+  const auto& model = spec2000_by_name("gzip");
+  SyntheticTraceGenerator a(model, small_config(), 5);
+  SyntheticTraceGenerator b(model, small_config(), 6);
+  int equal = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.next().block == b.next().block) ++equal;
+  }
+  EXPECT_LT(equal, 100);
+}
+
+TEST(SyntheticGenerator, BlockLowBitsEncodeTheSet) {
+  // The cache derives the set as block % num_sets; the generator's recency
+  // bookkeeping must agree with that mapping.
+  const auto& model = spec2000_by_name("applu");
+  auto config = small_config();
+  SyntheticTraceGenerator generator(model, config, 9);
+  std::set<std::uint64_t> sets_seen;
+  for (int i = 0; i < 20000; ++i) {
+    sets_seen.insert(generator.next().block % config.num_sets);
+  }
+  EXPECT_EQ(sets_seen.size(), config.num_sets);  // uniform set selection
+}
+
+TEST(SyntheticGenerator, CoreIdStampsAddressSpace) {
+  const auto& model = spec2000_by_name("applu");
+  SyntheticTraceGenerator a(model, small_config(0), 5);
+  SyntheticTraceGenerator b(model, small_config(1), 5);
+  std::set<BlockAddress> from_a;
+  for (int i = 0; i < 5000; ++i) from_a.insert(a.next().block);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(from_a.count(b.next().block), 0u) << "address spaces must be disjoint";
+  }
+}
+
+TEST(SyntheticGenerator, WriteFractionMatchesModel) {
+  const auto& model = spec2000_by_name("bzip2");  // write_fraction 0.35
+  SyntheticTraceGenerator generator(model, small_config(), 21);
+  int writes = 0;
+  constexpr int kAccesses = 50000;
+  for (int i = 0; i < kAccesses; ++i) writes += generator.next().is_write ? 1 : 0;
+  EXPECT_NEAR(writes / static_cast<double>(kAccesses), model.write_fraction, 0.02);
+}
+
+TEST(SyntheticGenerator, FootprintGrowsWithColdFraction) {
+  const auto& cold_heavy = spec2000_by_name("swim");   // cold 0.42
+  const auto& cold_light = spec2000_by_name("sixtrack");  // cold 0.05
+  SyntheticTraceGenerator a(cold_heavy, small_config(), 3);
+  SyntheticTraceGenerator b(cold_light, small_config(), 3);
+  for (int i = 0; i < 50000; ++i) {
+    a.next();
+    b.next();
+  }
+  EXPECT_GT(a.blocks_allocated(), 2 * b.blocks_allocated());
+}
+
+/// The defining property: the generated stream's MSA histogram converges to
+/// the model's stack-distance distribution (full-tag, all-sets profiler).
+class GeneratorConvergence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorConvergence, ProfiledHistogramMatchesModel) {
+  const auto& model = spec2000_by_name(GetParam());
+  auto config = small_config();
+  SyntheticTraceGenerator generator(model, config, 17);
+
+  msa::ProfilerConfig profiler_config;
+  profiler_config.num_sets = config.num_sets;
+  profiler_config.set_sampling = 1;
+  profiler_config.partial_tag_bits = 0;
+  profiler_config.profiled_ways = config.max_depth;
+  msa::StackProfiler profiler(profiler_config);
+
+  constexpr std::uint64_t kWarm = 450000;
+  constexpr std::uint64_t kMeasure = 400000;
+  for (std::uint64_t i = 0; i < kWarm; ++i) generator.next();
+  for (std::uint64_t i = 0; i < kMeasure; ++i) profiler.observe(generator.next().block);
+
+  const auto expected = model.stack_distance_weights(config.max_depth);
+  const auto measured = profiler.histogram().normalized();
+  ASSERT_EQ(measured.size(), expected.size());
+  // Compare cumulative distributions (pointwise bins are noisy).
+  double cumulative_expected = 0.0;
+  double cumulative_measured = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    cumulative_expected += expected[i];
+    cumulative_measured += measured[i];
+    EXPECT_NEAR(cumulative_measured, cumulative_expected, 0.04)
+        << "CDF at depth " << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GeneratorConvergence,
+                         ::testing::Values("sixtrack", "applu", "bzip2", "mcf",
+                                           "gzip", "facerec", "eon", "swim"));
+
+}  // namespace
+}  // namespace bacp::trace

@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace bacp::common {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, SingleIteration) {
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SequentialCallsReusePool) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // Work that writes f(i) into slot i must produce identical results under
+  // any parallelism (the Monte-Carlo determinism requirement).
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(500);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = i * 2654435761u;  // deterministic per-index work
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace bacp::common

@@ -1,0 +1,94 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/spec2000.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bacp::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripsAccesses) {
+  const auto path = temp_path("roundtrip.bacptrc");
+  std::vector<MemoryAccess> accesses;
+  SyntheticTraceGenerator generator(spec2000_by_name("gzip"),
+                                    GeneratorConfig{.num_sets = 64, .core = 3}, 5);
+  for (int i = 0; i < 5000; ++i) accesses.push_back(generator.next());
+
+  ASSERT_TRUE(write_trace(path, accesses));
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), accesses.size());
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].block, accesses[i].block) << i;
+    EXPECT_EQ((*loaded)[i].core, accesses[i].core) << i;
+    EXPECT_EQ((*loaded)[i].is_write, accesses[i].is_write) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const auto path = temp_path("empty.bacptrc");
+  ASSERT_TRUE(write_trace(path, {}));
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_trace(temp_path("does-not-exist.bacptrc")).has_value());
+}
+
+TEST(TraceIo, BadMagicIsRejected) {
+  const auto path = temp_path("badmagic.bacptrc");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILE and some padding bytes";
+  }
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordsAreRejected) {
+  const auto path = temp_path("truncated.bacptrc");
+  std::vector<MemoryAccess> accesses(100);
+  for (std::uint64_t i = 0; i < accesses.size(); ++i) accesses[i].block = i;
+  ASSERT_TRUE(write_trace(path, accesses));
+  // Chop the last few bytes off.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() - 5));
+  }
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriteBitAndCoreSurviveEncoding) {
+  const auto path = temp_path("flags.bacptrc");
+  std::vector<MemoryAccess> accesses;
+  for (CoreId core = 0; core < 32; ++core) {
+    accesses.push_back({0xABCDEF00ull + core, core, core % 2 == 0});
+  }
+  ASSERT_TRUE(write_trace(path, accesses));
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].core, accesses[i].core);
+    EXPECT_EQ((*loaded)[i].is_write, accesses[i].is_write);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bacp::trace

@@ -1,0 +1,120 @@
+#include "partition/unrestricted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "msa/miss_curve.hpp"
+#include "trace/mix.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::partition {
+namespace {
+
+CmpGeometry small_geometry() {
+  CmpGeometry g;
+  g.num_cores = 2;
+  g.num_banks = 4;
+  g.ways_per_bank = 4;  // total 16 ways
+  return g;
+}
+
+msa::MissRatioCurve flat() { return msa::MissRatioCurve({0, 0, 0, 0}, 10); }
+
+TEST(Unrestricted, CoversTheWholeCache) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{flat(), flat()};
+  const auto allocation = unrestricted_partition(geometry, curves);
+  EXPECT_EQ(allocation.total(), geometry.total_ways());
+}
+
+TEST(Unrestricted, RespectsMinimumWays) {
+  const auto geometry = small_geometry();
+  // Core 1's curve is insatiable; core 0 still keeps its minimum.
+  std::vector<msa::MissRatioCurve> curves{
+      flat(), msa::MissRatioCurve(std::vector<double>(16, 100.0), 0)};
+  UnrestrictedConfig config;
+  config.min_ways_per_core = 2;
+  const auto allocation = unrestricted_partition(geometry, curves, config);
+  EXPECT_GE(allocation.ways_per_core[0], 2u);
+  EXPECT_EQ(allocation.total(), 16u);
+}
+
+TEST(Unrestricted, RespectsMaximumCap) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{
+      flat(), msa::MissRatioCurve(std::vector<double>(16, 100.0), 0)};
+  UnrestrictedConfig config;
+  config.max_ways_per_core = 10;
+  const auto allocation = unrestricted_partition(geometry, curves, config);
+  EXPECT_LE(allocation.ways_per_core[1], 10u);
+  EXPECT_EQ(allocation.total(), 16u);
+}
+
+TEST(Unrestricted, GreedyFindsTheObviousSplit) {
+  const auto geometry = small_geometry();
+  // Core 0 benefits hugely from 12 ways; core 1 from 4.
+  std::vector<double> hits0(16, 0.0), hits1(16, 0.0);
+  for (int i = 0; i < 12; ++i) hits0[static_cast<std::size_t>(i)] = 10.0;
+  for (int i = 0; i < 4; ++i) hits1[static_cast<std::size_t>(i)] = 9.0;
+  std::vector<msa::MissRatioCurve> curves{msa::MissRatioCurve(hits0, 1),
+                                          msa::MissRatioCurve(hits1, 1)};
+  const auto allocation = unrestricted_partition(geometry, curves);
+  EXPECT_EQ(allocation.ways_per_core[0], 12u);
+  EXPECT_EQ(allocation.ways_per_core[1], 4u);
+}
+
+TEST(Unrestricted, LookaheadServesCliffCurves) {
+  const auto geometry = small_geometry();
+  // Core 0: loop needing exactly 10 ways (zero benefit below).
+  std::vector<double> hits0(16, 0.0);
+  hits0[9] = 100.0;
+  std::vector<double> hits1(16, 1.0);  // gentle slope
+  std::vector<msa::MissRatioCurve> curves{msa::MissRatioCurve(hits0, 1),
+                                          msa::MissRatioCurve(hits1, 1)};
+  const auto allocation = unrestricted_partition(geometry, curves);
+  EXPECT_GE(allocation.ways_per_core[0], 10u);
+}
+
+TEST(Unrestricted, NeverWorseThanEvenShareOnSuiteMixes) {
+  CmpGeometry geometry;  // full 8-core, 128-way
+  const auto& suite = trace::spec2000_suite();
+  common::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto mix = trace::random_mix(rng, suite.size(), geometry.num_cores);
+    std::vector<msa::MissRatioCurve> curves;
+    std::vector<WayCount> even(geometry.num_cores, 16);
+    for (const auto index : mix.workload_indices) {
+      const auto& model = suite[index];
+      curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+    }
+    const auto allocation = unrestricted_partition(geometry, curves);
+    const double optimized =
+        projected_total_misses(curves, allocation.ways_per_core);
+    const double baseline = projected_total_misses(curves, even);
+    EXPECT_LE(optimized, baseline * 1.0001) << "trial " << trial;
+  }
+}
+
+TEST(Unrestricted, DeterministicAcrossCalls) {
+  CmpGeometry geometry;
+  const auto& suite = trace::spec2000_suite();
+  std::vector<msa::MissRatioCurve> curves;
+  for (CoreId core = 0; core < geometry.num_cores; ++core) {
+    const auto& model = suite[core];
+    curves.push_back(msa::MissRatioCurve::from_model(model, 128).scaled(model.l2_apki));
+  }
+  const auto a = unrestricted_partition(geometry, curves);
+  const auto b = unrestricted_partition(geometry, curves);
+  EXPECT_EQ(a.ways_per_core, b.ways_per_core);
+}
+
+TEST(Unrestricted, IdenticalFlatCurvesSplitEvenly) {
+  const auto geometry = small_geometry();
+  std::vector<msa::MissRatioCurve> curves{flat(), flat()};
+  const auto allocation = unrestricted_partition(geometry, curves);
+  EXPECT_EQ(allocation.ways_per_core[0], 8u);
+  EXPECT_EQ(allocation.ways_per_core[1], 8u);
+}
+
+}  // namespace
+}  // namespace bacp::partition

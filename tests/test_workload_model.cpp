@@ -1,0 +1,122 @@
+#include "trace/workload_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "msa/miss_curve.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::trace {
+namespace {
+
+WorkloadModel simple_model() {
+  WorkloadModel m;
+  m.name = "toy";
+  m.components = {{0.5, 4, false}, {0.3, 10, true}};
+  m.cold_fraction = 0.2;
+  return m;
+}
+
+TEST(WorkloadModel, ValidatePassesForWellFormedModel) {
+  simple_model().validate();  // aborts on violation
+}
+
+TEST(WorkloadModel, MissRatioAtZeroWaysIsOne) {
+  EXPECT_DOUBLE_EQ(simple_model().miss_ratio(0), 1.0);
+}
+
+TEST(WorkloadModel, MissRatioFloorIsColdFraction) {
+  const auto m = simple_model();
+  EXPECT_NEAR(m.miss_ratio(128), m.cold_fraction, 1e-12);
+}
+
+TEST(WorkloadModel, MixedComponentIsPiecewiseLinear) {
+  WorkloadModel m;
+  m.name = "mixed";
+  m.components = {{0.8, 10, false}};
+  m.cold_fraction = 0.2;
+  EXPECT_NEAR(m.miss_ratio(5), 1.0 - 0.8 * 0.5, 1e-12);
+  EXPECT_NEAR(m.miss_ratio(10), 0.2, 1e-12);
+  EXPECT_NEAR(m.miss_ratio(20), 0.2, 1e-12);
+}
+
+TEST(WorkloadModel, CyclicComponentHasSteepRamp) {
+  WorkloadModel m;
+  m.name = "loop";
+  m.components = {{1.0, 30, true}};
+  m.cold_fraction = 0.0;
+  // Smear: +-30/3 = 10 -> span [20, 40].
+  EXPECT_DOUBLE_EQ(m.miss_ratio(19), 1.0);  // below the span: nothing
+  EXPECT_LT(m.miss_ratio(30), m.miss_ratio(25));
+  EXPECT_NEAR(m.miss_ratio(40), 0.0, 1e-12);  // span fully captured
+  EXPECT_NEAR(m.miss_ratio(128), 0.0, 1e-12);
+}
+
+TEST(WorkloadModel, StackDistanceWeightsSumToOne) {
+  const auto weights = simple_model().stack_distance_weights(64);
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(WorkloadModel, DeepLoopFoldsIntoColdBin) {
+  WorkloadModel m;
+  m.name = "deep";
+  m.components = {{1.0, 100, true}};
+  m.cold_fraction = 0.0;
+  const auto weights = m.stack_distance_weights(16);
+  // Loop span [67, 133] lies entirely beyond depth 16.
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(weights[i], 0.0);
+  EXPECT_NEAR(weights[16], 1.0, 1e-12);
+}
+
+TEST(WorkloadModel, DeepMixedComponentSplitsAcrossBinAndCold) {
+  WorkloadModel m;
+  m.name = "deepmix";
+  m.components = {{1.0, 20, false}};
+  m.cold_fraction = 0.0;
+  const auto weights = m.stack_distance_weights(10);
+  double in_range = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) in_range += weights[i];
+  EXPECT_NEAR(in_range, 0.5, 1e-12);
+  EXPECT_NEAR(weights[10], 0.5, 1e-12);
+}
+
+/// Property over the whole calibrated suite: the analytic projection from
+/// the stack-distance weights must agree with miss_ratio, and curves must
+/// be monotone non-increasing in capacity.
+class SuiteModelProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteModelProperty, CurveMatchesMissRatio) {
+  const auto& model = spec2000_suite()[GetParam()];
+  const auto curve = msa::MissRatioCurve::from_model(model, 128);
+  for (WayCount w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    EXPECT_NEAR(curve.miss_ratio(w), model.miss_ratio(w), 1e-9)
+        << model.name << " at " << w << " ways";
+  }
+}
+
+TEST_P(SuiteModelProperty, MissRatioMonotoneNonIncreasing) {
+  const auto& model = spec2000_suite()[GetParam()];
+  double previous = model.miss_ratio(0);
+  for (WayCount w = 1; w <= 128; ++w) {
+    const double mr = model.miss_ratio(w);
+    EXPECT_LE(mr, previous + 1e-12) << model.name << " at " << w;
+    previous = mr;
+  }
+}
+
+TEST_P(SuiteModelProperty, WeightsSumToOneAtAnyDepth) {
+  const auto& model = spec2000_suite()[GetParam()];
+  for (WayCount depth : {8u, 72u, 128u}) {
+    const auto weights = model.stack_distance_weights(depth);
+    EXPECT_NEAR(std::accumulate(weights.begin(), weights.end(), 0.0), 1.0, 1e-9)
+        << model.name << " depth " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpec2000, SuiteModelProperty,
+                         ::testing::Range<std::size_t>(0, kNumSpec2000));
+
+}  // namespace
+}  // namespace bacp::trace
