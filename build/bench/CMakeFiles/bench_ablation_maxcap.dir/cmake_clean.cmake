@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxcap.dir/bench_ablation_maxcap.cpp.o"
+  "CMakeFiles/bench_ablation_maxcap.dir/bench_ablation_maxcap.cpp.o.d"
+  "bench_ablation_maxcap"
+  "bench_ablation_maxcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

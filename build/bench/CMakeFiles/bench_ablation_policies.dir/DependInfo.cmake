@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_policies.cpp" "bench/CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bacp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bacp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bacp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/bacp_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bacp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nuca/CMakeFiles/bacp_nuca.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/bacp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/bacp_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bacp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bacp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/bacp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cpi.dir/bench_fig9_cpi.cpp.o"
+  "CMakeFiles/bench_fig9_cpi.dir/bench_fig9_cpi.cpp.o.d"
+  "bench_fig9_cpi"
+  "bench_fig9_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

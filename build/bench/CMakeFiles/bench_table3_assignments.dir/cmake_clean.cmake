@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_assignments.dir/bench_table3_assignments.cpp.o"
+  "CMakeFiles/bench_table3_assignments.dir/bench_table3_assignments.cpp.o.d"
+  "bench_table3_assignments"
+  "bench_table3_assignments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_assignments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidated_server.dir/consolidated_server.cpp.o"
+  "CMakeFiles/consolidated_server.dir/consolidated_server.cpp.o.d"
+  "consolidated_server"
+  "consolidated_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidated_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_dynamics.dir/epoch_dynamics.cpp.o"
+  "CMakeFiles/epoch_dynamics.dir/epoch_dynamics.cpp.o.d"
+  "epoch_dynamics"
+  "epoch_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

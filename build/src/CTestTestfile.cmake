@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("cache")
+subdirs("msa")
+subdirs("partition")
+subdirs("noc")
+subdirs("mem")
+subdirs("coherence")
+subdirs("nuca")
+subdirs("core")
+subdirs("sim")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_cache.dir/set_assoc_cache.cpp.o"
+  "CMakeFiles/bacp_cache.dir/set_assoc_cache.cpp.o.d"
+  "libbacp_cache.a"
+  "libbacp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_coherence.dir/moesi.cpp.o"
+  "CMakeFiles/bacp_coherence.dir/moesi.cpp.o.d"
+  "libbacp_coherence.a"
+  "libbacp_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

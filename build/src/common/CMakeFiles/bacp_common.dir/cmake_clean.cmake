@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_common.dir/args.cpp.o"
+  "CMakeFiles/bacp_common.dir/args.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/env.cpp.o"
+  "CMakeFiles/bacp_common.dir/env.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/rng.cpp.o"
+  "CMakeFiles/bacp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/stats.cpp.o"
+  "CMakeFiles/bacp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/table.cpp.o"
+  "CMakeFiles/bacp_common.dir/table.cpp.o.d"
+  "CMakeFiles/bacp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/bacp_common.dir/thread_pool.cpp.o.d"
+  "libbacp_common.a"
+  "libbacp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_core.dir/core_timer.cpp.o"
+  "CMakeFiles/bacp_core.dir/core_timer.cpp.o.d"
+  "libbacp_core.a"
+  "libbacp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

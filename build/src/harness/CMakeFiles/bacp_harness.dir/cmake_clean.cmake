@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_harness.dir/experiments.cpp.o"
+  "CMakeFiles/bacp_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/bacp_harness.dir/monte_carlo.cpp.o"
+  "CMakeFiles/bacp_harness.dir/monte_carlo.cpp.o.d"
+  "libbacp_harness.a"
+  "libbacp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

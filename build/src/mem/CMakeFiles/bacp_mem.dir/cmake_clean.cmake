@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_mem.dir/dram.cpp.o"
+  "CMakeFiles/bacp_mem.dir/dram.cpp.o.d"
+  "libbacp_mem.a"
+  "libbacp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

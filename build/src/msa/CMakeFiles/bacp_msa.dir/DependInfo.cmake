@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msa/miss_curve.cpp" "src/msa/CMakeFiles/bacp_msa.dir/miss_curve.cpp.o" "gcc" "src/msa/CMakeFiles/bacp_msa.dir/miss_curve.cpp.o.d"
+  "/root/repo/src/msa/overhead_model.cpp" "src/msa/CMakeFiles/bacp_msa.dir/overhead_model.cpp.o" "gcc" "src/msa/CMakeFiles/bacp_msa.dir/overhead_model.cpp.o.d"
+  "/root/repo/src/msa/stack_profiler.cpp" "src/msa/CMakeFiles/bacp_msa.dir/stack_profiler.cpp.o" "gcc" "src/msa/CMakeFiles/bacp_msa.dir/stack_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bacp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bacp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

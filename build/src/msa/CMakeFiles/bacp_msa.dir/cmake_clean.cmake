@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_msa.dir/miss_curve.cpp.o"
+  "CMakeFiles/bacp_msa.dir/miss_curve.cpp.o.d"
+  "CMakeFiles/bacp_msa.dir/overhead_model.cpp.o"
+  "CMakeFiles/bacp_msa.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/bacp_msa.dir/stack_profiler.cpp.o"
+  "CMakeFiles/bacp_msa.dir/stack_profiler.cpp.o.d"
+  "libbacp_msa.a"
+  "libbacp_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_noc.dir/noc.cpp.o"
+  "CMakeFiles/bacp_noc.dir/noc.cpp.o.d"
+  "libbacp_noc.a"
+  "libbacp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nuca/dnuca_cache.cpp" "src/nuca/CMakeFiles/bacp_nuca.dir/dnuca_cache.cpp.o" "gcc" "src/nuca/CMakeFiles/bacp_nuca.dir/dnuca_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bacp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/bacp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/bacp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/bacp_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bacp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_nuca.dir/dnuca_cache.cpp.o"
+  "CMakeFiles/bacp_nuca.dir/dnuca_cache.cpp.o.d"
+  "libbacp_nuca.a"
+  "libbacp_nuca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_nuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bank_aware.cpp" "src/partition/CMakeFiles/bacp_partition.dir/bank_aware.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/bank_aware.cpp.o.d"
+  "/root/repo/src/partition/fairness.cpp" "src/partition/CMakeFiles/bacp_partition.dir/fairness.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/fairness.cpp.o.d"
+  "/root/repo/src/partition/marginal_utility.cpp" "src/partition/CMakeFiles/bacp_partition.dir/marginal_utility.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/marginal_utility.cpp.o.d"
+  "/root/repo/src/partition/partition_types.cpp" "src/partition/CMakeFiles/bacp_partition.dir/partition_types.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/partition_types.cpp.o.d"
+  "/root/repo/src/partition/static_policies.cpp" "src/partition/CMakeFiles/bacp_partition.dir/static_policies.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/static_policies.cpp.o.d"
+  "/root/repo/src/partition/unrestricted.cpp" "src/partition/CMakeFiles/bacp_partition.dir/unrestricted.cpp.o" "gcc" "src/partition/CMakeFiles/bacp_partition.dir/unrestricted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msa/CMakeFiles/bacp_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bacp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bacp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

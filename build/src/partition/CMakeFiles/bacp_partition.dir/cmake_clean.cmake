@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_partition.dir/bank_aware.cpp.o"
+  "CMakeFiles/bacp_partition.dir/bank_aware.cpp.o.d"
+  "CMakeFiles/bacp_partition.dir/fairness.cpp.o"
+  "CMakeFiles/bacp_partition.dir/fairness.cpp.o.d"
+  "CMakeFiles/bacp_partition.dir/marginal_utility.cpp.o"
+  "CMakeFiles/bacp_partition.dir/marginal_utility.cpp.o.d"
+  "CMakeFiles/bacp_partition.dir/partition_types.cpp.o"
+  "CMakeFiles/bacp_partition.dir/partition_types.cpp.o.d"
+  "CMakeFiles/bacp_partition.dir/static_policies.cpp.o"
+  "CMakeFiles/bacp_partition.dir/static_policies.cpp.o.d"
+  "CMakeFiles/bacp_partition.dir/unrestricted.cpp.o"
+  "CMakeFiles/bacp_partition.dir/unrestricted.cpp.o.d"
+  "libbacp_partition.a"
+  "libbacp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

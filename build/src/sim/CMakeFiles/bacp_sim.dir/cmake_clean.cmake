@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_sim.dir/system.cpp.o"
+  "CMakeFiles/bacp_sim.dir/system.cpp.o.d"
+  "CMakeFiles/bacp_sim.dir/system_config.cpp.o"
+  "CMakeFiles/bacp_sim.dir/system_config.cpp.o.d"
+  "libbacp_sim.a"
+  "libbacp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

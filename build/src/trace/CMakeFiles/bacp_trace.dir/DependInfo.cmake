@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/mix.cpp" "src/trace/CMakeFiles/bacp_trace.dir/mix.cpp.o" "gcc" "src/trace/CMakeFiles/bacp_trace.dir/mix.cpp.o.d"
+  "/root/repo/src/trace/spec2000.cpp" "src/trace/CMakeFiles/bacp_trace.dir/spec2000.cpp.o" "gcc" "src/trace/CMakeFiles/bacp_trace.dir/spec2000.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/bacp_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/bacp_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/bacp_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/bacp_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload_model.cpp" "src/trace/CMakeFiles/bacp_trace.dir/workload_model.cpp.o" "gcc" "src/trace/CMakeFiles/bacp_trace.dir/workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bacp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bacp_trace.dir/mix.cpp.o"
+  "CMakeFiles/bacp_trace.dir/mix.cpp.o.d"
+  "CMakeFiles/bacp_trace.dir/spec2000.cpp.o"
+  "CMakeFiles/bacp_trace.dir/spec2000.cpp.o.d"
+  "CMakeFiles/bacp_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/bacp_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bacp_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/bacp_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/bacp_trace.dir/workload_model.cpp.o"
+  "CMakeFiles/bacp_trace.dir/workload_model.cpp.o.d"
+  "libbacp_trace.a"
+  "libbacp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bacp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

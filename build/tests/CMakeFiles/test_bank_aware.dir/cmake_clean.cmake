@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_aware.dir/test_bank_aware.cpp.o"
+  "CMakeFiles/test_bank_aware.dir/test_bank_aware.cpp.o.d"
+  "test_bank_aware"
+  "test_bank_aware.pdb"
+  "test_bank_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_timer.dir/test_core_timer.cpp.o"
+  "CMakeFiles/test_core_timer.dir/test_core_timer.cpp.o.d"
+  "test_core_timer"
+  "test_core_timer.pdb"
+  "test_core_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

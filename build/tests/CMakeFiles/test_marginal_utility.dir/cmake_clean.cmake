@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marginal_utility.dir/test_marginal_utility.cpp.o"
+  "CMakeFiles/test_marginal_utility.dir/test_marginal_utility.cpp.o.d"
+  "test_marginal_utility"
+  "test_marginal_utility.pdb"
+  "test_marginal_utility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marginal_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

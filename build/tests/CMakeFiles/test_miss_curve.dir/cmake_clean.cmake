@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_curve.dir/test_miss_curve.cpp.o"
+  "CMakeFiles/test_miss_curve.dir/test_miss_curve.cpp.o.d"
+  "test_miss_curve"
+  "test_miss_curve.pdb"
+  "test_miss_curve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

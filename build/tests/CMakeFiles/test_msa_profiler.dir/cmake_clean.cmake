@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msa_profiler.dir/test_msa_profiler.cpp.o"
+  "CMakeFiles/test_msa_profiler.dir/test_msa_profiler.cpp.o.d"
+  "test_msa_profiler"
+  "test_msa_profiler.pdb"
+  "test_msa_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msa_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

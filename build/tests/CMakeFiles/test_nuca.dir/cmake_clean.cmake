@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nuca.dir/test_nuca.cpp.o"
+  "CMakeFiles/test_nuca.dir/test_nuca.cpp.o.d"
+  "test_nuca"
+  "test_nuca.pdb"
+  "test_nuca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nuca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_tag.dir/test_partial_tag.cpp.o"
+  "CMakeFiles/test_partial_tag.dir/test_partial_tag.cpp.o.d"
+  "test_partial_tag"
+  "test_partial_tag.pdb"
+  "test_partial_tag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_types.dir/test_partition_types.cpp.o"
+  "CMakeFiles/test_partition_types.dir/test_partition_types.cpp.o.d"
+  "test_partition_types"
+  "test_partition_types.pdb"
+  "test_partition_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec2000.dir/test_spec2000.cpp.o"
+  "CMakeFiles/test_spec2000.dir/test_spec2000.cpp.o.d"
+  "test_spec2000"
+  "test_spec2000.pdb"
+  "test_spec2000[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec2000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_policies.dir/test_static_policies.cpp.o"
+  "CMakeFiles/test_static_policies.dir/test_static_policies.cpp.o.d"
+  "test_static_policies"
+  "test_static_policies.pdb"
+  "test_static_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unrestricted.dir/test_unrestricted.cpp.o"
+  "CMakeFiles/test_unrestricted.dir/test_unrestricted.cpp.o.d"
+  "test_unrestricted"
+  "test_unrestricted.pdb"
+  "test_unrestricted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unrestricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
