@@ -13,20 +13,29 @@
 // per-phase misses under Equal-partitions and Bank-aware, plus the
 // allocation trace of the two cores.
 //
-// Scale knobs: BACP_SIM_INSTR (per phase, default 8M), BACP_SIM_EPOCH.
+// Flags: --instr (per phase), --epoch, --json-out, --csv-out (legacy env
+// knobs BACP_SIM_INSTR, BACP_SIM_EPOCH still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"instr=", "instructions per core per phase (env BACP_SIM_INSTR)"},
+       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
   const std::uint64_t phase_instructions =
-      common::env_u64("BACP_SIM_INSTR", 8'000'000);
-  const Cycle epoch = common::env_u64("BACP_SIM_EPOCH", 1'500'000);
+      parser.get_u64("instr", common::env_u64("BACP_SIM_INSTR", 8'000'000));
+  const Cycle epoch =
+      parser.get_u64("epoch", common::env_u64("BACP_SIM_EPOCH", 1'500'000));
 
   const auto mix = trace::mix_from_names(
       {"facerec", "gzip", "bzip2", "mesa", "sixtrack", "eon", "crafty", "perlbmk"});
@@ -47,12 +56,12 @@ int main() {
     system.warm_up(phase_instructions / 2);
     system.run(phase_instructions);
     PhaseResult result;
-    result.phase1_misses = system.results().l2_misses;
+    result.phase1_misses = system.results().l2_misses();
 
     // Phase change: core 0's working set collapses.
     system.switch_workload(0, "gcc");
     system.run(phase_instructions);
-    result.phase2_misses = system.results().l2_misses - result.phase1_misses;
+    result.phase2_misses = system.results().l2_misses() - result.phase1_misses;
     result.history = system.allocation_history();
     return result;
   };
@@ -60,31 +69,41 @@ int main() {
   const auto equal = run_policy(sim::PolicyKind::EqualPartition);
   const auto bank = run_policy(sim::PolicyKind::BankAware);
 
-  std::cout << "=== Ablation: adaptation to a program phase change ===\n";
-  common::Table table({"policy", "phase-1 misses", "phase-2 misses (post swap)"});
-  table.begin_row()
-      .add_cell("Equal-partitions (static)")
-      .add_cell(equal.phase1_misses)
-      .add_cell(equal.phase2_misses);
-  table.begin_row()
-      .add_cell("Bank-aware (dynamic)")
-      .add_cell(bank.phase1_misses)
-      .add_cell(bank.phase2_misses);
-  table.print(std::cout);
+  obs::Report report("ablation_adaptation",
+                     "Ablation: adaptation to a program phase change");
+  report.meta("phase_instructions", std::to_string(phase_instructions));
+  report.meta("epoch_cycles", std::to_string(epoch));
 
-  std::cout << "\nBank-aware allocation of core0 (facerec->gcc) and core2 "
-               "(bzip2, static) per epoch:\n";
-  common::Table history({"epoch", "core0 ways", "core2 ways"});
+  auto& table = report.table(
+      "per_phase_misses", {"policy", "phase-1 misses", "phase-2 misses (post swap)"});
+  table.begin_row()
+      .cell("Equal-partitions (static)")
+      .cell(equal.phase1_misses)
+      .cell(equal.phase2_misses);
+  table.begin_row()
+      .cell("Bank-aware (dynamic)")
+      .cell(bank.phase1_misses)
+      .cell(bank.phase2_misses);
+
+  auto& history = report.table("allocation_history",
+                               {"epoch", "core0 ways", "core2 ways"});
   for (std::size_t e = 0; e < bank.history.size(); ++e) {
     history.begin_row()
-        .add_cell(std::to_string(e))
-        .add_cell(std::to_string(bank.history[e].ways_per_core[0]))
-        .add_cell(std::to_string(bank.history[e].ways_per_core[2]));
+        .cell(std::uint64_t{e})
+        .cell(std::uint64_t{bank.history[e].ways_per_core[0]})
+        .cell(std::uint64_t{bank.history[e].ways_per_core[2]});
   }
-  history.print(std::cout);
-  std::cout << "\nexpected: core0's allocation collapses toward one bank over a few\n"
-               "post-swap epochs (histogram decay drains the ghost profile) while\n"
-               "bzip2's grows; the dynamic scheme's phase-2 misses sit below the\n"
-               "static split's.\n";
-  return 0;
+
+  report.metric("equal_phase2_misses", equal.phase2_misses);
+  report.metric("bank_aware_phase2_misses", bank.phase2_misses);
+  report.metric("phase2_miss_ratio_vs_static",
+                equal.phase2_misses == 0
+                    ? 0.0
+                    : static_cast<double>(bank.phase2_misses) /
+                          static_cast<double>(equal.phase2_misses));
+  report.note("expected: core0's allocation collapses toward one bank over a few "
+              "post-swap epochs (histogram decay drains the ghost profile) while "
+              "bzip2's grows; the dynamic scheme's phase-2 misses sit below the "
+              "static split's");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -8,26 +8,39 @@
 // This bench runs the same Bank-aware workload set under all four schemes
 // and reports migrations, look-up width, miss ratio and CPI.
 //
-// Scale knobs: BACP_SIM_WARMUP, BACP_SIM_INSTR (instructions/core), BACP_SIM_SEED.
+// Flags: --warmup, --instr, --seed, --json-out, --csv-out (legacy env
+// knobs BACP_SIM_{WARMUP,INSTR,SEED} still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
 #include "harness/experiments.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
 
-  const std::uint64_t warmup = common::env_u64("BACP_SIM_WARMUP", 3'000'000);
-  const std::uint64_t accesses = common::env_u64("BACP_SIM_INSTR", 6'000'000);
-  const std::uint64_t seed = common::env_u64("BACP_SIM_SEED", 42);
+  common::ArgParser parser(obs::with_report_flags(
+      {{"warmup=", "warm-up instructions per core (env BACP_SIM_WARMUP)"},
+       {"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
+       {"seed=", "simulation seed (env BACP_SIM_SEED)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
+  const std::uint64_t warmup =
+      parser.get_u64("warmup", common::env_u64("BACP_SIM_WARMUP", 3'000'000));
+  const std::uint64_t accesses =
+      parser.get_u64("instr", common::env_u64("BACP_SIM_INSTR", 6'000'000));
+  const std::uint64_t seed =
+      parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", 42));
   const auto mix = harness::table3_sets()[1].mix();  // Set2: capacity-diverse
 
-  std::cout << "=== Ablation: bank aggregation schemes (Fig. 4), workload Set2 ===\n";
-  common::Table table({"scheme", "migrations / 1k accesses", "dir look-ups / access",
-                       "L2 miss ratio", "mean CPI"});
+  obs::Report report("ablation_aggregation",
+                     "Ablation: bank aggregation schemes (Fig. 4), workload Set2");
+  auto& table = report.table(
+      "schemes", {"scheme", "migrations / 1k accesses", "dir look-ups / access",
+                  "L2 miss ratio", "mean CPI"});
 
   const nuca::AggregationKind kinds[] = {
       nuca::AggregationKind::Cascade,
@@ -48,19 +61,22 @@ int main() {
     const auto results = system.results();
 
     const double per_k =
-        1000.0 * static_cast<double>(results.promotions + results.demotions) /
-        static_cast<double>(results.live_l2_accesses);
-    const double lookups = static_cast<double>(results.directory_lookups) /
-                           static_cast<double>(results.live_l2_accesses);
+        1000.0 * static_cast<double>(results.promotions() + results.demotions()) /
+        static_cast<double>(results.live_l2_accesses());
+    const double lookups = static_cast<double>(results.directory_lookups()) /
+                           static_cast<double>(results.live_l2_accesses());
     table.begin_row()
-        .add_cell(nuca::to_string(kind))
-        .add_cell(per_k, 1)
-        .add_cell(lookups, 2)
-        .add_cell(results.l2_miss_ratio, 3)
-        .add_cell(results.mean_cpi, 3);
+        .cell(nuca::to_string(kind))
+        .cell(per_k, 1)
+        .cell(lookups, 2)
+        .cell(results.l2_miss_ratio())
+        .cell(results.mean_cpi());
+    if (kind == nuca::AggregationKind::Parallel) {
+      report.metric("parallel_migrations_per_kilo_access", per_k, 1);
+      report.metric("parallel_miss_ratio", results.l2_miss_ratio());
+    }
   }
-  table.print(std::cout);
-  std::cout << "\npaper: Cascade migration 'prohibitively high'; Parallel ~ Hash "
-               "migrations with wider look-ups; two-level cascading mitigates.\n";
-  return 0;
+  report.note("paper: Cascade migration 'prohibitively high'; Parallel ~ Hash "
+              "migrations with wider look-ups; two-level cascading mitigates");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -4,25 +4,38 @@
 // react slowly and ride stale profiles. This bench sweeps the epoch length
 // on a capacity-diverse mix and reports misses, CPI and transient traffic.
 //
-// Scale knobs: BACP_SIM_INSTR (default 10M), BACP_SIM_SEED.
+// Flags: --instr, --seed, --json-out, --csv-out (legacy env knobs
+// BACP_SIM_INSTR, BACP_SIM_SEED still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
 #include "harness/experiments.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
-  const std::uint64_t instructions = common::env_u64("BACP_SIM_INSTR", 10'000'000);
-  const std::uint64_t seed = common::env_u64("BACP_SIM_SEED", 42);
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
+       {"seed=", "simulation seed (env BACP_SIM_SEED)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
+  const std::uint64_t instructions =
+      parser.get_u64("instr", common::env_u64("BACP_SIM_INSTR", 10'000'000));
+  const std::uint64_t seed =
+      parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", 42));
   const auto mix = harness::table3_sets()[1].mix();  // Set2
 
-  std::cout << "=== Ablation: repartition epoch length (Set2, Bank-aware) ===\n";
-  common::Table table({"epoch (cycles)", "epochs run", "L2 misses", "mean CPI",
-                       "off-partition transient hits"});
+  obs::Report report("ablation_epoch_length",
+                     "Ablation: repartition epoch length (Set2, Bank-aware)");
+  auto& table = report.table(
+      "epoch_sweep", {"epoch (cycles)", "epochs run", "L2 misses", "mean CPI",
+                      "off-partition transient hits"});
 
+  double best_cpi = 0.0;
   for (const Cycle epoch : {500'000ull, 2'000'000ull, 8'000'000ull, 32'000'000ull}) {
     sim::SystemConfig config = sim::SystemConfig::baseline();
     config.policy = sim::PolicyKind::BankAware;
@@ -34,14 +47,15 @@ int main() {
     system.run(instructions);
     const auto results = system.results();
     table.begin_row()
-        .add_cell(std::to_string(epoch))
-        .add_cell(results.epochs)
-        .add_cell(results.l2_misses)
-        .add_cell(results.mean_cpi, 3)
-        .add_cell(results.offview_hits);
+        .cell(std::to_string(epoch))
+        .cell(results.epochs())
+        .cell(results.l2_misses())
+        .cell(results.mean_cpi())
+        .cell(results.offview_hits());
+    if (best_cpi == 0.0 || results.mean_cpi() < best_cpi) best_cpi = results.mean_cpi();
   }
-  table.print(std::cout);
-  std::cout << "\nexpected: a broad sweet spot in the middle; very short epochs "
-               "inflate\ntransient traffic, very long ones forgo adaptation.\n";
-  return 0;
+  report.metric("best_mean_cpi", best_cpi);
+  report.note("expected: a broad sweet spot in the middle; very short epochs "
+              "inflate transient traffic, very long ones forgo adaptation");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

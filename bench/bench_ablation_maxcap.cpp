@@ -5,25 +5,34 @@
 // running the Unrestricted allocator with different per-core caps over the
 // Monte-Carlo mix distribution and compare against Bank-aware.
 //
-// Scale knobs: BACP_MC_TRIALS, BACP_MC_SEED.
+// Flags: --trials, --seed, --json-out, --csv-out (legacy env knobs
+// BACP_MC_TRIALS, BACP_MC_SEED still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
 #include "msa/miss_curve.hpp"
+#include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
 #include "partition/unrestricted.hpp"
 #include "trace/mix.hpp"
 #include "trace/spec2000.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
-  const std::size_t trials =
-      static_cast<std::size_t>(common::env_u64("BACP_MC_TRIALS", 400));
-  const std::uint64_t seed = common::env_u64("BACP_MC_SEED", 2009);
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"trials=", "number of random mixes (env BACP_MC_TRIALS)"},
+       {"seed=", "sweep seed (env BACP_MC_SEED)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
+  const std::size_t trials = static_cast<std::size_t>(
+      parser.get_u64("trials", common::env_u64("BACP_MC_TRIALS", 400)));
+  const std::uint64_t seed =
+      parser.get_u64("seed", common::env_u64("BACP_MC_SEED", 2009));
 
   partition::CmpGeometry geometry;
   const auto& suite = trace::spec2000_suite();
@@ -57,22 +66,31 @@ int main() {
         fixed);
   }
 
-  std::cout << "=== Ablation: per-core capacity cap (" << trials << " mixes) ===\n";
-  common::Table table({"allocator", "per-core cap (ways)", "mean miss ratio vs fixed-share"});
+  obs::Report report("ablation_maxcap", "Ablation: per-core capacity cap (" +
+                                            std::to_string(trials) + " mixes)");
+  report.meta("trials", std::to_string(trials));
+  report.meta("seed", std::to_string(seed));
+  auto& table = report.table(
+      "caps", {"allocator", "per-core cap (ways)", "mean miss ratio vs fixed-share"});
   for (std::size_t c = 0; c < std::size(caps); ++c) {
     table.begin_row()
-        .add_cell("Unrestricted")
-        .add_cell(std::to_string(caps[c]) +
-                  (caps[c] == geometry.max_assignable_ways() ? " (= 9/16, paper)" : ""))
-        .add_cell(cap_stats[c].mean(), 3);
+        .cell("Unrestricted")
+        .cell(std::to_string(caps[c]) +
+              (caps[c] == geometry.max_assignable_ways() ? " (= 9/16, paper)" : ""))
+        .cell(cap_stats[c].mean());
+    if (caps[c] == geometry.max_assignable_ways()) {
+      report.metric("paper_cap_mean_ratio", cap_stats[c].mean());
+    } else if (caps[c] == 128) {
+      report.metric("uncapped_mean_ratio", cap_stats[c].mean());
+    }
   }
   table.begin_row()
-      .add_cell("Bank-aware")
-      .add_cell(std::to_string(geometry.max_assignable_ways()) + " (built-in)")
-      .add_cell(bank_stats.mean(), 3);
-  table.print(std::cout);
-  std::cout << "\npaper: the 9/16 clamp should cost almost nothing relative to a "
-               "fully unrestricted assignment; tight caps (<=2MB/core) forfeit most "
-               "of the benefit.\n";
-  return 0;
+      .cell("Bank-aware")
+      .cell(std::to_string(geometry.max_assignable_ways()) + " (built-in)")
+      .cell(bank_stats.mean());
+  report.metric("bank_aware_mean_ratio", bank_stats.mean());
+  report.note("paper: the 9/16 clamp should cost almost nothing relative to a "
+              "fully unrestricted assignment; tight caps (<=2MB/core) forfeit "
+              "most of the benefit");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -10,26 +10,35 @@
 // Reported: mean total projected misses vs fixed share, and the mean
 // max-min spread of per-core miss ratios (the fairness metric).
 //
-// Scale knobs: BACP_MC_TRIALS (default 300), BACP_MC_SEED.
+// Flags: --trials, --seed, --json-out, --csv-out (legacy env knobs
+// BACP_MC_TRIALS, BACP_MC_SEED still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
 #include "msa/miss_curve.hpp"
+#include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
 #include "partition/fairness.hpp"
 #include "partition/unrestricted.hpp"
 #include "trace/mix.hpp"
 #include "trace/spec2000.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
-  const std::size_t trials =
-      static_cast<std::size_t>(common::env_u64("BACP_MC_TRIALS", 300));
-  const std::uint64_t seed = common::env_u64("BACP_MC_SEED", 2009);
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"trials=", "number of random mixes (env BACP_MC_TRIALS)"},
+       {"seed=", "sweep seed (env BACP_MC_SEED)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
+  const std::size_t trials = static_cast<std::size_t>(
+      parser.get_u64("trials", common::env_u64("BACP_MC_TRIALS", 300)));
+  const std::uint64_t seed =
+      parser.get_u64("seed", common::env_u64("BACP_MC_SEED", 2009));
 
   partition::CmpGeometry geometry;
   const auto& suite = trace::spec2000_suite();
@@ -71,27 +80,35 @@ int main() {
         partition::miss_ratio_spread(curves, bank.allocation.ways_per_core));
   }
 
-  std::cout << "=== Ablation: Communist / Utilitarian / Bank-aware (" << trials
-            << " mixes) ===\n";
-  common::Table table({"policy", "mean misses vs fixed share",
-                       "mean miss-ratio spread (max-min)"});
-  table.begin_row().add_cell("Fixed even share").add_cell(miss_even.mean(), 3).add_cell(
-      spread_even.mean(), 3);
+  obs::Report report("ablation_policies",
+                     "Ablation: Communist / Utilitarian / Bank-aware (" +
+                         std::to_string(trials) + " mixes)");
+  report.meta("trials", std::to_string(trials));
+  report.meta("seed", std::to_string(seed));
+  auto& table = report.table("policies", {"policy", "mean misses vs fixed share",
+                                          "mean miss-ratio spread (max-min)"});
+  table.begin_row().cell("Fixed even share").cell(miss_even.mean()).cell(
+      spread_even.mean());
   table.begin_row()
-      .add_cell("Communist (equalize)")
-      .add_cell(miss_communist.mean(), 3)
-      .add_cell(spread_communist.mean(), 3);
+      .cell("Communist (equalize)")
+      .cell(miss_communist.mean())
+      .cell(spread_communist.mean());
   table.begin_row()
-      .add_cell("Utilitarian (Unrestricted)")
-      .add_cell(miss_utilitarian.mean(), 3)
-      .add_cell(spread_utilitarian.mean(), 3);
+      .cell("Utilitarian (Unrestricted)")
+      .cell(miss_utilitarian.mean())
+      .cell(spread_utilitarian.mean());
   table.begin_row()
-      .add_cell("Bank-aware (paper)")
-      .add_cell(miss_bank.mean(), 3)
-      .add_cell(spread_bank.mean(), 3);
-  table.print(std::cout);
-  std::cout << "\nexpected shape (Hsu et al. / this paper): Communist minimizes the\n"
-               "spread but forfeits misses; Utilitarian minimizes misses; Bank-aware\n"
-               "tracks Utilitarian within a few points under physical constraints.\n";
-  return 0;
+      .cell("Bank-aware (paper)")
+      .cell(miss_bank.mean())
+      .cell(spread_bank.mean());
+
+  report.metric("communist_mean_misses", miss_communist.mean());
+  report.metric("utilitarian_mean_misses", miss_utilitarian.mean());
+  report.metric("bank_aware_mean_misses", miss_bank.mean());
+  report.metric("bank_aware_mean_spread", spread_bank.mean());
+  report.note("expected shape (Hsu et al. / this paper): Communist minimizes the "
+              "spread but forfeits misses; Utilitarian minimizes misses; "
+              "Bank-aware tracks Utilitarian within a few points under physical "
+              "constraints");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -8,14 +8,15 @@
 // curve across allocation points 1..72, averaged over three workloads of
 // different locality shapes.
 //
-// Scale knob: BACP_ACC_ACCESSES.
+// Flags: --accesses, --json-out, --csv-out (legacy env knob
+// BACP_ACC_ACCESSES still works).
 
 #include <cmath>
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
 #include "msa/stack_profiler.hpp"
+#include "obs/report.hpp"
 #include "trace/spec2000.hpp"
 #include "trace/synthetic.hpp"
 
@@ -34,17 +35,27 @@ double curve_error(const bacp::msa::MissRatioCurve& reference,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
-  const std::uint64_t accesses = common::env_u64("BACP_ACC_ACCESSES", 1'500'000);
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"accesses=", "profiled accesses per workload (env BACP_ACC_ACCESSES)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
+  const std::uint64_t accesses =
+      parser.get_u64("accesses", common::env_u64("BACP_ACC_ACCESSES", 1'500'000));
   const char* workloads[] = {"sixtrack", "bzip2", "mcf"};
   const std::uint32_t tag_bits[] = {6, 8, 12, 16};
   const std::uint32_t samplings[] = {8, 32, 128};
   constexpr WayCount kDepth = 72;
 
-  std::cout << "=== Ablation: profiler accuracy vs partial-tag width x set sampling ===\n";
-  common::Table table({"tag bits", "sampling", "mean |rel. error| of miss curve",
-                       "within paper's 5%?"});
+  obs::Report report("ablation_profiler_accuracy",
+                     "Ablation: profiler accuracy vs partial-tag width x set sampling");
+  report.meta("accesses", std::to_string(accesses));
+  auto& table = report.table(
+      "accuracy", {"tag bits", "sampling", "mean |rel. error| of miss curve",
+                   "within paper's 5%?"});
 
   for (const std::uint32_t bits : tag_bits) {
     for (const std::uint32_t sampling : samplings) {
@@ -75,13 +86,15 @@ int main() {
       }
       const double mean_error = error_sum / std::size(workloads);
       table.begin_row()
-          .add_cell(std::to_string(bits))
-          .add_cell("1-in-" + std::to_string(sampling))
-          .add_cell(mean_error, 4)
-          .add_cell(mean_error <= 0.05 ? "yes" : "no");
+          .cell(std::to_string(bits))
+          .cell("1-in-" + std::to_string(sampling))
+          .cell(mean_error, 4)
+          .cell(mean_error <= 0.05 ? "yes" : "no");
+      if (bits == 12 && sampling == 32) {
+        report.metric("paper_config_mean_error", mean_error, 4);
+      }
     }
   }
-  table.print(std::cout);
-  std::cout << "\npaper's configuration is 12-bit tags, 1-in-32 sampling.\n";
-  return 0;
+  report.note("paper's configuration is 12-bit tags, 1-in-32 sampling");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

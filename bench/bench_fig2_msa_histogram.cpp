@@ -3,17 +3,25 @@
 // positions plus C9 for misses — and demonstrates the inclusion-property
 // projection the figure illustrates: misses at half size = misses + hits
 // in positions 5..8.
+//
+// Flags: --accesses, --json-out, --csv-out (legacy env knob
+// BACP_FIG2_ACCESSES still works).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
 #include "msa/stack_profiler.hpp"
+#include "obs/report.hpp"
 #include "trace/spec2000.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"accesses=", "profiled accesses (env BACP_FIG2_ACCESSES)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
   // A temporally-reusing workload, as in the figure's example; profile its
   // stream against an 8-way MSA stack with full tags and no sampling so
@@ -31,11 +39,19 @@ int main() {
   profiler_config.profiled_ways = 8;
   msa::StackProfiler profiler(profiler_config);
 
-  const std::uint64_t accesses = common::env_u64("BACP_FIG2_ACCESSES", 400'000);
+  const std::uint64_t accesses =
+      parser.get_u64("accesses", common::env_u64("BACP_FIG2_ACCESSES", 400'000));
   for (std::uint64_t i = 0; i < accesses; ++i) profiler.observe(generator.next().block);
 
+  obs::Report report("fig2_msa_histogram",
+                     "Fig. 2: MSA LRU histogram (8-way view, workload '" +
+                         model.name + "')");
+  report.meta("workload", model.name);
+  report.meta("accesses", std::to_string(accesses));
+
   const auto& histogram = profiler.histogram();
-  common::Table table({"counter", "stack position", "count", "fraction"});
+  auto& table = report.table("histogram", {"counter", "stack position", "count",
+                                           "fraction"});
   for (std::size_t c = 0; c < histogram.num_bins(); ++c) {
     const bool miss_bin = c + 1 == histogram.num_bins();
     std::string position;
@@ -49,21 +65,18 @@ int main() {
       position = std::to_string(c + 1);
     }
     table.begin_row()
-        .add_cell("C" + std::to_string(c + 1))
-        .add_cell(position)
-        .add_cell(histogram.bin(c))
-        .add_cell(static_cast<double>(histogram.bin(c)) /
-                      static_cast<double>(histogram.total()),
-                  4);
+        .cell("C" + std::to_string(c + 1))
+        .cell(position)
+        .cell(histogram.bin(c))
+        .cell(static_cast<double>(histogram.bin(c)) /
+                  static_cast<double>(histogram.total()),
+              4);
   }
-  std::cout << "=== Fig. 2: MSA LRU histogram (8-way view, workload '" << model.name
-            << "') ===\n";
-  table.print(std::cout);
 
   const auto curve = msa::MissRatioCurve::from_histogram(histogram);
-  std::cout << "\nInclusion-property projection:\n"
-            << "  misses at size N   (8 ways): " << curve.miss_count(8) << '\n'
-            << "  misses at size N/2 (4 ways): " << curve.miss_count(4)
-            << "  (= misses(N) + hits in positions 5..8)\n";
-  return 0;
+  report.metric("misses_at_8_ways", curve.miss_count(8));
+  report.metric("misses_at_4_ways", curve.miss_count(4));
+  report.note("inclusion-property projection: misses at size N/2 = "
+              "misses(N) + hits in positions 5..8");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

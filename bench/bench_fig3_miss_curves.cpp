@@ -4,20 +4,30 @@
 // observations to verify: sixtrack's curve collapses by ~6 ways (one bank
 // fits it), applu flattens past ~10 ways, bzip2 improves gradually out to
 // ~45 ways.
+//
+// Flags: --accesses, --json-out, --csv-out (legacy env knob
+// BACP_FIG3_ACCESSES still works).
 
 #include <iostream>
+#include <vector>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
 #include "msa/stack_profiler.hpp"
+#include "obs/report.hpp"
 #include "trace/spec2000.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
 
+  common::ArgParser parser(obs::with_report_flags(
+      {{"accesses=", "profiled accesses per workload (env BACP_FIG3_ACCESSES)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
   const char* names[] = {"sixtrack", "bzip2", "applu"};
-  const std::uint64_t accesses = common::env_u64("BACP_FIG3_ACCESSES", 2'000'000);
+  const std::uint64_t accesses =
+      parser.get_u64("accesses", common::env_u64("BACP_FIG3_ACCESSES", 2'000'000));
 
   std::vector<msa::MissRatioCurve> profiled;
   std::vector<msa::MissRatioCurve> analytic;
@@ -37,27 +47,27 @@ int main() {
     analytic.push_back(msa::MissRatioCurve::from_model(model, 128));
   }
 
-  common::Table table({"ways", "sixtrack", "bzip2", "applu", "sixtrack(model)",
-                       "bzip2(model)", "applu(model)"});
+  obs::Report report("fig3_miss_curves",
+                     "Fig. 3: cumulative miss ratio vs. dedicated ways");
+  report.meta("accesses", std::to_string(accesses));
+  auto& table = report.table(
+      "miss_ratio_vs_ways", {"ways", "sixtrack", "bzip2", "applu", "sixtrack(model)",
+                             "bzip2(model)", "applu(model)"});
   const WayCount stations[] = {1, 2, 4, 6, 8, 10, 12, 16, 24, 32, 45, 56, 64, 96, 128};
   for (const WayCount ways : stations) {
-    auto& row = table.begin_row().add_cell(std::to_string(ways));
-    for (const auto& curve : profiled) row.add_cell(curve.miss_ratio(ways), 3);
-    for (const auto& curve : analytic) row.add_cell(curve.miss_ratio(ways), 3);
+    auto& row = table.begin_row().cell(std::to_string(ways));
+    for (const auto& curve : profiled) row.cell(curve.miss_ratio(ways));
+    for (const auto& curve : analytic) row.cell(curve.miss_ratio(ways));
   }
-  std::cout << "=== Fig. 3: cumulative miss ratio vs. dedicated ways ===\n";
-  table.print(std::cout);
 
   // Loop lengths are smeared +-1/3 (set-to-set variation), so the knees
   // complete one bank past their nominal depth.
-  std::cout << "\nKnee check (paper): sixtrack close to zero past its knee -> "
-            << common::Table::format_double(profiled[0].miss_ratio(8), 3)
-            << " at 8 ways; applu flat beyond its knee -> "
-            << common::Table::format_double(
-                   profiled[2].miss_ratio(14) - profiled[2].miss_ratio(128), 3)
-            << " residual drop after 14 ways; bzip2 keeps improving to ~48 ways -> "
-            << common::Table::format_double(
-                   profiled[1].miss_ratio(16) - profiled[1].miss_ratio(48), 3)
-            << " gained from 16->48 ways\n";
-  return 0;
+  report.metric("sixtrack_ratio_at_8_ways", profiled[0].miss_ratio(8));
+  report.metric("applu_residual_after_14_ways",
+                profiled[2].miss_ratio(14) - profiled[2].miss_ratio(128));
+  report.metric("bzip2_gain_16_to_48_ways",
+                profiled[1].miss_ratio(16) - profiled[1].miss_ratio(48));
+  report.note("paper: sixtrack close to zero past its knee, applu flat beyond "
+              "its knee, bzip2 keeps improving to ~48 ways");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -3,67 +3,24 @@
 // 8-workload mixes, sorted by the Unrestricted reduction; plus the headline
 // averages (paper: Unrestricted ~30% reduction, Bank-aware ~27%).
 //
-// Scale knobs: BACP_MC_TRIALS (default 1000), BACP_MC_SEED, BACP_THREADS.
+// Flags: --trials, --seed, --threads, --json-out, --csv-out (legacy env
+// knobs BACP_MC_TRIALS, BACP_MC_SEED, BACP_THREADS still work).
 
-#include <algorithm>
 #include <iostream>
 
-#include "common/env.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
 #include "harness/monte_carlo.hpp"
+#include "obs/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
 
-  harness::MonteCarloConfig config;
-  config.trials = common::env_u64("BACP_MC_TRIALS", 1000);
-  config.seed = common::env_u64("BACP_MC_SEED", 2009);
-  config.num_threads = common::env_u64("BACP_THREADS", 0);
+  common::ArgParser parser(
+      obs::with_report_flags(harness::MonteCarloConfig::cli_flags()));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
-  std::cout << "=== Fig. 7: relative miss ratio to fixed-share (" << config.trials
-            << " random mixes) ===\n";
+  const auto config = harness::MonteCarloConfig::from_args(parser);
   const auto summary = harness::run_monte_carlo(config);
-
-  // Sort by the Unrestricted reduction, as the paper does, and print the
-  // sorted series at percentile stations.
-  std::vector<std::size_t> order(summary.trials.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return summary.trials[a].unrestricted_ratio() <
-           summary.trials[b].unrestricted_ratio();
-  });
-
-  common::Table series({"sorted position", "Unrestricted/fixed", "Bank-aware/fixed"});
-  const std::size_t stations = std::min<std::size_t>(summary.trials.size(), 21);
-  for (std::size_t s = 0; s < stations; ++s) {
-    const std::size_t pos =
-        stations == 1 ? 0 : s * (summary.trials.size() - 1) / (stations - 1);
-    const auto& trial = summary.trials[order[pos]];
-    series.begin_row()
-        .add_cell(std::to_string(pos))
-        .add_cell(trial.unrestricted_ratio(), 3)
-        .add_cell(trial.bank_aware_ratio(), 3);
-  }
-  series.print(std::cout);
-
-  // Bank-aware never beats Unrestricted by construction; count outliers
-  // (trials where the banking restrictions cost more than 5 points).
-  std::size_t outliers = 0;
-  for (const auto& trial : summary.trials) {
-    if (trial.bank_aware_ratio() > trial.unrestricted_ratio() + 0.05) ++outliers;
-  }
-
-  common::Table headline({"metric", "paper", "measured"});
-  headline.begin_row().add_cell("mean Unrestricted ratio").add_cell("0.70").add_cell(
-      summary.mean_unrestricted_ratio, 3);
-  headline.begin_row().add_cell("mean Bank-aware ratio").add_cell("0.73").add_cell(
-      summary.mean_bank_aware_ratio, 3);
-  headline.begin_row()
-      .add_cell("Bank-aware outliers (>5pt worse)")
-      .add_cell("few")
-      .add_cell(std::to_string(outliers) + " / " + std::to_string(summary.trials.size()));
-  std::cout << '\n';
-  headline.print(std::cout);
-  return 0;
+  const auto report = harness::monte_carlo_report(config, summary);
+  return report.emit(std::cout, options) ? 0 : 1;
 }

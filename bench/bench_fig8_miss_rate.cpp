@@ -3,31 +3,32 @@
 // the geometric mean. Paper headline: Bank-aware removes ~70% of misses
 // vs. No-partitions (GM ~= 0.30) and ~25% vs. Equal-partitions.
 //
-// Scale knobs: BACP_SIM_WARMUP, BACP_SIM_INSTR (instructions per core), BACP_SIM_SETS
-// (first N sets only), BACP_SIM_EPOCH, BACP_SIM_SEED.
+// Flags: --warmup, --instr, --epoch, --seed, --sets, --json-out, --csv-out
+// (legacy env knobs BACP_SIM_{WARMUP,INSTR,EPOCH,SEED,SETS} still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
 #include "common/stats.hpp"
-#include "common/table.hpp"
 #include "harness/experiments.hpp"
+#include "obs/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
 
-  harness::DetailedRunConfig config;
-  config.warmup_instructions =
-      common::env_u64("BACP_SIM_WARMUP", config.warmup_instructions);
-  config.measure_instructions =
-      common::env_u64("BACP_SIM_INSTR", config.measure_instructions);
-  config.epoch_cycles = common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles);
-  config.seed = common::env_u64("BACP_SIM_SEED", config.seed);
-  const std::size_t num_sets = static_cast<std::size_t>(
-      common::env_u64("BACP_SIM_SETS", harness::table3_sets().size()));
+  auto spec = harness::DetailedRunConfig::cli_flags();
+  spec.push_back({"sets=", "first N Table III sets only (env BACP_SIM_SETS)"});
+  common::ArgParser parser(obs::with_report_flags(std::move(spec)));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
-  std::cout << "=== Fig. 8: relative miss rate over No-partitions ===\n";
-  common::Table table({"set", "No-partitions", "Equal-partitions", "Bank-aware"});
+  const auto config = harness::DetailedRunConfig::from_args(parser);
+  const std::size_t num_sets = static_cast<std::size_t>(parser.get_u64(
+      "sets", common::env_u64("BACP_SIM_SETS", harness::table3_sets().size())));
+
+  obs::Report report("fig8_miss_rate", "Fig. 8: relative miss rate over No-partitions");
+  auto& table = report.table(
+      "relative_misses", {"set", "No-partitions", "Equal-partitions", "Bank-aware"});
   std::vector<double> equal_ratios;
   std::vector<double> bank_ratios;
 
@@ -38,26 +39,19 @@ int main() {
     equal_ratios.push_back(comparison.equal_relative_misses());
     bank_ratios.push_back(comparison.bank_relative_misses());
     table.begin_row()
-        .add_cell(sets[i].label)
-        .add_cell(1.0, 3)
-        .add_cell(comparison.equal_relative_misses(), 3)
-        .add_cell(comparison.bank_relative_misses(), 3);
+        .cell(sets[i].label)
+        .cell(1.0)
+        .cell(comparison.equal_relative_misses())
+        .cell(comparison.bank_relative_misses());
   }
-  table.begin_row()
-      .add_cell("GM")
-      .add_cell(1.0, 3)
-      .add_cell(common::geometric_mean(equal_ratios), 3)
-      .add_cell(common::geometric_mean(bank_ratios), 3);
-  table.print(std::cout);
+  const double equal_gm = common::geometric_mean(equal_ratios);
+  const double bank_gm = common::geometric_mean(bank_ratios);
+  table.begin_row().cell("GM").cell(1.0).cell(equal_gm).cell(bank_gm);
 
-  std::cout << "\npaper GM: Bank-aware ~0.30 (70% reduction vs No-partitions; "
-               "~25% vs Equal-partitions)\n"
-            << "measured: Bank-aware GM = "
-            << common::Table::format_double(common::geometric_mean(bank_ratios), 3)
-            << ", vs Equal = "
-            << common::Table::format_double(common::geometric_mean(bank_ratios) /
-                                                common::geometric_mean(equal_ratios),
-                                            3)
-            << '\n';
-  return 0;
+  report.metric("equal_gm", equal_gm);
+  report.metric("bank_aware_gm", bank_gm);
+  report.metric("bank_vs_equal", bank_gm / equal_gm);
+  report.note("paper GM: Bank-aware ~0.30 (70% reduction vs No-partitions; "
+              "~25% vs Equal-partitions)");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -1,11 +1,18 @@
 // Engineering micro-benchmarks (google-benchmark): per-operation cost of
 // the hot simulator components. These back the claim that the profiler and
 // allocator are cheap enough to run at every epoch of a long simulation.
+//
+// Accepts --json-out/--csv-out like the other benches; the flags are
+// stripped from argv before google-benchmark parses it, and every timed
+// run lands in the report as a `<name>_real_time` metric.
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "msa/stack_profiler.hpp"
 #include "nuca/dnuca_cache.hpp"
+#include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
 #include "partition/static_policies.hpp"
 #include "partition/unrestricted.hpp"
@@ -89,6 +96,52 @@ void BM_UnrestrictedAllocator(benchmark::State& state) {
 }
 BENCHMARK(BM_UnrestrictedAllocator);
 
+// ConsoleReporter that additionally funnels every completed run into the
+// obs::Report, so --json-out captures the same numbers the console shows.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(obs::Report& report)
+      : report_(report),
+        table_(report.table("benchmarks", {"benchmark", "real time", "cpu time",
+                                           "unit", "iterations"})) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      table_.begin_row()
+          .cell(name)
+          .cell(run.GetAdjustedRealTime())
+          .cell(run.GetAdjustedCPUTime())
+          .cell(benchmark::GetTimeUnitString(run.time_unit))
+          .cell(static_cast<std::uint64_t>(run.iterations));
+      report_.metric(name + "_real_time", run.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  obs::Report& report_;
+  obs::ReportTable& table_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our flags out before google-benchmark rejects them as unknown.
+  const auto options = bacp::obs::ReportOptions::extract_from_argv(argc, argv);
+
+  bacp::obs::Report report("micro_components",
+                           "Micro-benchmarks: hot simulator components");
+  CollectingReporter reporter(report);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // The ConsoleReporter already printed the live results; emit only writes
+  // the optional JSON/CSV artifacts, so the console copy goes to a sink.
+  std::ostringstream sink;
+  return report.emit(sink, options) ? 0 : 1;
+}

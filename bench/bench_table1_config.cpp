@@ -2,19 +2,28 @@
 // instantiated by SystemConfig::baseline(). Anything printed here is read
 // back from the live configuration objects, so the table cannot drift from
 // the simulator.
+//
+// Flags: --json-out, --csv-out.
 
 #include <iostream>
 
-#include "common/table.hpp"
+#include "obs/report.hpp"
 #include "sim/system_config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags({}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
   const auto config = sim::SystemConfig::baseline();
 
-  common::Table table({"parameter", "paper (Table I)", "this model"});
+  obs::Report report("table1_config", "Table I: baseline DNUCA-CMP parameters");
+  auto& table = report.table("parameters", {"parameter", "paper (Table I)",
+                                            "this model"});
   auto row = [&](const char* name, const char* paper, const std::string& ours) {
-    table.begin_row().add_cell(name).add_cell(paper).add_cell(ours);
+    table.begin_row().cell(name).cell(paper).cell(ours);
   };
 
   row("L1 cache", "64 KB, 2-way, 3 cycles, 64 B blocks",
@@ -45,7 +54,8 @@ int main() {
       std::to_string(config.geometry.max_assignable_ways()) + " of " +
           std::to_string(config.geometry.total_ways()) + " ways");
 
-  std::cout << "=== Table I: baseline DNUCA-CMP parameters ===\n";
-  table.print(std::cout);
-  return 0;
+  report.metric("total_ways", std::uint64_t{config.geometry.total_ways()});
+  report.metric("max_assignable_ways",
+                std::uint64_t{config.geometry.max_assignable_ways()});
+  return report.emit(std::cout, options) ? 0 : 1;
 }

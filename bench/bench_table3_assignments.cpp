@@ -4,24 +4,34 @@
 // MSA profiles (and two of the paper's rows do not even sum to 128), so
 // the comparison to make is structural: who gets the big partitions, who
 // gets squeezed, and that every row sums to the full 128 ways.
+//
+// Flags: --json-out, --csv-out.
 
 #include <iostream>
 #include <sstream>
 
-#include "common/table.hpp"
 #include "harness/experiments.hpp"
 #include "harness/monte_carlo.hpp"
 #include "msa/miss_curve.hpp"
+#include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
 #include "trace/spec2000.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags({}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
+
   partition::CmpGeometry geometry;
 
-  std::cout << "=== Table III: Bank-aware cache-way assignments (core0..core7) ===\n";
-  common::Table table({"set", "core", "benchmark", "paper ways", "our ways", "banks"});
+  obs::Report report("table3_assignments",
+                     "Table III: Bank-aware cache-way assignments (core0..core7)");
+  auto& table = report.table(
+      "assignments", {"set", "core", "benchmark", "paper ways", "our ways", "banks"});
 
+  std::uint64_t rows_at_full_capacity = 0;
   for (const auto& set : harness::table3_sets()) {
     const auto mix = set.mix();
     const auto& suite = trace::spec2000_suite();
@@ -32,6 +42,7 @@ int main() {
     }
     const auto result = partition::bank_aware_partition(geometry, curves);
 
+    WayCount assigned_total = 0;
     for (CoreId core = 0; core < geometry.num_cores; ++core) {
       std::ostringstream banks;
       banks << "local";
@@ -41,15 +52,18 @@ int main() {
           banks << " (paired " << pair.first << "&" << pair.second << ")";
         }
       }
+      assigned_total += result.allocation.ways_per_core[core];
       table.begin_row()
-          .add_cell(core == 0 ? set.label : "")
-          .add_cell(std::to_string(core))
-          .add_cell(set.benchmarks[core])
-          .add_cell(std::to_string(set.paper_ways[core]))
-          .add_cell(std::to_string(result.allocation.ways_per_core[core]))
-          .add_cell(banks.str());
+          .cell(core == 0 ? set.label : "")
+          .cell(std::to_string(core))
+          .cell(set.benchmarks[core])
+          .cell(std::uint64_t{set.paper_ways[core]})
+          .cell(std::uint64_t{result.allocation.ways_per_core[core]})
+          .cell(banks.str());
     }
+    if (assigned_total == geometry.total_ways()) ++rows_at_full_capacity;
   }
-  table.print(std::cout);
-  return 0;
+  report.metric("sets_summing_to_full_capacity", rows_at_full_capacity);
+  report.metric("sets_total", std::uint64_t{harness::table3_sets().size()});
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -6,17 +6,23 @@
 // partitioning policies of the paper's evaluation and prints the per-VM
 // damage report.
 //
-// Scale knob: BACP_EXAMPLE_INSTR (instructions per core, default 4M).
+// Flags: --instr, --json-out, --csv-out (legacy env knob
+// BACP_EXAMPLE_INSTR still works).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"instr=", "instructions per core (env BACP_EXAMPLE_INSTR)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
   // VM -> SPEC CPU2000 stand-in. The mix deliberately pairs latency-bound
   // services with streaming batch jobs: the unfair-interference case.
@@ -31,10 +37,8 @@ int main() {
   const auto mix = trace::mix_from_names(names);
 
   const std::uint64_t instructions =
-      common::env_u64("BACP_EXAMPLE_INSTR", 4'000'000);
+      parser.get_u64("instr", common::env_u64("BACP_EXAMPLE_INSTR", 4'000'000));
 
-  common::Table table({"VM", "stand-in", "CPI none", "CPI equal", "CPI bank-aware",
-                       "ways (bank-aware)"});
   std::vector<sim::SystemResults> results;
   for (const auto policy :
        {sim::PolicyKind::NoPartition, sim::PolicyKind::EqualPartition,
@@ -48,25 +52,26 @@ int main() {
     results.push_back(system.results());
   }
 
+  obs::Report report("consolidated_server",
+                     "Consolidated-server study (8 VMs on one CMP)");
+  report.meta("instructions", std::to_string(instructions));
+  auto& table = report.table("per_vm", {"VM", "stand-in", "CPI none", "CPI equal",
+                                        "CPI bank-aware", "ways (bank-aware)"});
   for (std::size_t vm = 0; vm < vms.size(); ++vm) {
     table.begin_row()
-        .add_cell(vms[vm].first)
-        .add_cell(vms[vm].second)
-        .add_cell(results[0].cores[vm].cpi, 2)
-        .add_cell(results[1].cores[vm].cpi, 2)
-        .add_cell(results[2].cores[vm].cpi, 2)
-        .add_cell(std::to_string(results[2].cores[vm].allocated_ways));
+        .cell(vms[vm].first)
+        .cell(vms[vm].second)
+        .cell(results[0].cores()[vm].cpi(), 2)
+        .cell(results[1].cores()[vm].cpi(), 2)
+        .cell(results[2].cores()[vm].cpi(), 2)
+        .cell(std::to_string(results[2].cores()[vm].allocated_ways()));
   }
 
-  std::cout << "=== Consolidated-server study (8 VMs on one CMP) ===\n";
-  table.print(std::cout);
-  std::cout << "\nwhole-chip L2 misses:  no-partitions " << results[0].l2_misses
-            << "  equal " << results[1].l2_misses << "  bank-aware "
-            << results[2].l2_misses << '\n'
-            << "mean CPI:              no-partitions "
-            << common::Table::format_double(results[0].mean_cpi, 3) << "  equal "
-            << common::Table::format_double(results[1].mean_cpi, 3)
-            << "  bank-aware "
-            << common::Table::format_double(results[2].mean_cpi, 3) << '\n';
-  return 0;
+  report.metric("none_l2_misses", results[0].l2_misses());
+  report.metric("equal_l2_misses", results[1].l2_misses());
+  report.metric("bank_aware_l2_misses", results[2].l2_misses());
+  report.metric("none_mean_cpi", results[0].mean_cpi());
+  report.metric("equal_mean_cpi", results[1].mean_cpi());
+  report.metric("bank_aware_mean_cpi", results[2].mean_cpi());
+  return report.emit(std::cout, options) ? 0 : 1;
 }

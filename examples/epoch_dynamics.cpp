@@ -2,58 +2,70 @@
 // the MSA profilers, reruns the Bank-aware allocator and reconfigures the
 // banks. This example prints the per-epoch way allocations so you can see
 // the partitioning converge from the equal-split bootstrap toward the
-// steady-state assignment (and how the histogram decay keeps it stable).
+// steady-state assignment, and dumps the full obs::TimeSeries the
+// simulator records (per-core ways and CPI, promotion/demotion deltas,
+// DRAM and NoC traffic) for offline plotting via --json-out/--csv-out.
 //
-// Scale knobs: BACP_EXAMPLE_INSTR (default 6M), BACP_EXAMPLE_EPOCH (cycles).
+// Flags: --instr, --epoch (legacy env knobs BACP_EXAMPLE_INSTR,
+// BACP_EXAMPLE_EPOCH still work).
 
 #include <iostream>
 
 #include "common/env.hpp"
-#include "common/table.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags(
+      {{"instr=", "instructions per core (env BACP_EXAMPLE_INSTR)"},
+       {"epoch=", "repartition epoch in cycles (env BACP_EXAMPLE_EPOCH)"}}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
   const auto mix = trace::mix_from_names(
       {"facerec", "eon", "mcf", "gcc", "bzip2", "sixtrack", "art", "gzip"});
 
   sim::SystemConfig config = sim::SystemConfig::baseline();
   config.policy = sim::PolicyKind::BankAware;
-  config.epoch_cycles = common::env_u64("BACP_EXAMPLE_EPOCH", 2'000'000);
+  config.epoch_cycles =
+      parser.get_u64("epoch", common::env_u64("BACP_EXAMPLE_EPOCH", 2'000'000));
   config.finalize();
 
   sim::System system(config, mix);
-  system.run(common::env_u64("BACP_EXAMPLE_INSTR", 6'000'000));
+  system.run(parser.get_u64("instr", common::env_u64("BACP_EXAMPLE_INSTR", 6'000'000)));
   const auto results = system.results();
 
-  std::cout << "=== Epoch-by-epoch Bank-aware allocations ===\n";
-  common::Table table({"epoch", "facerec", "eon", "mcf", "gcc", "bzip2",
-                       "sixtrack", "art", "gzip"});
+  obs::Report report("epoch_dynamics", "Epoch-by-epoch Bank-aware allocations");
+  auto& table = report.table("allocations", {"epoch", "facerec", "eon", "mcf", "gcc",
+                                             "bzip2", "sixtrack", "art", "gzip"});
   std::size_t epoch_index = 0;
   for (const auto& allocation : system.allocation_history()) {
-    auto& row = table.begin_row().add_cell(std::to_string(epoch_index++));
+    auto& row = table.begin_row().cell(std::to_string(epoch_index++));
     for (const WayCount ways : allocation.ways_per_core) {
-      row.add_cell(std::to_string(ways));
+      row.cell(std::to_string(ways));
     }
   }
-  table.print(std::cout);
 
-  std::cout << "\nfinal profiler-projected miss ratios at the final allocation:\n";
-  common::Table final_table({"core", "workload", "ways", "measured miss ratio"});
+  auto& final_table =
+      report.table("final", {"core", "workload", "ways", "measured miss ratio"});
   for (CoreId core = 0; core < 8; ++core) {
-    const auto& c = results.cores[core];
-    const double accesses = static_cast<double>(c.l2_hits + c.l2_misses);
+    const auto& c = results.cores()[core];
     final_table.begin_row()
-        .add_cell(std::to_string(core))
-        .add_cell(c.workload)
-        .add_cell(std::to_string(c.allocated_ways))
-        .add_cell(accesses > 0 ? static_cast<double>(c.l2_misses) / accesses : 0.0, 3);
+        .cell(std::to_string(core))
+        .cell(c.workload())
+        .cell(std::to_string(c.allocated_ways()))
+        .cell(c.l2_miss_ratio());
   }
-  final_table.print(std::cout);
-  std::cout << "\nepochs run: " << results.epochs
-            << ", off-partition transient hits absorbed: " << results.offview_hits
-            << '\n';
-  return 0;
+
+  report.metric("epochs", results.epochs());
+  report.metric("offview_hits", results.offview_hits());
+  // The per-epoch time series the simulator recorded at every repartition
+  // boundary — the machine-readable twin of the allocations table above.
+  report.attach("epoch_series", results.epoch_series().to_json());
+  report.note("series 'core<N>.ways' mirrors the allocations table; "
+              "'promotions'/'demotions' are per-epoch deltas");
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -7,17 +7,22 @@
 //      physically realizable DNUCA partitioning plan.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+// Add --json-out=plan.json / --csv-out=plan.csv to capture the result.
 
 #include <iostream>
 
-#include "common/table.hpp"
 #include "msa/stack_profiler.hpp"
+#include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
 #include "trace/spec2000.hpp"
 #include "trace/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bacp;
+
+  common::ArgParser parser(obs::with_report_flags({}));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
 
   // --- 1. Profile a synthetic bzip2 running stand-alone. ----------------
   const auto& bzip2 = trace::spec2000_by_name("bzip2");
@@ -25,15 +30,14 @@ int main() {
   msa::StackProfiler profiler(msa::ProfilerConfig{});  // production config
   for (int i = 0; i < 1'000'000; ++i) profiler.observe(generator.next().block);
 
+  obs::Report report("quickstart", "Quickstart: profile -> curve -> partition");
+
   // --- 2. Project the miss-ratio curve. ----------------------------------
   const auto curve = profiler.curve();
-  std::cout << "bzip2 projected miss ratio by dedicated ways:\n";
-  common::Table curve_table({"ways", "miss ratio"});
+  auto& curve_table = report.table("bzip2_curve", {"ways", "miss ratio"});
   for (WayCount ways : {4u, 8u, 16u, 32u, 48u, 72u}) {
-    curve_table.begin_row().add_cell(std::to_string(ways)).add_cell(
-        curve.miss_ratio(ways), 3);
+    curve_table.begin_row().cell(std::to_string(ways)).cell(curve.miss_ratio(ways));
   }
-  curve_table.print(std::cout);
 
   // --- 3. Partition an 8-workload mix Bank-aware. ------------------------
   partition::CmpGeometry geometry;  // 8 cores, 16 x 1MB banks
@@ -46,26 +50,26 @@ int main() {
   }
   const auto plan = partition::bank_aware_partition(geometry, curves);
 
-  std::cout << "\nBank-aware allocation (total "
-            << plan.allocation.total() << " ways):\n";
-  common::Table allocation_table({"core", "workload", "ways", "center banks"});
+  auto& allocation_table =
+      report.table("allocation", {"core", "workload", "ways", "center banks"});
   for (CoreId core = 0; core < geometry.num_cores; ++core) {
     std::string banks;
     for (const BankId bank : plan.center_banks_of_core[core]) {
       banks += (banks.empty() ? "C" : "+C") + std::to_string(bank);
     }
     allocation_table.begin_row()
-        .add_cell(std::to_string(core))
-        .add_cell(mix[core])
-        .add_cell(std::to_string(plan.allocation.ways_per_core[core]))
-        .add_cell(banks.empty() ? "-" : banks);
+        .cell(std::to_string(core))
+        .cell(mix[core])
+        .cell(std::to_string(plan.allocation.ways_per_core[core]))
+        .cell(banks.empty() ? "-" : banks);
   }
-  allocation_table.print(std::cout);
+  report.metric("total_allocated_ways", static_cast<std::uint64_t>(plan.allocation.total()));
 
   for (const auto& pair : plan.pairs) {
-    std::cout << "cores " << pair.first << " & " << pair.second
-              << " share their Local banks (" << pair.first_ways << "/"
-              << pair.second_ways << " ways)\n";
+    report.note("cores " + std::to_string(pair.first) + " & " +
+                std::to_string(pair.second) + " share their Local banks (" +
+                std::to_string(pair.first_ways) + "/" +
+                std::to_string(pair.second_ways) + " ways)");
   }
-  return 0;
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -4,15 +4,20 @@
 //   simulate --policy=bank-aware --instr=8000000
 //            mcf art bzip2 gcc sixtrack swim facerec eon   (one mix)
 //   simulate --set=Set7 --policy=none --csv
+//   simulate --set=Set2 --json-out=run.json
 //   simulate --list
 //
-// Prints per-core results as a table (or CSV for scripting).
+// Prints per-core results as a table (or CSV for scripting) and writes the
+// full structured result — including the per-epoch time series — with
+// --json-out / --csv-out.
 
 #include <iostream>
+#include <sstream>
 
 #include "common/args.hpp"
 #include "common/table.hpp"
 #include "harness/experiments.hpp"
+#include "obs/report.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 #include "trace/spec2000.hpp"
@@ -32,7 +37,7 @@ std::optional<bacp::sim::PolicyKind> parse_policy(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace bacp;
 
-  common::ArgParser parser({
+  common::ArgParser parser(obs::with_report_flags({
       {"policy=", "partitioning policy: none | equal | bank-aware (default)"},
       {"instr=", "measured instructions per core (default 8000000)"},
       {"warmup=", "warm-up instructions per core (default instr/2)"},
@@ -41,16 +46,9 @@ int main(int argc, char** argv) {
       {"set=", "run a paper Table III set (Set1..Set8) instead of a mix"},
       {"csv", "emit CSV instead of an aligned table"},
       {"list", "list the available workload models and exit"},
-      {"help", "show this help"},
-  });
-  if (!parser.parse(argc, argv)) {
-    std::cerr << parser.error() << "\n\n" << parser.help("simulate");
-    return 2;
-  }
-  if (parser.has("help")) {
-    std::cout << parser.help("simulate");
-    return 0;
-  }
+  }));
+  if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
+  const auto options = obs::ReportOptions::from_args(parser);
   if (parser.has("list")) {
     common::Table table({"workload", "L2 APKI", "miss ratio @16 ways", "@72 ways"});
     for (const auto& model : trace::spec2000_suite()) {
@@ -119,34 +117,37 @@ int main(int argc, char** argv) {
   system.run(instructions);
   const auto results = system.results();
 
-  common::Table table({"core", "workload", "ways", "L2 accesses", "L2 misses",
-                       "miss ratio", "CPI"});
+  obs::Report report("simulate", "mix: " + label + "   policy: " +
+                                     std::string(to_string(*policy)) +
+                                     "   instructions/core: " +
+                                     std::to_string(instructions));
+  report.meta("mix", label);
+  report.meta("policy", to_string(*policy));
+  report.meta("instructions", std::to_string(instructions));
+  auto& table = report.table("per_core", {"core", "workload", "ways", "L2 accesses",
+                                          "L2 misses", "miss ratio", "CPI"});
   for (CoreId core = 0; core < config.geometry.num_cores; ++core) {
-    const auto& c = results.cores[core];
-    const std::uint64_t accesses = c.l2_hits + c.l2_misses;
+    const auto& c = results.cores()[core];
     table.begin_row()
-        .add_cell(std::to_string(core))
-        .add_cell(c.workload)
-        .add_cell(std::to_string(c.allocated_ways))
-        .add_cell(accesses)
-        .add_cell(c.l2_misses)
-        .add_cell(accesses ? static_cast<double>(c.l2_misses) /
-                                 static_cast<double>(accesses)
-                           : 0.0,
-                  3)
-        .add_cell(c.cpi, 3);
+        .cell(std::to_string(core))
+        .cell(c.workload())
+        .cell(std::to_string(c.allocated_ways()))
+        .cell(c.l2_accesses())
+        .cell(c.l2_misses())
+        .cell(c.l2_miss_ratio())
+        .cell(c.cpi());
   }
+  report.metric("l2_miss_ratio", results.l2_miss_ratio());
+  report.metric("mean_cpi", results.mean_cpi());
+  report.metric("epochs", results.epochs());
+  // The full structured result (all component counters + epoch series).
+  report.attach("system_results", results.to_json());
 
-  std::cout << "mix: " << label << "   policy: " << to_string(*policy)
-            << "   instructions/core: " << instructions << '\n';
   if (parser.has("csv")) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
+    // Legacy scripting mode: CSV on stdout; file sinks still honored.
+    std::cout << report.to_csv();
+    std::ostringstream sink;
+    return report.emit(sink, options) ? 0 : 1;
   }
-  std::cout << "total L2 miss ratio " << common::Table::format_double(
-                   results.l2_miss_ratio, 3)
-            << ", mean CPI " << common::Table::format_double(results.mean_cpi, 3)
-            << ", epochs " << results.epochs << '\n';
-  return 0;
+  return report.emit(std::cout, options) ? 0 : 1;
 }

@@ -144,4 +144,14 @@ CoreMask MoesiDirectory::sharers_of(BlockAddress block) const {
   return it == entries_.end() ? 0 : it->second.sharers;
 }
 
+void export_stats(const CoherenceStats& stats, obs::Registry& registry) {
+  registry.counter("coherence.read_fills").set(stats.read_fills);
+  registry.counter("coherence.write_fills").set(stats.write_fills);
+  registry.counter("coherence.upgrades").set(stats.upgrades);
+  registry.counter("coherence.invalidations").set(stats.invalidations);
+  registry.counter("coherence.interventions").set(stats.interventions);
+  registry.counter("coherence.inclusion_recalls").set(stats.inclusion_recalls);
+  registry.counter("coherence.writebacks").set(stats.writebacks);
+}
+
 }  // namespace bacp::coherence

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace bacp::coherence {
 
@@ -37,6 +38,9 @@ struct CoherenceStats {
   std::uint64_t inclusion_recalls = 0;  ///< L1 copies recalled by L2 evictions
   std::uint64_t writebacks = 0;
 };
+
+/// Exports under "coherence.": one counter per CoherenceStats field.
+void export_stats(const CoherenceStats& stats, obs::Registry& registry);
 
 /// Directory-based MOESI protocol for the inclusive L2 (the paper's memory
 /// timing model uses "a detailed message-based model of the inter-chip

@@ -1,9 +1,32 @@
 #include "harness/experiments.hpp"
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 #include "common/stats.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace bacp::harness {
+
+std::vector<std::pair<std::string, std::string>> DetailedRunConfig::cli_flags() {
+  return {
+      {"warmup=", "warm-up instructions per core (env BACP_SIM_WARMUP)"},
+      {"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
+      {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
+      {"seed=", "simulation seed (env BACP_SIM_SEED)"},
+  };
+}
+
+DetailedRunConfig DetailedRunConfig::from_args(const common::ArgParser& parser) {
+  DetailedRunConfig config;
+  config.warmup_instructions = parser.get_u64(
+      "warmup", common::env_u64("BACP_SIM_WARMUP", config.warmup_instructions));
+  config.measure_instructions = parser.get_u64(
+      "instr", common::env_u64("BACP_SIM_INSTR", config.measure_instructions));
+  config.epoch_cycles =
+      parser.get_u64("epoch", common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles));
+  config.seed = parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", config.seed));
+  return config;
+}
 
 trace::WorkloadMix ExperimentSet::mix() const { return trace::mix_from_names(benchmarks); }
 
@@ -38,21 +61,21 @@ const std::vector<ExperimentSet>& table3_sets() {
 }
 
 double SetComparison::equal_relative_misses() const {
-  return common::ratio(static_cast<double>(equal.l2_misses),
-                       static_cast<double>(none.l2_misses), 1.0);
+  return common::ratio(static_cast<double>(equal.l2_misses()),
+                       static_cast<double>(none.l2_misses()), 1.0);
 }
 
 double SetComparison::bank_relative_misses() const {
-  return common::ratio(static_cast<double>(bank_aware.l2_misses),
-                       static_cast<double>(none.l2_misses), 1.0);
+  return common::ratio(static_cast<double>(bank_aware.l2_misses()),
+                       static_cast<double>(none.l2_misses()), 1.0);
 }
 
 double SetComparison::equal_relative_cpi() const {
-  return common::ratio(equal.mean_cpi, none.mean_cpi, 1.0);
+  return common::ratio(equal.mean_cpi(), none.mean_cpi(), 1.0);
 }
 
 double SetComparison::bank_relative_cpi() const {
-  return common::ratio(bank_aware.mean_cpi, none.mean_cpi, 1.0);
+  return common::ratio(bank_aware.mean_cpi(), none.mean_cpi(), 1.0);
 }
 
 namespace {
@@ -67,8 +90,14 @@ sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& 
   system_config.finalize();
 
   sim::System system(system_config, mix);
-  system.warm_up(config.warmup_instructions);
-  system.run(config.measure_instructions);
+  {
+    const auto timer = obs::global_phase_timers().scope("warmup");
+    system.warm_up(config.warmup_instructions);
+  }
+  {
+    const auto timer = obs::global_phase_timers().scope("simulate");
+    system.run(config.measure_instructions);
+  }
   return system.results();
 }
 
@@ -81,7 +110,7 @@ SetComparison run_set_comparison(const std::string& label, const trace::Workload
   comparison.none = run_policy(sim::PolicyKind::NoPartition, mix, config);
   comparison.equal = run_policy(sim::PolicyKind::EqualPartition, mix, config);
   comparison.bank_aware = run_policy(sim::PolicyKind::BankAware, mix, config);
-  BACP_ASSERT(comparison.none.l2_misses > 0, "no misses in the baseline run");
+  BACP_ASSERT(comparison.none.l2_misses() > 0, "no misses in the baseline run");
   return comparison;
 }
 

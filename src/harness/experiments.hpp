@@ -1,8 +1,10 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/args.hpp"
 #include "nuca/dnuca_cache.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
@@ -32,6 +34,36 @@ struct DetailedRunConfig {
   Cycle epoch_cycles = 8'000'000;
   nuca::AggregationKind aggregation = nuca::AggregationKind::Parallel;
   std::uint64_t seed = 42;
+
+  DetailedRunConfig& with_warmup_instructions(std::uint64_t value) {
+    warmup_instructions = value;
+    return *this;
+  }
+  DetailedRunConfig& with_measure_instructions(std::uint64_t value) {
+    measure_instructions = value;
+    return *this;
+  }
+  DetailedRunConfig& with_epoch_cycles(Cycle value) {
+    epoch_cycles = value;
+    return *this;
+  }
+  DetailedRunConfig& with_aggregation(nuca::AggregationKind value) {
+    aggregation = value;
+    return *this;
+  }
+  DetailedRunConfig& with_seed(std::uint64_t value) {
+    seed = value;
+    return *this;
+  }
+
+  /// The standard scale flags (--warmup, --instr, --epoch, --seed) for
+  /// binaries that drive detailed simulations; pair with from_args().
+  static std::vector<std::pair<std::string, std::string>> cli_flags();
+
+  /// Builds a config from parsed flags. Precedence: explicit flag, then the
+  /// legacy BACP_SIM_{WARMUP,INSTR,EPOCH,SEED} environment knobs, then the
+  /// built-in defaults.
+  static DetailedRunConfig from_args(const common::ArgParser& parser);
 };
 
 /// Full-system results of one workload set under the three policies of the

@@ -1,8 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/args.hpp"
+#include "obs/report.hpp"
 #include "partition/partition_types.hpp"
 #include "trace/mix.hpp"
 
@@ -18,6 +22,36 @@ struct MonteCarloConfig {
   partition::CmpGeometry geometry;
   WayCount curve_depth = 128;
   std::size_t num_threads = 0;  ///< 0 = hardware concurrency
+
+  MonteCarloConfig& with_trials(std::size_t value) {
+    trials = value;
+    return *this;
+  }
+  MonteCarloConfig& with_seed(std::uint64_t value) {
+    seed = value;
+    return *this;
+  }
+  MonteCarloConfig& with_geometry(const partition::CmpGeometry& value) {
+    geometry = value;
+    return *this;
+  }
+  MonteCarloConfig& with_curve_depth(WayCount value) {
+    curve_depth = value;
+    return *this;
+  }
+  MonteCarloConfig& with_num_threads(std::size_t value) {
+    num_threads = value;
+    return *this;
+  }
+
+  /// The standard sweep flags (--trials, --seed, --threads) for binaries
+  /// that run the Monte-Carlo evaluation; pair with from_args().
+  static std::vector<std::pair<std::string, std::string>> cli_flags();
+
+  /// Builds a config from parsed flags. Precedence: explicit flag, then the
+  /// legacy BACP_MC_{TRIALS,SEED} / BACP_THREADS environment knobs, then
+  /// the built-in defaults.
+  static MonteCarloConfig from_args(const common::ArgParser& parser);
 };
 
 /// One random mix, with projected total miss counts under the three
@@ -41,5 +75,13 @@ struct MonteCarloSummary {
 /// Runs the sweep across a thread pool. Deterministic for a fixed seed
 /// regardless of thread count (per-trial RNG streams).
 MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config);
+
+/// The canonical Fig. 7 result artifact: headline mean ratios, the outlier
+/// count (mixes where bank-aware lost to the fixed split), a ratio
+/// distribution summary, and the sweep parameters as meta. Byte-identical
+/// for a fixed seed regardless of config.num_threads — the determinism
+/// contract the observability layer is tested against.
+obs::Report monte_carlo_report(const MonteCarloConfig& config,
+                               const MonteCarloSummary& summary);
 
 }  // namespace bacp::harness

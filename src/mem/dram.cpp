@@ -22,4 +22,10 @@ void Dram::writeback(Cycle now) {
   claim_channel(now);
 }
 
+void export_stats(const DramStats& stats, obs::Registry& registry) {
+  registry.counter("dram.demand_reads").set(stats.demand_reads);
+  registry.counter("dram.writebacks").set(stats.writebacks);
+  registry.counter("dram.channel_wait_cycles").set(stats.total_channel_wait);
+}
+
 }  // namespace bacp::mem

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace bacp::mem {
 
@@ -22,6 +23,9 @@ struct DramStats {
   std::uint64_t writebacks = 0;
   std::uint64_t total_channel_wait = 0;  ///< queueing behind the channel
 };
+
+/// Exports under "dram.": demand_reads, writebacks, channel_wait_cycles.
+void export_stats(const DramStats& stats, obs::Registry& registry);
 
 class Dram {
  public:

@@ -54,4 +54,13 @@ void Noc::clear_stats() {
   stats_.migration_transfers = 0;
 }
 
+void export_stats(const NocStats& stats, obs::Registry& registry) {
+  registry.counter("noc.queue_cycles").set(stats.total_queue_cycles);
+  registry.counter("noc.migration_transfers").set(stats.migration_transfers);
+  auto& requests = registry.distribution("noc.bank_requests");
+  for (const std::uint64_t count : stats.bank_requests) {
+    requests.observe(static_cast<double>(count));
+  }
+}
+
 }  // namespace bacp::noc

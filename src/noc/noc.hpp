@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace bacp::noc {
 
@@ -32,6 +33,11 @@ struct NocStats {
   std::uint64_t total_queue_cycles = 0;      // contention delay summed
   std::uint64_t migration_transfers = 0;     // bank-to-bank line moves
 };
+
+/// Exports under "noc.": queue_cycles and migration_transfers counters,
+/// plus a "noc.bank_requests" distribution over the per-bank request
+/// counts (its spread is the bank-pressure imbalance).
+void export_stats(const NocStats& stats, obs::Registry& registry);
 
 class Noc {
  public:

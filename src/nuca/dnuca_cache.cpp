@@ -33,6 +33,15 @@ double DnucaStats::miss_ratio() const {
                     : static_cast<double>(total_misses()) / static_cast<double>(total);
 }
 
+void export_stats(const DnucaStats& stats, obs::Registry& registry) {
+  registry.counter("nuca.hits").set(stats.total_hits());
+  registry.counter("nuca.misses").set(stats.total_misses());
+  registry.counter("nuca.promotions").set(stats.promotions);
+  registry.counter("nuca.demotions").set(stats.demotions);
+  registry.counter("nuca.directory_lookups").set(stats.directory_lookups);
+  registry.counter("nuca.offview_hits").set(stats.offview_hits);
+}
+
 DnucaCache::DnucaCache(const DnucaConfig& config, noc::Noc& noc)
     : config_(config), noc_(&noc) {
   config_.geometry.validate();

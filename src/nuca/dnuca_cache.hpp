@@ -8,6 +8,7 @@
 #include "cache/set_assoc_cache.hpp"
 #include "common/types.hpp"
 #include "noc/noc.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partition_types.hpp"
 
 namespace bacp::nuca {
@@ -71,6 +72,12 @@ struct DnucaStats {
   std::uint64_t total_misses() const;
   double miss_ratio() const;
 };
+
+/// Exports under "nuca.": live hit/miss totals, promotions, demotions,
+/// directory_lookups and offview_hits counters. Live counters cover every
+/// access in the window (including post-quota overrun) — the per-quota
+/// accounting lives in sim::SystemResults.
+void export_stats(const DnucaStats& stats, obs::Registry& registry);
 
 /// The 16-bank DNUCA L2 (paper Section II): per-bank way-partitioned
 /// 8-way caches plus the aggregation policy that welds each core's banks

@@ -1,0 +1,58 @@
+#include "obs/phase_timer.hpp"
+
+#include <sstream>
+
+namespace bacp::obs {
+
+void PhaseTimers::add(std::string_view name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(name), Phase{std::string(name), 0.0, 0}).first;
+  }
+  it->second.seconds += seconds;
+  ++it->second.calls;
+}
+
+std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Phase> out;
+  out.reserve(phases_.size());
+  for (const auto& [name, phase] : phases_) out.push_back(phase);
+  return out;
+}
+
+double PhaseTimers::seconds(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second.seconds;
+}
+
+void PhaseTimers::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
+
+std::string PhaseTimers::summary() const {
+  const auto snapshot = phases();
+  if (snapshot.empty()) return "";
+  std::ostringstream oss;
+  oss << "phase timings:";
+  for (const auto& phase : snapshot) {
+    oss << ' ' << phase.name << ' ';
+    oss.precision(3);
+    oss << std::fixed << phase.seconds << "s";
+    if (phase.calls > 1) oss << " (" << phase.calls << " calls)";
+    oss << ';';
+  }
+  std::string text = oss.str();
+  text.pop_back();  // trailing ';'
+  return text;
+}
+
+PhaseTimers& global_phase_timers() {
+  static PhaseTimers timers;
+  return timers;
+}
+
+}  // namespace bacp::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bacp::obs {
+
+/// Wall-clock accounting of coarse harness phases (profile / allocate /
+/// simulate, per-policy runs, Monte-Carlo sweeps). Scopes are RAII; the
+/// accumulator is mutex-guarded so parallel trials may time themselves.
+///
+/// Wall time is inherently non-deterministic, so these readings are for
+/// console diagnostics only — they are deliberately kept out of the
+/// deterministic JSON artifacts.
+class PhaseTimers {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  class Scope {
+   public:
+    Scope(PhaseTimers& timers, std::string name)
+        : timers_(&timers), name_(std::move(name)), start_(Clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      timers_->add(name_, std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+
+   private:
+    using Clock = std::chrono::steady_clock;
+    PhaseTimers* timers_;
+    std::string name_;
+    Clock::time_point start_;
+  };
+
+  /// Starts timing `name`; the elapsed wall time is added when the returned
+  /// scope is destroyed.
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(std::string_view name, double seconds);
+
+  /// Name-sorted snapshot of all phases.
+  std::vector<Phase> phases() const;
+  double seconds(std::string_view name) const;
+  void clear();
+
+  /// "phase timings: name 1.23s (4 calls), ..." or "" when empty.
+  std::string summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Phase, std::less<>> phases_;
+};
+
+/// Process-wide timer set the harness records into; benches print its
+/// summary() after their tables.
+PhaseTimers& global_phase_timers();
+
+}  // namespace bacp::obs

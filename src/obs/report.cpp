@@ -1,0 +1,261 @@
+#include "obs/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "obs/phase_timer.hpp"
+
+namespace bacp::obs {
+
+ReportTable::ReportTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+ReportTable& ReportTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+ReportTable& ReportTable::push(Cell cell) {
+  BACP_ASSERT(!rows_.empty(), "cell before begin_row");
+  BACP_ASSERT(rows_.back().size() < columns_.size(), "more cells than columns");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+ReportTable& ReportTable::cell(std::string value) {
+  std::string text = value;
+  return push(Cell{Json(std::move(value)), std::move(text)});
+}
+
+ReportTable& ReportTable::cell(double value, int precision) {
+  return push(Cell{Json(value), common::Table::format_double(value, precision)});
+}
+
+ReportTable& ReportTable::cell(std::uint64_t value) {
+  return push(Cell{Json(value), std::to_string(value)});
+}
+
+ReportTable& ReportTable::cell(int value) {
+  return push(Cell{Json(value), std::to_string(value)});
+}
+
+common::Table ReportTable::render() const {
+  common::Table table(columns_);
+  for (const auto& row : rows_) {
+    table.begin_row();
+    for (const auto& c : row) table.add_cell(c.text);
+  }
+  return table;
+}
+
+Json ReportTable::to_json() const {
+  Json columns = Json::array();
+  for (const auto& column : columns_) columns.push_back(column);
+  Json rows = Json::array();
+  for (const auto& row : rows_) {
+    Json out_row = Json::array();
+    for (const auto& c : row) out_row.push_back(c.value);
+    rows.push_back(std::move(out_row));
+  }
+  return Json::object().set("columns", std::move(columns)).set("rows", std::move(rows));
+}
+
+ReportOptions ReportOptions::from_args(const common::ArgParser& parser) {
+  ReportOptions options;
+  options.json_out = parser.get("json-out", "");
+  options.csv_out = parser.get("csv-out", "");
+  return options;
+}
+
+ReportOptions ReportOptions::extract_from_argv(int& argc, char** argv) {
+  ReportOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      options.json_out = arg.substr(std::string("--json-out=").size());
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      options.csv_out = arg.substr(std::string("--csv-out=").size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return options;
+}
+
+Report::Report(std::string name, std::string title)
+    : name_(std::move(name)), title_(std::move(title)) {}
+
+Report& Report::meta(std::string key, std::string value) {
+  meta_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Report& Report::metric(std::string name, double value, int precision) {
+  std::string text = common::Table::format_double(value, precision);
+  metrics_.push_back(Metric{std::move(name), Json(value), std::move(text)});
+  return *this;
+}
+
+Report& Report::metric(std::string name, std::uint64_t value) {
+  std::string text = std::to_string(value);
+  metrics_.push_back(Metric{std::move(name), Json(value), std::move(text)});
+  return *this;
+}
+
+Report& Report::metric(std::string name, std::string value) {
+  std::string text = value;
+  metrics_.push_back(Metric{std::move(name), Json(std::move(value)), std::move(text)});
+  return *this;
+}
+
+Report& Report::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+Report& Report::attach(std::string key, Json value) {
+  attachments_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+ReportTable& Report::table(std::string name, std::vector<std::string> columns) {
+  tables_.emplace_back(std::move(name), std::move(columns));
+  return tables_.back();
+}
+
+double Report::metric_value(std::string_view name, double fallback) const {
+  for (const auto& metric : metrics_) {
+    if (metric.name == name) {
+      return metric.value.is_number() ? metric.value.as_double() : fallback;
+    }
+  }
+  return fallback;
+}
+
+void Report::print(std::ostream& os) const {
+  os << "=== " << title_ << " ===\n";
+  for (const auto& [key, value] : meta_) os << key << ": " << value << '\n';
+  for (const auto& t : tables_) {
+    if (tables_.size() > 1) os << "\n[" << t.name() << "]\n";
+    t.render().print(os);
+  }
+  if (!metrics_.empty()) {
+    os << '\n';
+    for (const auto& metric : metrics_) {
+      os << metric.name << " = " << metric.text << '\n';
+    }
+  }
+  for (const auto& n : notes_) os << '\n' << n << '\n';
+}
+
+Json Report::to_json() const {
+  Json meta = Json::object();
+  for (const auto& [key, value] : meta_) meta.set(key, value);
+
+  Json metrics = Json::object();
+  for (const auto& metric : metrics_) metrics.set(metric.name, metric.value);
+
+  Json tables = Json::object();
+  for (const auto& t : tables_) tables.set(t.name(), t.to_json());
+
+  Json notes = Json::array();
+  for (const auto& n : notes_) notes.push_back(n);
+
+  Json out = Json::object()
+                 .set("schema", std::uint64_t{1})
+                 .set("report", name_)
+                 .set("title", title_)
+                 .set("meta", std::move(meta))
+                 .set("metrics", std::move(metrics))
+                 .set("tables", std::move(tables))
+                 .set("notes", std::move(notes));
+  for (const auto& [key, value] : attachments_) out.set(key, value);
+  return out;
+}
+
+std::string Report::to_csv() const {
+  std::ostringstream oss;
+  oss << "# report," << name_ << '\n';
+  for (const auto& [key, value] : meta_) oss << "# meta," << key << ',' << value << '\n';
+  if (!metrics_.empty()) {
+    oss << "# metrics\n";
+    common::Table table({"metric", "value"});
+    for (const auto& metric : metrics_) {
+      table.begin_row().add_cell(metric.name).add_cell(metric.text);
+    }
+    table.print_csv(oss);
+  }
+  for (const auto& t : tables_) {
+    oss << "# table," << t.name() << '\n';
+    t.render().print_csv(oss);
+  }
+  return oss.str();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents,
+                const char* what) {
+  const std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);  // best effort
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot open " << what << " file '" << path << "'\n";
+    return false;
+  }
+  out << contents;
+  out.close();
+  if (!out) {
+    std::cerr << "error: failed writing " << what << " file '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Report::emit(std::ostream& console, const ReportOptions& options) const {
+  print(console);
+  const std::string timings = global_phase_timers().summary();
+  if (!timings.empty()) console << '\n' << timings << '\n';
+  bool ok = true;
+  if (!options.json_out.empty()) {
+    ok = write_file(options.json_out, to_json().dump(2) + "\n", "JSON") && ok;
+  }
+  if (!options.csv_out.empty()) {
+    ok = write_file(options.csv_out, to_csv(), "CSV") && ok;
+  }
+  return ok;
+}
+
+std::vector<std::pair<std::string, std::string>> with_report_flags(
+    std::vector<std::pair<std::string, std::string>> spec) {
+  spec.emplace_back("json-out=", "write the report as deterministic JSON to <path>");
+  spec.emplace_back("csv-out=", "write the report as CSV to <path>");
+  spec.emplace_back("help", "show this help");
+  return spec;
+}
+
+std::optional<int> handle_cli(common::ArgParser& parser, int argc,
+                              const char* const* argv) {
+  const std::string program = argc > 0 ? argv[0] : "program";
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << "\n\n" << parser.help(program);
+    return 2;
+  }
+  if (parser.has("help")) {
+    std::cout << parser.help(program);
+    return 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bacp::obs

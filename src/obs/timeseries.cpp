@@ -1,0 +1,68 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace bacp::obs {
+
+void TimeSeries::begin_epoch() { ++epochs_; }
+
+void TimeSeries::record(std::string_view series, double value) {
+  BACP_ASSERT(epochs_ > 0, "TimeSeries::record before begin_epoch");
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_.emplace(std::string(series), std::vector<double>()).first;
+  }
+  auto& samples = it->second;
+  BACP_ASSERT(samples.size() < epochs_, "series recorded twice in one epoch");
+  samples.resize(epochs_ - 1, 0.0);  // back-fill epochs before first record
+  samples.push_back(value);
+}
+
+std::span<const double> TimeSeries::series(std::string_view name) const {
+  const auto it = series_.find(name);
+  BACP_ASSERT(it != series_.end(), "unknown time series");
+  return it->second;
+}
+
+std::vector<std::string> TimeSeries::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, samples] : series_) out.push_back(name);
+  return out;
+}
+
+void TimeSeries::clear() {
+  series_.clear();
+  epochs_ = 0;
+}
+
+Json TimeSeries::to_json() const {
+  Json series = Json::object();
+  for (const auto& [name, samples] : series_) {
+    Json values = Json::array();
+    for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+      values.push_back(epoch < samples.size() ? samples[epoch] : 0.0);
+    }
+    series.set(name, std::move(values));
+  }
+  return Json::object()
+      .set("epochs", static_cast<std::uint64_t>(epochs_))
+      .set("series", std::move(series));
+}
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os << "epoch";
+  for (const auto& [name, samples] : series_) os << ',' << name;
+  os << '\n';
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    os << epoch;
+    for (const auto& [name, samples] : series_) {
+      os << ',' << Json(epoch < samples.size() ? samples[epoch] : 0.0).dump();
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace bacp::obs

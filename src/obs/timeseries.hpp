@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace bacp::obs {
+
+/// Column-oriented per-epoch recorder. sim::System pushes one row per
+/// epoch boundary (allocations per core, promotion/demotion deltas, NoC
+/// queue cycles, DRAM traffic, per-core CPI); every named series therefore
+/// has exactly `num_epochs()` samples. A series first recorded at a later
+/// epoch is back-filled with zeros so columns stay rectangular.
+class TimeSeries {
+ public:
+  /// Opens the next row. All record() calls until the next begin_epoch()
+  /// land in this row; at most one sample per series per row.
+  void begin_epoch();
+
+  void record(std::string_view series, double value);
+
+  std::size_t num_epochs() const { return epochs_; }
+  bool has_series(std::string_view name) const { return series_.find(name) != series_.end(); }
+  /// Samples of one series, one per epoch. Asserts the series exists.
+  std::span<const double> series(std::string_view name) const;
+  /// Name-sorted list of recorded series.
+  std::vector<std::string> names() const;
+
+  void clear();
+
+  /// {"epochs": N, "series": {name: [v0, v1, ...]}} with sorted names.
+  Json to_json() const;
+
+  /// Wide CSV: header `epoch,<name>,...`, one row per epoch.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::vector<double>, std::less<>> series_;
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace bacp::obs

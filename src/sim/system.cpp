@@ -12,6 +12,121 @@
 
 namespace bacp::sim {
 
+double CoreResult::l2_miss_ratio() const {
+  const std::uint64_t accesses = l2_accesses();
+  return accesses == 0
+             ? 0.0
+             : static_cast<double>(l2_misses()) / static_cast<double>(accesses);
+}
+
+CoreResult& CoreResult::set_instructions(double value) {
+  metrics_.gauge("core.instructions").set(value);
+  return *this;
+}
+
+CoreResult& CoreResult::set_cycles(double value) {
+  metrics_.gauge("core.cycles").set(value);
+  return *this;
+}
+
+CoreResult& CoreResult::set_cpi(double value) {
+  metrics_.gauge("core.cpi").set(value);
+  return *this;
+}
+
+CoreResult& CoreResult::set_l2_hits(std::uint64_t value) {
+  metrics_.counter("core.l2_hits").set(value);
+  return *this;
+}
+
+CoreResult& CoreResult::set_l2_misses(std::uint64_t value) {
+  metrics_.counter("core.l2_misses").set(value);
+  return *this;
+}
+
+CoreResult& CoreResult::set_allocated_ways(WayCount ways) {
+  metrics_.counter("core.allocated_ways").set(ways);
+  return *this;
+}
+
+CoreResult& CoreResult::set_workload(std::string name) {
+  workload_ = std::move(name);
+  return *this;
+}
+
+obs::Json CoreResult::to_json() const {
+  obs::Json json = obs::Json::object();
+  json.set("workload", workload_);
+  json.set("metrics", metrics_.to_json());
+  return json;
+}
+
+SystemResults& SystemResults::set_l2_accesses(std::uint64_t value) {
+  metrics_.counter("sim.l2_accesses").set(value);
+  return *this;
+}
+
+SystemResults& SystemResults::set_l2_misses(std::uint64_t value) {
+  metrics_.counter("sim.l2_misses").set(value);
+  return *this;
+}
+
+SystemResults& SystemResults::set_l2_miss_ratio(double value) {
+  metrics_.gauge("sim.l2_miss_ratio").set(value);
+  return *this;
+}
+
+SystemResults& SystemResults::set_mean_cpi(double value) {
+  metrics_.gauge("sim.mean_cpi").set(value);
+  return *this;
+}
+
+SystemResults& SystemResults::set_epochs(std::uint64_t value) {
+  metrics_.counter("sim.epochs").set(value);
+  return *this;
+}
+
+obs::Json SystemResults::to_json() const {
+  obs::Json json = obs::Json::object();
+  json.set("schema", std::uint64_t{1});
+  json.set("metrics", metrics_.to_json());
+  obs::Json cores = obs::Json::array();
+  for (const auto& core : cores_) cores.push_back(core.to_json());
+  json.set("cores", std::move(cores));
+  json.set("epoch_series", epoch_series_.to_json());
+  return json;
+}
+
+SystemResults::Legacy SystemResults::legacy() const {
+  Legacy legacy;
+  for (const auto& core : cores_) {
+    Legacy::Core flat;
+    flat.instructions = core.instructions();
+    flat.cycles = core.cycles();
+    flat.cpi = core.cpi();
+    flat.l2_hits = core.l2_hits();
+    flat.l2_misses = core.l2_misses();
+    flat.allocated_ways = core.allocated_ways();
+    flat.workload = core.workload();
+    legacy.cores.push_back(std::move(flat));
+  }
+  legacy.l2_accesses = l2_accesses();
+  legacy.live_l2_accesses = live_l2_accesses();
+  legacy.l2_misses = l2_misses();
+  legacy.l2_miss_ratio = l2_miss_ratio();
+  legacy.mean_cpi = mean_cpi();
+  legacy.epochs = epochs();
+  legacy.promotions = promotions();
+  legacy.demotions = demotions();
+  legacy.offview_hits = offview_hits();
+  legacy.directory_lookups = directory_lookups();
+  legacy.dram_reads = dram_reads();
+  legacy.dram_writebacks = dram_writebacks();
+  legacy.noc_queue_cycles = noc_queue_cycles();
+  legacy.inclusion_recalls = inclusion_recalls();
+  return legacy;
+}
+
 System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
     : config_(config),
       mix_(mix),
@@ -70,6 +185,7 @@ System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
   decayed_instructions_.assign(config_.geometry.num_cores, 0.0);
   apply_policy_plan();
   next_epoch_ = config_.epoch_cycles;
+  reset_epoch_tracking();
 }
 
 void System::apply_policy_plan() {
@@ -129,6 +245,63 @@ void System::run_epoch_boundary() {
   }
   // Histogram decay keeps the profile tracking the current phase.
   for (auto& profiler : profilers_) profiler->decay();
+  // Record after any repartition so "core<N>.ways" reflects the allocation
+  // installed at this boundary (matching allocation_history()).
+  record_epoch_series();
+}
+
+void System::record_epoch_series() {
+  epoch_series_.begin_epoch();
+  const auto& l2_stats = l2_->stats();
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    const std::string prefix = "core" + std::to_string(core) + ".";
+    epoch_series_.record(prefix + "ways",
+                         static_cast<double>(allocation_.ways_per_core.at(core)));
+    const double instructions =
+        timers_[core]->instructions() - epoch_baseline_.instructions[core];
+    const double cycles =
+        static_cast<double>(timers_[core]->time()) - epoch_baseline_.cycles[core];
+    epoch_series_.record(prefix + "cpi",
+                         instructions > 0.0 ? cycles / instructions : 0.0);
+    epoch_baseline_.instructions[core] = timers_[core]->instructions();
+    epoch_baseline_.cycles[core] = static_cast<double>(timers_[core]->time());
+  }
+  const auto delta = [](std::uint64_t now, std::uint64_t& baseline) {
+    const std::uint64_t d = now - baseline;
+    baseline = now;
+    return static_cast<double>(d);
+  };
+  epoch_series_.record("promotions",
+                       delta(l2_stats.promotions, epoch_baseline_.promotions));
+  epoch_series_.record("demotions",
+                       delta(l2_stats.demotions, epoch_baseline_.demotions));
+  epoch_series_.record("offview_hits",
+                       delta(l2_stats.offview_hits, epoch_baseline_.offview_hits));
+  epoch_series_.record("dram_reads",
+                       delta(dram_.stats().demand_reads, epoch_baseline_.dram_reads));
+  epoch_series_.record(
+      "dram_writebacks",
+      delta(dram_.stats().writebacks, epoch_baseline_.dram_writebacks));
+  epoch_series_.record(
+      "noc_queue_cycles",
+      delta(noc_.stats().total_queue_cycles, epoch_baseline_.noc_queue_cycles));
+}
+
+void System::reset_epoch_tracking() {
+  epoch_series_.clear();
+  epoch_baseline_ = EpochBaseline{};
+  epoch_baseline_.instructions.resize(config_.geometry.num_cores);
+  epoch_baseline_.cycles.resize(config_.geometry.num_cores);
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    epoch_baseline_.instructions[core] = timers_[core]->instructions();
+    epoch_baseline_.cycles[core] = static_cast<double>(timers_[core]->time());
+  }
+  epoch_baseline_.promotions = l2_->stats().promotions;
+  epoch_baseline_.demotions = l2_->stats().demotions;
+  epoch_baseline_.offview_hits = l2_->stats().offview_hits;
+  epoch_baseline_.dram_reads = dram_.stats().demand_reads;
+  epoch_baseline_.dram_writebacks = dram_.stats().writebacks;
+  epoch_baseline_.noc_queue_cycles = noc_.stats().total_queue_cycles;
 }
 
 Cycle System::serve_access(CoreId core, Cycle issue_time) {
@@ -259,6 +432,10 @@ void System::clear_all_stats() {
   directory_.clear_stats();
   for (auto& timer : timers_) timer->mark();
   snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
+  // The epoch count and per-epoch series describe the measurement window
+  // only, so SystemResults::epochs() == epoch_series().num_epochs().
+  epochs_ = 0;
+  reset_epoch_tracking();
 }
 
 void System::switch_workload(CoreId core, std::string_view workload_name) {
@@ -286,42 +463,45 @@ SystemResults System::results() const {
     CoreResult core_result;
     if (core < snapshots_.size() && snapshots_[core].taken) {
       // Quota snapshot: exactly the core's measurement slice.
-      core_result.instructions = snapshots_[core].instructions;
-      core_result.cycles = snapshots_[core].cycles;
-      core_result.cpi = snapshots_[core].cpi;
-      core_result.l2_hits = snapshots_[core].l2_hits;
-      core_result.l2_misses = snapshots_[core].l2_misses;
+      core_result.set_instructions(snapshots_[core].instructions)
+          .set_cycles(snapshots_[core].cycles)
+          .set_cpi(snapshots_[core].cpi)
+          .set_l2_hits(snapshots_[core].l2_hits)
+          .set_l2_misses(snapshots_[core].l2_misses);
     } else {
-      core_result.instructions = timers_[core]->instructions_since_mark();
-      core_result.cycles = timers_[core]->cycles_since_mark();
-      core_result.cpi = timers_[core]->cpi_since_mark();
-      core_result.l2_hits = l2_stats.hits[core];
-      core_result.l2_misses = l2_stats.misses[core];
+      core_result.set_instructions(timers_[core]->instructions_since_mark())
+          .set_cycles(timers_[core]->cycles_since_mark())
+          .set_cpi(timers_[core]->cpi_since_mark())
+          .set_l2_hits(l2_stats.hits[core])
+          .set_l2_misses(l2_stats.misses[core]);
     }
-    core_result.allocated_ways = allocation_.ways_per_core.at(core);
-    core_result.workload = suite.at(mix_.workload_indices[core]).name.c_str();
-    cpis.push_back(core_result.cpi);
-    hits_total += core_result.l2_hits;
-    misses_total += core_result.l2_misses;
-    results.cores.push_back(core_result);
+    core_result.set_allocated_ways(allocation_.ways_per_core.at(core));
+    core_result.set_workload(suite.at(mix_.workload_indices[core]).name);
+    cpis.push_back(core_result.cpi());
+    hits_total += core_result.l2_hits();
+    misses_total += core_result.l2_misses();
+    results.cores().push_back(std::move(core_result));
   }
-  results.l2_accesses = hits_total + misses_total;
-  results.live_l2_accesses = l2_stats.total_hits() + l2_stats.total_misses();
-  results.l2_misses = misses_total;
-  results.l2_miss_ratio =
-      results.l2_accesses == 0
-          ? 0.0
-          : static_cast<double>(misses_total) / static_cast<double>(results.l2_accesses);
-  results.mean_cpi = common::arithmetic_mean(cpis);
-  results.epochs = epochs_;
-  results.promotions = l2_stats.promotions;
-  results.demotions = l2_stats.demotions;
-  results.offview_hits = l2_stats.offview_hits;
-  results.directory_lookups = l2_stats.directory_lookups;
-  results.dram_reads = dram_.stats().demand_reads;
-  results.dram_writebacks = dram_.stats().writebacks;
-  results.noc_queue_cycles = noc_.stats().total_queue_cycles;
-  results.inclusion_recalls = directory_.stats().inclusion_recalls;
+
+  // Component modules publish their live counters under their own
+  // namespaces; the per-quota aggregates land under "sim.".
+  obs::Registry& metrics = results.metrics();
+  nuca::export_stats(l2_stats, metrics);
+  mem::export_stats(dram_.stats(), metrics);
+  noc::export_stats(noc_.stats(), metrics);
+  coherence::export_stats(directory_.stats(), metrics);
+
+  const std::uint64_t accesses = hits_total + misses_total;
+  results.set_l2_accesses(accesses);
+  metrics.counter("sim.live_l2_accesses")
+      .set(l2_stats.total_hits() + l2_stats.total_misses());
+  results.set_l2_misses(misses_total);
+  results.set_l2_miss_ratio(accesses == 0 ? 0.0
+                                          : static_cast<double>(misses_total) /
+                                                static_cast<double>(accesses));
+  results.set_mean_cpi(common::arithmetic_mean(cpis));
+  results.set_epochs(epochs_);
+  results.epoch_series() = epoch_series_;
   return results;
 }
 

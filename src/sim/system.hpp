@@ -10,43 +10,151 @@
 #include "msa/stack_profiler.hpp"
 #include "noc/noc.hpp"
 #include "nuca/dnuca_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/system_config.hpp"
 #include "trace/mix.hpp"
 #include "trace/synthetic.hpp"
 
 namespace bacp::sim {
 
-/// Per-core results over the measurement window.
-struct CoreResult {
-  double instructions = 0.0;
-  double cycles = 0.0;
-  double cpi = 0.0;
-  std::uint64_t l2_hits = 0;
-  std::uint64_t l2_misses = 0;
-  WayCount allocated_ways = 0;
-  const char* workload = "";
+/// Per-core results over the measurement window, backed by an obs::Registry
+/// (gauges "core.instructions|cycles|cpi", counters
+/// "core.l2_hits|l2_misses|allocated_ways"). The typed accessors are the
+/// stable API; metrics() exposes the registry to sinks and to callers that
+/// attach ad-hoc metrics.
+class CoreResult {
+ public:
+  double instructions() const { return metrics_.gauge_value("core.instructions"); }
+  double cycles() const { return metrics_.gauge_value("core.cycles"); }
+  double cpi() const { return metrics_.gauge_value("core.cpi"); }
+  std::uint64_t l2_hits() const { return metrics_.counter_value("core.l2_hits"); }
+  std::uint64_t l2_misses() const { return metrics_.counter_value("core.l2_misses"); }
+  std::uint64_t l2_accesses() const { return l2_hits() + l2_misses(); }
+  double l2_miss_ratio() const;
+  WayCount allocated_ways() const {
+    return static_cast<WayCount>(metrics_.counter_value("core.allocated_ways"));
+  }
+  /// Owned copy of the workload name (safe to outlive the suite entry).
+  const std::string& workload() const { return workload_; }
+
+  CoreResult& set_instructions(double value);
+  CoreResult& set_cycles(double value);
+  CoreResult& set_cpi(double value);
+  CoreResult& set_l2_hits(std::uint64_t value);
+  CoreResult& set_l2_misses(std::uint64_t value);
+  CoreResult& set_allocated_ways(WayCount ways);
+  CoreResult& set_workload(std::string name);
+
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// {"workload": ..., "metrics": {...}}.
+  obs::Json to_json() const;
+
+ private:
+  obs::Registry metrics_;
+  std::string workload_;
 };
 
-struct SystemResults {
-  std::vector<CoreResult> cores;
-  std::uint64_t l2_accesses = 0;
-  /// All L2 accesses seen live in the measurement window, including the
-  /// post-quota overrun that keeps co-runner interference alive. Use this
-  /// as the denominator for live counters (migrations, directory lookups,
-  /// NoC/DRAM traffic); use l2_accesses for per-quota miss accounting.
-  std::uint64_t live_l2_accesses = 0;
-  std::uint64_t l2_misses = 0;
-  double l2_miss_ratio = 0.0;
-  double mean_cpi = 0.0;
-  std::uint64_t epochs = 0;
-  std::uint64_t promotions = 0;
-  std::uint64_t demotions = 0;
-  std::uint64_t offview_hits = 0;
-  std::uint64_t directory_lookups = 0;
-  std::uint64_t dram_reads = 0;
-  std::uint64_t dram_writebacks = 0;
-  std::uint64_t noc_queue_cycles = 0;
-  std::uint64_t inclusion_recalls = 0;
+/// Whole-run results. All scalar statistics live in one obs::Registry under
+/// the exporting component's namespace ("sim.", "nuca.", "noc.", "dram.",
+/// "coherence."); the typed accessors below are the stable reading API and
+/// document which registry name each figure comes from. The per-epoch
+/// adaptation record is exposed as an obs::TimeSeries.
+class SystemResults {
+ public:
+  const std::vector<CoreResult>& cores() const { return cores_; }
+  std::vector<CoreResult>& cores() { return cores_; }
+
+  /// Sum of the per-core quota slices ("sim.l2_accesses"): exactly
+  /// `l2_accesses_per_core` accesses per core, the denominator for
+  /// per-quota miss accounting.
+  std::uint64_t l2_accesses() const { return metrics_.counter_value("sim.l2_accesses"); }
+  /// All L2 accesses seen live in the measurement window
+  /// ("sim.live_l2_accesses"), including the post-quota overrun that keeps
+  /// co-runner interference alive. Use this as the denominator for live
+  /// counters (migrations, directory lookups, NoC/DRAM traffic).
+  std::uint64_t live_l2_accesses() const {
+    return metrics_.counter_value("sim.live_l2_accesses");
+  }
+  std::uint64_t l2_misses() const { return metrics_.counter_value("sim.l2_misses"); }
+  double l2_miss_ratio() const { return metrics_.gauge_value("sim.l2_miss_ratio"); }
+  double mean_cpi() const { return metrics_.gauge_value("sim.mean_cpi"); }
+  std::uint64_t epochs() const { return metrics_.counter_value("sim.epochs"); }
+  std::uint64_t promotions() const { return metrics_.counter_value("nuca.promotions"); }
+  std::uint64_t demotions() const { return metrics_.counter_value("nuca.demotions"); }
+  std::uint64_t offview_hits() const {
+    return metrics_.counter_value("nuca.offview_hits");
+  }
+  std::uint64_t directory_lookups() const {
+    return metrics_.counter_value("nuca.directory_lookups");
+  }
+  std::uint64_t dram_reads() const { return metrics_.counter_value("dram.demand_reads"); }
+  std::uint64_t dram_writebacks() const {
+    return metrics_.counter_value("dram.writebacks");
+  }
+  std::uint64_t noc_queue_cycles() const {
+    return metrics_.counter_value("noc.queue_cycles");
+  }
+  std::uint64_t inclusion_recalls() const {
+    return metrics_.counter_value("coherence.inclusion_recalls");
+  }
+
+  SystemResults& set_l2_accesses(std::uint64_t value);
+  SystemResults& set_l2_misses(std::uint64_t value);
+  SystemResults& set_l2_miss_ratio(double value);
+  SystemResults& set_mean_cpi(double value);
+  SystemResults& set_epochs(std::uint64_t value);
+
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
+  /// Per-epoch adaptation record ("core<N>.ways", "core<N>.cpi",
+  /// "promotions", "demotions", "offview_hits", "noc_queue_cycles",
+  /// "dram_reads", "dram_writebacks"); one sample per epoch boundary of the
+  /// measurement window, so num_epochs() == epochs().
+  obs::TimeSeries& epoch_series() { return epoch_series_; }
+  const obs::TimeSeries& epoch_series() const { return epoch_series_; }
+
+  /// {"schema": 1, "metrics": ..., "cores": [...], "epoch_series": ...}.
+  obs::Json to_json() const;
+
+  /// Flat POD mirror of the pre-registry results structs, kept for one
+  /// release so out-of-tree callers can migrate field reads mechanically.
+  /// New code should use the typed accessors.
+  struct Legacy {
+    struct Core {
+      double instructions = 0.0;
+      double cycles = 0.0;
+      double cpi = 0.0;
+      std::uint64_t l2_hits = 0;
+      std::uint64_t l2_misses = 0;
+      WayCount allocated_ways = 0;
+      std::string workload;
+    };
+    std::vector<Core> cores;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t live_l2_accesses = 0;
+    std::uint64_t l2_misses = 0;
+    double l2_miss_ratio = 0.0;
+    double mean_cpi = 0.0;
+    std::uint64_t epochs = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t offview_hits = 0;
+    std::uint64_t directory_lookups = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writebacks = 0;
+    std::uint64_t noc_queue_cycles = 0;
+    std::uint64_t inclusion_recalls = 0;
+  };
+  Legacy legacy() const;
+
+ private:
+  std::vector<CoreResult> cores_;
+  obs::Registry metrics_;
+  obs::TimeSeries epoch_series_;
 };
 
 /// The full CMP: synthetic cores -> private L1s -> MOESI directory ->
@@ -88,7 +196,13 @@ class System {
   const nuca::DnucaCache& l2() const { return *l2_; }
   const cache::SetAssocCache& l1(CoreId core) const { return l1_.at(core); }
   const msa::StackProfiler& profiler(CoreId core) const { return *profilers_.at(core); }
+  /// Epoch boundaries crossed since the last statistics reset (warm_up()
+  /// ends with a reset, so after a measurement run this counts measured
+  /// epochs only).
   std::uint64_t epochs_run() const { return epochs_; }
+
+  /// Live view of the per-epoch recorder (also copied into results()).
+  const obs::TimeSeries& epoch_series() const { return epoch_series_; }
 
  private:
   /// Per-core statistics frozen at quota completion (cores run on past
@@ -102,8 +216,23 @@ class System {
     bool taken = false;
   };
 
+  /// Component-stat values at the last epoch boundary (or stats reset);
+  /// the per-epoch time series records deltas against these.
+  struct EpochBaseline {
+    std::vector<double> instructions;  // per core, absolute
+    std::vector<double> cycles;        // per core, absolute
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t offview_hits = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writebacks = 0;
+    std::uint64_t noc_queue_cycles = 0;
+  };
+
   void execute(std::uint64_t instructions_per_core);
   void run_epoch_boundary();
+  void record_epoch_series();
+  void reset_epoch_tracking();
   Cycle serve_access(CoreId core, Cycle issue_time);
   void apply_policy_plan();
   void clear_all_stats();
@@ -131,6 +260,8 @@ class System {
   std::vector<double> decayed_instructions_;
   Cycle next_epoch_ = 0;
   std::uint64_t epochs_ = 0;
+  obs::TimeSeries epoch_series_;
+  EpochBaseline epoch_baseline_;
 };
 
 }  // namespace bacp::sim

@@ -46,14 +46,35 @@ TEST(Table3Sets, MixLabelsAreReadable) {
   EXPECT_NE(label.find("facerec"), std::string::npos);
 }
 
+TEST(DetailedRunConfig, FluentSettersChain) {
+  const auto config = DetailedRunConfig{}
+                          .with_warmup_instructions(123)
+                          .with_measure_instructions(456)
+                          .with_epoch_cycles(789)
+                          .with_seed(7);
+  EXPECT_EQ(config.warmup_instructions, 123u);
+  EXPECT_EQ(config.measure_instructions, 456u);
+  EXPECT_EQ(config.epoch_cycles, 789u);
+  EXPECT_EQ(config.seed, 7u);
+}
+
+TEST(DetailedRunConfig, FromArgsPrefersFlags) {
+  common::ArgParser parser(DetailedRunConfig::cli_flags());
+  const char* argv[] = {"prog", "--warmup=111", "--instr=222", "--epoch=333",
+                        "--seed=444"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  const auto config = DetailedRunConfig::from_args(parser);
+  EXPECT_EQ(config.warmup_instructions, 111u);
+  EXPECT_EQ(config.measure_instructions, 222u);
+  EXPECT_EQ(config.epoch_cycles, 333u);
+  EXPECT_EQ(config.seed, 444u);
+}
+
 TEST(SetComparison, RatiosComputeAgainstNoPartition) {
   SetComparison comparison;
-  comparison.none.l2_misses = 1000;
-  comparison.equal.l2_misses = 400;
-  comparison.bank_aware.l2_misses = 300;
-  comparison.none.mean_cpi = 2.0;
-  comparison.equal.mean_cpi = 1.5;
-  comparison.bank_aware.mean_cpi = 1.2;
+  comparison.none.set_l2_misses(1000).set_mean_cpi(2.0);
+  comparison.equal.set_l2_misses(400).set_mean_cpi(1.5);
+  comparison.bank_aware.set_l2_misses(300).set_mean_cpi(1.2);
   EXPECT_DOUBLE_EQ(comparison.equal_relative_misses(), 0.4);
   EXPECT_DOUBLE_EQ(comparison.bank_relative_misses(), 0.3);
   EXPECT_DOUBLE_EQ(comparison.equal_relative_cpi(), 0.75);
@@ -68,12 +89,12 @@ TEST(SetComparison, EndToEndSmokeRun) {
   config.epoch_cycles = 600'000;
   const auto comparison =
       run_set_comparison("smoke", table3_sets()[1].mix(), config);
-  EXPECT_GT(comparison.none.l2_misses, 0u);
-  EXPECT_GT(comparison.equal.l2_misses, 0u);
-  EXPECT_GT(comparison.bank_aware.l2_misses, 0u);
+  EXPECT_GT(comparison.none.l2_misses(), 0u);
+  EXPECT_GT(comparison.equal.l2_misses(), 0u);
+  EXPECT_GT(comparison.bank_aware.l2_misses(), 0u);
   EXPECT_GT(comparison.equal_relative_misses(), 0.1);
   EXPECT_LT(comparison.equal_relative_misses(), 3.0);
-  EXPECT_GT(comparison.none.mean_cpi, 0.0);
+  EXPECT_GT(comparison.none.mean_cpi(), 0.0);
 }
 
 }  // namespace

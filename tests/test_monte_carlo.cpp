@@ -71,6 +71,45 @@ TEST(MonteCarlo, MixesDrawWithRepetition) {
   EXPECT_TRUE(repeated);
 }
 
+TEST(MonteCarlo, ReportIsByteIdenticalAcrossThreadCounts) {
+  // The acceptance contract of the observability layer: the JSON artifact
+  // of a fixed-seed sweep must not depend on the worker count.
+  const auto config_one = small(40, 1);
+  const auto config_four = small(40, 4);
+  const std::string one =
+      monte_carlo_report(config_one, run_monte_carlo(config_one)).to_json().dump(2);
+  const std::string four =
+      monte_carlo_report(config_four, run_monte_carlo(config_four)).to_json().dump(2);
+  EXPECT_EQ(one, four);
+}
+
+TEST(MonteCarlo, ReportCarriesHeadlineMetrics) {
+  const auto config = small(30);
+  const auto report = monte_carlo_report(config, run_monte_carlo(config));
+  EXPECT_GT(report.metric_value("mean_bank_aware_ratio"), 0.0);
+  EXPECT_GT(report.metric_value("mean_unrestricted_ratio"), 0.0);
+  EXPECT_DOUBLE_EQ(report.metric_value("trials"), 30.0);
+}
+
+TEST(MonteCarloConfig, FluentSettersChain) {
+  const auto config =
+      MonteCarloConfig{}.with_trials(5).with_seed(11).with_num_threads(3).with_curve_depth(64);
+  EXPECT_EQ(config.trials, 5u);
+  EXPECT_EQ(config.seed, 11u);
+  EXPECT_EQ(config.num_threads, 3u);
+  EXPECT_EQ(config.curve_depth, 64u);
+}
+
+TEST(MonteCarloConfig, FromArgsPrefersFlags) {
+  common::ArgParser parser(MonteCarloConfig::cli_flags());
+  const char* argv[] = {"prog", "--trials=7", "--seed=99", "--threads=2"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  const auto config = MonteCarloConfig::from_args(parser);
+  EXPECT_EQ(config.trials, 7u);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.num_threads, 2u);
+}
+
 TEST(MonteCarlo, DifferentSeedsGiveDifferentMixes) {
   auto config_a = small(10);
   auto config_b = small(10);
