@@ -15,24 +15,25 @@ StackProfiler::StackProfiler(const ProfilerConfig& config)
   BACP_ASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
   BACP_ASSERT(config_.set_sampling >= 1, "set_sampling must be >= 1");
   BACP_ASSERT(config_.profiled_ways >= 1, "profiled_ways must be >= 1");
+  set_shift_ = log2_floor(config_.num_sets);
+  set_mask_ = config_.num_sets - 1;
   for (auto& stack : stacks_) stack.reserve(config_.profiled_ways);
 }
 
 std::uint32_t StackProfiler::stored_tag(BlockAddress block) const {
   // Not used for full tags; callers branch on partial_tag_bits.
-  const BlockAddress tag_bits = block >> log2_floor(config_.num_sets);
-  return cache::partial_tag(tag_bits, config_.partial_tag_bits);
+  return cache::partial_tag(block >> set_shift_, config_.partial_tag_bits);
 }
 
 void StackProfiler::observe(BlockAddress block) {
   ++observed_;
-  const auto set = static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+  const auto set = static_cast<std::uint32_t>(block & set_mask_);
   if (!is_sampled_set(set)) return;
   ++sampled_;
 
   const std::uint64_t entry =
       config_.partial_tag_bits == 0
-          ? (block >> log2_floor(config_.num_sets))
+          ? (block >> set_shift_)
           : static_cast<std::uint64_t>(stored_tag(block));
 
   auto& stack = stacks_[set / config_.set_sampling];

@@ -60,6 +60,10 @@ class StackProfiler {
   std::uint32_t stored_tag(BlockAddress block) const;
 
   ProfilerConfig config_;
+  // Set-index geometry, derived once at construction: observe() runs per L2
+  // access, so the shift/mask must not be recomputed per call.
+  std::uint32_t set_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
   common::Histogram histogram_;  // profiled_ways + 1 bins
   // Per sampled set: tag stack, MRU first. Tags are either partial hashes
   // or (width 0) the full block address folded to 32+ bits via a map keyed

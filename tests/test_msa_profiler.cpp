@@ -104,6 +104,38 @@ TEST(StackProfiler, ClearResetsEverything) {
   EXPECT_EQ(profiler.histogram().bin(4), 1u);
 }
 
+/// Pins the stored-tag geometry: the partial tag hashes the bits *above*
+/// the set index (with the set shift derived from num_sets once at
+/// construction), so set bits never leak into the tag and tag bits are
+/// never dropped. Regression test for the per-observe log2 recompute fix.
+TEST(StackProfiler, StoredTagStripsExactlyTheSetIndexBits) {
+  ProfilerConfig config = exact_config(64, 4);
+  config.partial_tag_bits = 16;
+  StackProfiler profiler(config);
+
+  // Same tag bits, same set: a genuine reuse -> MRU hit.
+  profiler.observe(7 * 64 + 3);
+  profiler.observe(7 * 64 + 3);
+  EXPECT_EQ(profiler.histogram().bin(0), 1u);
+
+  // Same tag bits, different (sampled) set: distinct stacks, both misses,
+  // and neither ages the other's stack.
+  StackProfiler across_sets(config);
+  across_sets.observe(7 * 64 + 0);
+  across_sets.observe(7 * 64 + 1);
+  across_sets.observe(7 * 64 + 0);
+  EXPECT_EQ(across_sets.histogram().bin(0), 1u);  // still MRU in set 0
+  EXPECT_EQ(across_sets.histogram().bin(4), 2u);  // one cold miss per set
+
+  // Different tag bits, same set: distinct entries (16-bit tags over a
+  // 6-bit tag distance cannot alias these), so no false hit.
+  StackProfiler across_tags(config);
+  across_tags.observe(7 * 64 + 3);
+  across_tags.observe(8 * 64 + 3);
+  EXPECT_EQ(across_tags.histogram().bin(4), 2u);
+  EXPECT_EQ(across_tags.histogram().bin(0), 0u);
+}
+
 TEST(StackProfiler, PartialTagsCanAliasDistinctBlocks) {
   ProfilerConfig config = exact_config(2, 8);
   config.partial_tag_bits = 2;  // tiny tags force aliasing
