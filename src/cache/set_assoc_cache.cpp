@@ -1,6 +1,7 @@
 #include "cache/set_assoc_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "common/assert.hpp"
@@ -30,30 +31,96 @@ SetAssocCache::SetAssocCache(const Config& config)
     : config_(config), stats_(config.num_cores) {
   BACP_ASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
   BACP_ASSERT(config_.ways >= 1, "cache needs at least one way");
+  BACP_ASSERT(config_.ways <= 64, "per-set bitmasks support at most 64 ways");
   BACP_ASSERT(config_.num_cores >= 1, "cache needs at least one core");
-  sets_.resize(config_.num_sets);
-  for (auto& set : sets_) {
-    set.lines.resize(config_.ways);
-    set.lru_order.resize(config_.ways);
-    std::iota(set.lru_order.begin(), set.lru_order.end(), 0u);
+  const std::size_t lines = std::size_t{config_.num_sets} * config_.ways;
+  tags_.assign(lines, 0);
+  allocators_.assign(lines, kInvalidCore);
+  SetMeta initial;
+  initial.head = 0;
+  initial.tail = static_cast<std::uint8_t>(config_.ways - 1);
+  meta_.assign(config_.num_sets, initial);
+  links_.resize(lines * 2);
+  // Initial recency order: way 0 MRU .. way (ways-1) LRU, matching the
+  // iota-initialized lru_order of the reference formulation.
+  for (std::uint32_t set = 0; set < config_.num_sets; ++set) {
+    for (WayIndex way = 0; way < config_.ways; ++way) {
+      links_[link_index(set, way)] =
+          way == 0 ? kNil : static_cast<std::uint8_t>(way - 1);
+      links_[link_index(set, way) + 1] =
+          way + 1 == config_.ways ? kNil : static_cast<std::uint8_t>(way + 1);
+    }
   }
   // Default: every core owns every way (unpartitioned shared cache).
   way_masks_.assign(config_.ways, ~CoreMask{0});
+  rebuild_owned_ways();
+}
+
+Line SetAssocCache::line_at(std::uint32_t set, WayIndex way) const {
+  const std::size_t index = line_index(set, way);
+  Line line;
+  line.block = tags_[index];
+  line.allocator = allocators_[index];
+  line.valid = ((meta_[set].valid >> way) & 1) != 0;
+  line.dirty = ((meta_[set].dirty >> way) & 1) != 0;
+  return line;
+}
+
+void SetAssocCache::detach(std::uint32_t set, WayIndex way) {
+  std::uint8_t* links = links_.data() + link_index(set, 0);
+  const std::uint8_t prev = links[way * 2];
+  const std::uint8_t next = links[way * 2 + 1];
+  if (prev == kNil) {
+    meta_[set].head = next;
+  } else {
+    links[std::size_t{prev} * 2 + 1] = next;
+  }
+  if (next == kNil) {
+    meta_[set].tail = prev;
+  } else {
+    links[std::size_t{next} * 2] = prev;
+  }
+}
+
+void SetAssocCache::push_mru(std::uint32_t set, WayIndex way) {
+  std::uint8_t* links = links_.data() + link_index(set, 0);
+  const std::uint8_t old_head = meta_[set].head;
+  links[way * 2] = kNil;
+  links[way * 2 + 1] = old_head;
+  if (old_head == kNil) {
+    meta_[set].tail = static_cast<std::uint8_t>(way);
+  } else {
+    links[std::size_t{old_head} * 2] = static_cast<std::uint8_t>(way);
+  }
+  meta_[set].head = static_cast<std::uint8_t>(way);
+}
+
+void SetAssocCache::push_lru(std::uint32_t set, WayIndex way) {
+  std::uint8_t* links = links_.data() + link_index(set, 0);
+  const std::uint8_t old_tail = meta_[set].tail;
+  links[way * 2 + 1] = kNil;
+  links[way * 2] = old_tail;
+  if (old_tail == kNil) {
+    meta_[set].head = static_cast<std::uint8_t>(way);
+  } else {
+    links[std::size_t{old_tail} * 2 + 1] = static_cast<std::uint8_t>(way);
+  }
+  meta_[set].tail = static_cast<std::uint8_t>(way);
 }
 
 void SetAssocCache::touch_mru(std::uint32_t set, WayIndex way) {
-  auto& order = sets_[set].lru_order;
-  const auto it = std::find(order.begin(), order.end(), way);
-  BACP_DASSERT(it != order.end(), "way missing from LRU order");
-  order.erase(it);
-  order.insert(order.begin(), way);
+  if (meta_[set].head == way) return;
+  detach(set, way);
+  push_mru(set, way);
 }
 
 std::optional<LookupResult> SetAssocCache::find(BlockAddress block) const {
   const std::uint32_t set = set_index(block);
-  const auto& lines = sets_[set].lines;
+  const std::uint64_t valid = meta_[set].valid;
+  if (valid == 0) return std::nullopt;
+  const BlockAddress* tags = tags_.data() + line_index(set, 0);
   for (WayIndex way = 0; way < config_.ways; ++way) {
-    if (lines[way].valid && lines[way].block == block) {
+    if (tags[way] == block && ((valid >> way) & 1) != 0) {
       return LookupResult{true, way};
     }
   }
@@ -66,7 +133,7 @@ LookupResult SetAssocCache::access(BlockAddress block, CoreId core, bool is_writ
   if (const auto found = find(block)) {
     ++stats_.hits[core];
     touch_mru(set, found->way);
-    if (is_write) sets_[set].lines[found->way].dirty = true;
+    if (is_write) meta_[set].dirty |= std::uint64_t{1} << found->way;
     return *found;
   }
   ++stats_.misses[core];
@@ -75,78 +142,110 @@ LookupResult SetAssocCache::access(BlockAddress block, CoreId core, bool is_writ
 
 FillResult SetAssocCache::fill(BlockAddress block, CoreId core, bool dirty) {
   BACP_DASSERT(core < config_.num_cores, "core id out of range");
-  BACP_DASSERT(!probe(block), "fill of a block that is already resident");
+  BACP_SLOW_DASSERT(!probe(block), "fill of a block that is already resident");
   const std::uint32_t set = set_index(block);
-  auto& lines = sets_[set].lines;
-  const CoreMask bit = core_bit(core);
+  const std::uint64_t owned = owned_ways_[core];
 
-  // Prefer an invalid owned way; otherwise the LRU-most owned way (paper's
-  // modified LRU: scan recency order from the LRU end, restricted to ways
-  // whose mask includes the requesting core).
-  std::optional<WayIndex> victim;
-  for (WayIndex way = 0; way < config_.ways; ++way) {
-    if ((way_masks_[way] & bit) != 0 && !lines[way].valid) {
-      victim = way;
-      break;
-    }
-  }
-  if (!victim) {
-    const auto& order = sets_[set].lru_order;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      if ((way_masks_[*it] & bit) != 0) {
-        victim = *it;
+  // Prefer an invalid owned way (lowest way index first); otherwise the
+  // LRU-most owned way (paper's modified LRU: walk recency order from the
+  // LRU end, restricted to ways whose mask includes the requesting core).
+  WayIndex victim = kNil;
+  const std::uint64_t invalid_owned = owned & ~meta_[set].valid;
+  if (invalid_owned != 0) {
+    victim = static_cast<WayIndex>(std::countr_zero(invalid_owned));
+  } else {
+    const std::uint8_t* links = links_.data() + link_index(set, 0);
+    for (WayIndex way = meta_[set].tail; way != kNil;
+         way = links[std::size_t{way} * 2]) {
+      if (((owned >> way) & 1) != 0) {
+        victim = way;
         break;
       }
     }
   }
-  BACP_ASSERT(victim.has_value(), "fill by a core that owns no ways");
+  BACP_ASSERT(victim != kNil, "fill by a core that owns no ways");
 
   FillResult result;
-  result.way = *victim;
-  Line& line = lines[*victim];
-  if (line.valid) {
-    result.evicted = line;
+  result.way = victim;
+  const std::uint64_t bit = std::uint64_t{1} << victim;
+  const std::size_t index = line_index(set, victim);
+  if ((meta_[set].valid & bit) != 0) {
+    result.evicted = line_at(set, victim);
     ++stats_.evictions[core];
   }
-  line.block = block;
-  line.allocator = core;
-  line.valid = true;
-  line.dirty = dirty;
-  touch_mru(set, *victim);
+  tags_[index] = block;
+  allocators_[index] = core;
+  meta_[set].valid |= bit;
+  if (dirty) {
+    meta_[set].dirty |= bit;
+  } else {
+    meta_[set].dirty &= ~bit;
+  }
+  touch_mru(set, victim);
   return result;
 }
 
 bool SetAssocCache::probe(BlockAddress block) const { return find(block).has_value(); }
 
+void SetAssocCache::touch_hit(BlockAddress block, WayIndex way, CoreId core,
+                              bool is_write) {
+  BACP_DASSERT(core < config_.num_cores, "core id out of range");
+  const std::uint32_t set = set_index(block);
+  BACP_DASSERT(way < config_.ways && tags_[line_index(set, way)] == block &&
+                   ((meta_[set].valid >> way) & 1) != 0,
+               "touch_hit location out of sync with cache contents");
+  ++stats_.hits[core];
+  touch_mru(set, way);
+  if (is_write) meta_[set].dirty |= std::uint64_t{1} << way;
+}
+
+void SetAssocCache::mark_dirty_at(BlockAddress block, WayIndex way) {
+  const std::uint32_t set = set_index(block);
+  BACP_DASSERT(way < config_.ways && tags_[line_index(set, way)] == block &&
+                   ((meta_[set].valid >> way) & 1) != 0,
+               "mark_dirty_at location out of sync with cache contents");
+  meta_[set].dirty |= std::uint64_t{1} << way;
+}
+
+Line SetAssocCache::invalidate_at(BlockAddress block, WayIndex way) {
+  const std::uint32_t set = set_index(block);
+  BACP_DASSERT(way < config_.ways && tags_[line_index(set, way)] == block &&
+                   ((meta_[set].valid >> way) & 1) != 0,
+               "invalidate_at location out of sync with cache contents");
+  const Line copy = line_at(set, way);
+  const std::uint64_t bit = std::uint64_t{1} << way;
+  meta_[set].valid &= ~bit;
+  meta_[set].dirty &= ~bit;
+  allocators_[line_index(set, way)] = kInvalidCore;
+  // Demote the freed way to LRU so it is the next allocation target.
+  detach(set, way);
+  push_lru(set, way);
+  return copy;
+}
+
 bool SetAssocCache::mark_dirty(BlockAddress block) {
   const auto found = find(block);
   if (!found) return false;
-  sets_[set_index(block)].lines[found->way].dirty = true;
+  meta_[set_index(block)].dirty |= std::uint64_t{1} << found->way;
   return true;
 }
 
 std::optional<Line> SetAssocCache::invalidate(BlockAddress block) {
   const auto found = find(block);
   if (!found) return std::nullopt;
-  const std::uint32_t set = set_index(block);
-  Line& line = sets_[set].lines[found->way];
-  const Line copy = line;
-  line = Line{};
-  // Demote the freed way to LRU so it is the next allocation target.
-  auto& order = sets_[set].lru_order;
-  const auto it = std::find(order.begin(), order.end(), found->way);
-  order.erase(it);
-  order.push_back(found->way);
-  return copy;
+  return invalidate_at(block, found->way);
 }
 
 std::optional<Line> SetAssocCache::lru_line_for_core(BlockAddress block, CoreId core) const {
   const std::uint32_t set = set_index(block);
-  const auto& lines = sets_[set].lines;
-  const auto& order = sets_[set].lru_order;
-  const CoreMask bit = core_bit(core);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((way_masks_[*it] & bit) != 0 && lines[*it].valid) return lines[*it];
+  const std::uint8_t* links = links_.data() + link_index(set, 0);
+  const std::uint64_t owned = owned_ways_[core];
+  const std::uint64_t valid = meta_[set].valid;
+  for (WayIndex way = meta_[set].tail; way != kNil;
+       way = links[std::size_t{way} * 2]) {
+    if (((owned >> way) & 1) != 0 && ((valid >> way) & 1) != 0) {
+      return line_at(set, way);
+    }
   }
   return std::nullopt;
 }
@@ -157,6 +256,17 @@ void SetAssocCache::set_way_partition(const std::vector<CoreMask>& masks) {
     BACP_ASSERT(mask != 0, "every way must belong to at least one core");
   }
   way_masks_ = masks;
+  rebuild_owned_ways();
+}
+
+void SetAssocCache::rebuild_owned_ways() {
+  owned_ways_.assign(config_.num_cores, 0);
+  for (CoreId core = 0; core < config_.num_cores; ++core) {
+    const CoreMask bit = core_bit(core);
+    for (WayIndex way = 0; way < config_.ways; ++way) {
+      if ((way_masks_[way] & bit) != 0) owned_ways_[core] |= std::uint64_t{1} << way;
+    }
+  }
 }
 
 WayCount SetAssocCache::ways_owned(CoreId core) const {
@@ -170,9 +280,9 @@ WayCount SetAssocCache::ways_owned(CoreId core) const {
 
 std::vector<Line> SetAssocCache::resident_lines() const {
   std::vector<Line> lines;
-  for (const auto& set : sets_) {
-    for (const auto& line : set.lines) {
-      if (line.valid) lines.push_back(line);
+  for (std::uint32_t set = 0; set < config_.num_sets; ++set) {
+    for (WayIndex way = 0; way < config_.ways; ++way) {
+      if (((meta_[set].valid >> way) & 1) != 0) lines.push_back(line_at(set, way));
     }
   }
   return lines;
@@ -180,10 +290,8 @@ std::vector<Line> SetAssocCache::resident_lines() const {
 
 std::uint64_t SetAssocCache::valid_lines() const {
   std::uint64_t count = 0;
-  for (const auto& set : sets_) {
-    for (const auto& line : set.lines) {
-      if (line.valid) ++count;
-    }
+  for (const SetMeta& meta : meta_) {
+    count += static_cast<std::uint64_t>(std::popcount(meta.valid));
   }
   return count;
 }

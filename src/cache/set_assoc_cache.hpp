@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ struct CacheStats {
 /// modified LRU victim policy only ever replaces a line in a way the
 /// requesting core owns — so workloads in disjoint ways cannot evict each
 /// other's data.
+///
+/// Storage is structure-of-arrays: probes scan a contiguous per-set tag
+/// column (one or two cache lines for an 8-way set) instead of striding
+/// over Line structs, validity/dirtiness are per-set bitmasks, and recency
+/// is an intrusive doubly-linked list per set so touch-to-MRU, demote-to-LRU
+/// and victim selection are O(1)/O(ways) pointer updates with no
+/// vector shuffling. Behavior is bit-identical to the straightforward
+/// `vector<Line>` + `vector<WayIndex> lru_order` formulation (see
+/// tests/test_equivalence.cpp, which replays both against random streams).
 class SetAssocCache {
  public:
   struct Config {
@@ -71,6 +81,19 @@ class SetAssocCache {
   /// core owns. Precondition: the block is not present and the core owns at
   /// least one way.
   FillResult fill(BlockAddress block, CoreId core, bool dirty);
+
+  /// access() hit path when the caller already knows the way the block
+  /// occupies (e.g. from the DNUCA residency index): counts the hit, moves
+  /// the line to MRU and applies the write's dirty bit — identical
+  /// side effects to a hitting access(), minus the tag scan.
+  void touch_hit(BlockAddress block, WayIndex way, CoreId core, bool is_write);
+
+  /// mark_dirty() with the way already known.
+  void mark_dirty_at(BlockAddress block, WayIndex way);
+
+  /// invalidate() with the way already known. Precondition: the line is
+  /// valid and holds `block`.
+  Line invalidate_at(BlockAddress block, WayIndex way);
 
   /// Non-perturbing presence check.
   bool probe(BlockAddress block) const;
@@ -113,18 +136,47 @@ class SetAssocCache {
   }
 
  private:
-  struct Set {
-    std::vector<Line> lines;          // indexed by way
-    std::vector<WayIndex> lru_order;  // MRU first
+  /// Intrusive-list terminator ("no way"); fits the byte-wide link arrays.
+  static constexpr std::uint8_t kNil = 0xFF;
+
+  /// One set's bookkeeping, packed so an access touches a single cache
+  /// line of metadata: validity/dirtiness bitmasks (bit w == way w) plus
+  /// the recency list's endpoints (head == MRU, tail == LRU).
+  struct SetMeta {
+    std::uint64_t valid = 0;
+    std::uint64_t dirty = 0;
+    std::uint8_t head = 0;
+    std::uint8_t tail = 0;
   };
 
-  Line& line_at(std::uint32_t set, WayIndex way) { return sets_[set].lines[way]; }
+  std::size_t line_index(std::uint32_t set, WayIndex way) const {
+    return std::size_t{set} * config_.ways + way;
+  }
+  std::size_t link_index(std::uint32_t set, WayIndex way) const {
+    return (std::size_t{set} * config_.ways + way) * 2;
+  }
+  Line line_at(std::uint32_t set, WayIndex way) const;
+  void detach(std::uint32_t set, WayIndex way);
+  void push_mru(std::uint32_t set, WayIndex way);
+  void push_lru(std::uint32_t set, WayIndex way);
   void touch_mru(std::uint32_t set, WayIndex way);
   std::optional<LookupResult> find(BlockAddress block) const;
+  void rebuild_owned_ways();
 
   Config config_;
-  std::vector<Set> sets_;
+  // Per-line columns (num_sets * ways, way-major within a set). Tags of one
+  // set are contiguous so the probe loop reads a single cache line or two.
+  std::vector<BlockAddress> tags_;
+  std::vector<CoreId> allocators_;
+  std::vector<SetMeta> meta_;
+  // Per-set intrusive recency list: byte-wide prev/next pairs, interleaved
+  // ([link_index + 0] == prev, [+ 1] == next) so one set's whole list is
+  // 2 * ways contiguous bytes.
+  std::vector<std::uint8_t> links_;
   std::vector<CoreMask> way_masks_;
+  // Per-core bitmask of owned ways, derived from way_masks_ so the fill
+  // path finds "first invalid owned way" with one countr_zero.
+  std::vector<std::uint64_t> owned_ways_;
   CacheStats stats_;
 };
 

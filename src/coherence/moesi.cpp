@@ -25,19 +25,19 @@ CoherenceAction MoesiDirectory::on_l1_read_fill(BlockAddress block, CoreId core)
   BACP_DASSERT(core < num_cores_, "core out of range");
   ++stats_.read_fills;
   CoherenceAction action;
-  Entry& entry = entries_[block];
+  Entry& entry = entries_.find_or_emplace(block);
   const CoreMask bit = core_bit(core);
   if ((entry.sharers & bit) != 0) return action;  // already has a copy
 
   if (entry.sharers == 0) {
     // Sole copy: grant Exclusive (silent-upgrade-friendly, as in MOESI).
     entry.sharers = bit;
-    entry.owner = core;
+    entry.owner = static_cast<std::uint8_t>(core);
     entry.owner_state = MoesiState::Exclusive;
     return action;
   }
 
-  if (entry.owner != kInvalidCore) {
+  if (entry.owner != kNoOwner) {
     switch (entry.owner_state) {
       case MoesiState::Modified:
         // Dirty owner forwards data and transitions M -> O.
@@ -51,7 +51,7 @@ CoherenceAction MoesiDirectory::on_l1_read_fill(BlockAddress block, CoreId core)
         break;
       case MoesiState::Exclusive:
         // Clean owner degrades E -> S; data supplied by the L2.
-        entry.owner = kInvalidCore;
+        entry.owner = kNoOwner;
         entry.owner_state = MoesiState::Invalid;
         break;
       default:
@@ -66,7 +66,7 @@ CoherenceAction MoesiDirectory::on_l1_write_fill(BlockAddress block, CoreId core
   BACP_DASSERT(core < num_cores_, "core out of range");
   ++stats_.write_fills;
   CoherenceAction action;
-  Entry& entry = entries_[block];
+  Entry& entry = entries_.find_or_emplace(block);
   const CoreMask bit = core_bit(core);
 
   if ((entry.sharers & bit) != 0 && entry.sharers != bit) ++stats_.upgrades;
@@ -74,7 +74,7 @@ CoherenceAction MoesiDirectory::on_l1_write_fill(BlockAddress block, CoreId core
   const CoreMask others = entry.sharers & ~bit;
   action.invalidations = static_cast<std::uint32_t>(std::popcount(others));
   stats_.invalidations += action.invalidations;
-  if (entry.owner != kInvalidCore && entry.owner != core &&
+  if (entry.owner != kNoOwner && entry.owner != core &&
       (entry.owner_state == MoesiState::Modified ||
        entry.owner_state == MoesiState::Owned)) {
     // Dirty remote owner forwards its data with the invalidation.
@@ -82,7 +82,7 @@ CoherenceAction MoesiDirectory::on_l1_write_fill(BlockAddress block, CoreId core
     ++stats_.interventions;
   }
   entry.sharers = bit;
-  entry.owner = core;
+  entry.owner = static_cast<std::uint8_t>(core);
   entry.owner_state = MoesiState::Modified;
   return action;
 }
@@ -90,9 +90,9 @@ CoherenceAction MoesiDirectory::on_l1_write_fill(BlockAddress block, CoreId core
 CoherenceAction MoesiDirectory::on_l1_evict(BlockAddress block, CoreId core, bool dirty) {
   BACP_DASSERT(core < num_cores_, "core out of range");
   CoherenceAction action;
-  const auto it = entries_.find(block);
-  if (it == entries_.end()) return action;
-  Entry& entry = it->second;
+  Entry* found = entries_.find(block);
+  if (found == nullptr) return action;
+  Entry& entry = *found;
   const CoreMask bit = core_bit(core);
   if ((entry.sharers & bit) == 0) return action;
 
@@ -105,43 +105,43 @@ CoherenceAction MoesiDirectory::on_l1_evict(BlockAddress block, CoreId core, boo
       action.writeback_below = true;
       ++stats_.writebacks;
     }
-    entry.owner = kInvalidCore;
+    entry.owner = kNoOwner;
     entry.owner_state = MoesiState::Invalid;
   }
   entry.sharers &= ~bit;
-  if (entry.sharers == 0) entries_.erase(it);
+  if (entry.sharers == 0) entries_.erase(block);
   return action;
 }
 
 CoherenceAction MoesiDirectory::on_l2_evict(BlockAddress block) {
   CoherenceAction action;
-  const auto it = entries_.find(block);
-  if (it == entries_.end()) return action;
-  Entry& entry = it->second;
+  Entry* found = entries_.find(block);
+  if (found == nullptr) return action;
+  Entry& entry = *found;
   action.invalidations = static_cast<std::uint32_t>(std::popcount(entry.sharers));
   stats_.inclusion_recalls += action.invalidations;
-  if (entry.owner != kInvalidCore &&
+  if (entry.owner != kNoOwner &&
       (entry.owner_state == MoesiState::Modified ||
        entry.owner_state == MoesiState::Owned)) {
     action.writeback_below = true;
     ++stats_.writebacks;
   }
-  entries_.erase(it);
+  entries_.erase(block);
   return action;
 }
 
 MoesiState MoesiDirectory::state_at(BlockAddress block, CoreId core) const {
-  const auto it = entries_.find(block);
-  if (it == entries_.end()) return MoesiState::Invalid;
-  const Entry& entry = it->second;
+  const Entry* found = entries_.find(block);
+  if (found == nullptr) return MoesiState::Invalid;
+  const Entry& entry = *found;
   if ((entry.sharers & core_bit(core)) == 0) return MoesiState::Invalid;
   if (entry.owner == core) return entry.owner_state;
   return MoesiState::Shared;
 }
 
 CoreMask MoesiDirectory::sharers_of(BlockAddress block) const {
-  const auto it = entries_.find(block);
-  return it == entries_.end() ? 0 : it->second.sharers;
+  const Entry* found = entries_.find(block);
+  return found == nullptr ? 0 : found->sharers;
 }
 
 void export_stats(const CoherenceStats& stats, obs::Registry& registry) {

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
@@ -50,6 +50,13 @@ class MoesiDirectory {
  public:
   explicit MoesiDirectory(std::uint32_t num_cores);
 
+  /// Pre-sizes the entry table for the expected number of simultaneously
+  /// tracked blocks (at most the total L1 line count: an entry exists only
+  /// while some L1 holds a copy). Keeps the steady-state load factor low —
+  /// directory entries churn on every L1 fill/evict, and probe/backward-
+  /// shift chains grow sharply as the table fills.
+  void reserve(std::size_t blocks) { entries_.reserve(blocks); }
+
   /// L1 of `core` fills the block for a load.
   CoherenceAction on_l1_read_fill(BlockAddress block, CoreId core);
 
@@ -76,14 +83,22 @@ class MoesiDirectory {
   void clear_stats() { stats_ = CoherenceStats{}; }
 
  private:
+  /// Byte-wide owner id keeps Entry at 6 bytes so a directory hash slot
+  /// (block + Entry + occupied flag) packs into 16 — four slots per cache
+  /// line on a table that spans every L1-resident block.
+  static constexpr std::uint8_t kNoOwner = 0xFF;
+
   struct Entry {
     CoreMask sharers = 0;
-    CoreId owner = kInvalidCore;           ///< core in E/O/M, if any
+    std::uint8_t owner = kNoOwner;         ///< core in E/O/M, if any
     MoesiState owner_state = MoesiState::Invalid;
   };
 
   std::uint32_t num_cores_;
-  std::unordered_map<BlockAddress, Entry> entries_;
+  // Open-addressing table: directory entries come and go on every L1
+  // fill/evict, and std::unordered_map's node allocation churn on that path
+  // was one of the hottest costs in the whole simulator.
+  common::FlatHash64<Entry> entries_;
   CoherenceStats stats_;
 };
 

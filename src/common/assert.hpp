@@ -22,3 +22,12 @@
 #else
 #define BACP_DASSERT(cond, msg) BACP_ASSERT(cond, msg)
 #endif
+
+// Expensive structural audits (whole-set probes, cross-structure scans)
+// that would dominate the hot path they guard: enabled only in checked
+// (non-NDEBUG) builds, which is where the unit and equivalence suites run.
+#if defined(BACP_NDEBUG_FAST) || defined(NDEBUG)
+#define BACP_SLOW_DASSERT(cond, msg) ((void)0)
+#else
+#define BACP_SLOW_DASSERT(cond, msg) BACP_ASSERT(cond, msg)
+#endif

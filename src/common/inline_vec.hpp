@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace bacp::common {
+
+/// Fixed-capacity vector with inline storage: the hot-path replacement for
+/// small `std::vector` result buffers whose element count has a known small
+/// bound (e.g. lines evicted by one L2 access). No heap allocation, ever;
+/// exceeding the capacity is a logic error, not a growth trigger.
+///
+/// Elements must be default-constructible (the backing array is
+/// value-initialized up front); destruction of popped elements is deferred
+/// to the container going out of scope, which is fine for the trivially
+/// destructible bookkeeping structs this is used for.
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  void push_back(const T& value) {
+    BACP_ASSERT(size_ < N, "InlineVec capacity exceeded");
+    items_[size_++] = value;
+  }
+  void push_back(T&& value) {
+    BACP_ASSERT(size_ < N, "InlineVec capacity exceeded");
+    items_[size_++] = static_cast<T&&>(value);
+  }
+
+  void clear() { size_ = 0; }
+  void pop_back() {
+    BACP_ASSERT(size_ > 0, "pop_back on empty InlineVec");
+    --size_;
+  }
+
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t capacity() { return N; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    BACP_DASSERT(i < size_, "InlineVec index out of range");
+    return items_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    BACP_DASSERT(i < size_, "InlineVec index out of range");
+    return items_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return items_.data(); }
+  iterator end() { return items_.data() + size_; }
+  const_iterator begin() const { return items_.data(); }
+  const_iterator end() const { return items_.data() + size_; }
+
+ private:
+  std::array<T, N> items_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace bacp::common

@@ -1,6 +1,8 @@
 #include "core/core_timer.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 
 #include "common/assert.hpp"
 
@@ -14,6 +16,9 @@ CoreTimer::CoreTimer(const CoreTimerConfig& config)
   BACP_ASSERT(config_.mlp_window >= 1, "mlp_window must be >= 1");
   BACP_ASSERT(config_.gap_jitter >= 0.0 && config_.gap_jitter < 1.0,
               "gap_jitter must be in [0, 1)");
+  // record_completion() bounds the window at mlp_window, with one slot of
+  // transient overshoot before trimming.
+  outstanding_.reserve(config_.mlp_window + 1);
 }
 
 double CoreTimer::next_gap_cycles() const {
@@ -27,24 +32,28 @@ double CoreTimer::next_gap_cycles() const {
 
 Cycle CoreTimer::peek_issue() const {
   double t = time_ + next_gap_cycles();
-  // MLP window: if the window is full of accesses still in flight at t,
-  // issue waits for the earliest to complete.
+  // MLP window: if `mlp_window` accesses are still in flight at t, issue
+  // waits for the earliest of them to complete. Scans the heap storage in
+  // place — order is irrelevant for a count plus a running minimum.
   if (outstanding_.size() >= config_.mlp_window) {
-    auto copy = outstanding_;
-    while (copy.size() >= config_.mlp_window && copy.top().done_at <= t) copy.pop();
-    if (copy.size() >= config_.mlp_window) t = copy.top().done_at;
+    std::uint32_t in_flight_at_t = 0;
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const auto& entry : outstanding_) {
+      if (entry.done_at > t) {
+        ++in_flight_at_t;
+        earliest = std::min(earliest, entry.done_at);
+      }
+    }
+    if (in_flight_at_t >= config_.mlp_window) t = earliest;
   }
   // ROB drain: the oldest in-flight access may pin the ROB.
   if (!outstanding_.empty()) {
-    auto copy = outstanding_;
     const double next_instr = instructions_ + config_.instructions_per_l2_access;
-    while (!copy.empty()) {
-      const auto& oldest = copy.top();
-      if (next_instr - oldest.issued_at_instruction >
+    for (const auto& entry : outstanding_) {
+      if (next_instr - entry.issued_at_instruction >
           static_cast<double>(config_.rob_entries)) {
-        t = std::max(t, oldest.done_at);
+        t = std::max(t, entry.done_at);
       }
-      copy.pop();
     }
   }
   return static_cast<Cycle>(t);
@@ -60,26 +69,29 @@ Cycle CoreTimer::advance_to_issue() {
 }
 
 void CoreTimer::retire_completed() {
-  while (!outstanding_.empty() && outstanding_.top().done_at <= time_) {
-    outstanding_.pop();
+  while (!outstanding_.empty() && outstanding_.front().done_at <= time_) {
+    std::pop_heap(outstanding_.begin(), outstanding_.end(), std::greater<>{});
+    outstanding_.pop_back();
   }
 }
 
 void CoreTimer::record_completion(Cycle done_at) {
-  outstanding_.push({static_cast<double>(done_at), instructions_});
+  outstanding_.push_back({static_cast<double>(done_at), instructions_});
+  std::push_heap(outstanding_.begin(), outstanding_.end(), std::greater<>{});
   // Invariant: the window can exceed mlp_window only transiently within a
   // peek/advance pair; enforce it here.
   while (outstanding_.size() > config_.mlp_window) {
-    time_ = std::max(time_, outstanding_.top().done_at);
-    outstanding_.pop();
+    time_ = std::max(time_, outstanding_.front().done_at);
+    std::pop_heap(outstanding_.begin(), outstanding_.end(), std::greater<>{});
+    outstanding_.pop_back();
   }
 }
 
 void CoreTimer::drain() {
-  while (!outstanding_.empty()) {
-    time_ = std::max(time_, outstanding_.top().done_at);
-    outstanding_.pop();
-  }
+  // The original loop popped in ascending done_at order, so the net effect
+  // is a single max over the window.
+  for (const auto& entry : outstanding_) time_ = std::max(time_, entry.done_at);
+  outstanding_.clear();
 }
 
 double CoreTimer::cpi() const {

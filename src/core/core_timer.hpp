@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -85,7 +84,11 @@ class CoreTimer {
   // Pre-drawn jittered gap so peek_issue() and advance_to_issue() agree;
   // mutable because peeking may need to draw it.
   mutable double pending_gap_ = -1.0;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> outstanding_;
+  // Min-heap on done_at (std::push_heap/pop_heap with std::greater). A raw
+  // vector instead of std::priority_queue so peek_issue() can scan the
+  // window in place — the simulator peeks at least twice per access, and
+  // copying a priority_queue heap-allocates every time.
+  std::vector<InFlight> outstanding_;
 };
 
 }  // namespace bacp::core

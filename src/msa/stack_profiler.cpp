@@ -1,23 +1,32 @@
 #include "msa/stack_profiler.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "cache/partial_tag.hpp"
 #include "common/assert.hpp"
 
 namespace bacp::msa {
 
+namespace {
+
+std::size_t num_stacks(const ProfilerConfig& config) {
+  const std::uint32_t sampling = std::max(1u, config.set_sampling);
+  return config.num_sets / sampling + (config.num_sets % sampling ? 1 : 0);
+}
+
+}  // namespace
+
 StackProfiler::StackProfiler(const ProfilerConfig& config)
     : config_(config),
       histogram_(static_cast<std::size_t>(config.profiled_ways) + 1),
-      stacks_(config.num_sets / std::max(1u, config.set_sampling) +
-              (config.num_sets % std::max(1u, config.set_sampling) ? 1 : 0)) {
+      stack_entries_(num_stacks(config) * config.profiled_ways, 0),
+      stack_sizes_(num_stacks(config), 0) {
   BACP_ASSERT(is_pow2(config_.num_sets), "num_sets must be a power of two");
   BACP_ASSERT(config_.set_sampling >= 1, "set_sampling must be >= 1");
   BACP_ASSERT(config_.profiled_ways >= 1, "profiled_ways must be >= 1");
   set_shift_ = log2_floor(config_.num_sets);
   set_mask_ = config_.num_sets - 1;
-  for (auto& stack : stacks_) stack.reserve(config_.profiled_ways);
 }
 
 std::uint32_t StackProfiler::stored_tag(BlockAddress block) const {
@@ -36,18 +45,24 @@ void StackProfiler::observe(BlockAddress block) {
           ? (block >> set_shift_)
           : static_cast<std::uint64_t>(stored_tag(block));
 
-  auto& stack = stacks_[set / config_.set_sampling];
-  const auto it = std::find(stack.begin(), stack.end(), entry);
-  if (it != stack.end()) {
-    const auto depth = static_cast<std::size_t>(it - stack.begin());  // 0-based
+  const std::size_t stack_index = set / config_.set_sampling;
+  std::uint64_t* stack = stack_entries_.data() + stack_index * config_.profiled_ways;
+  const std::uint32_t size = stack_sizes_[stack_index];
+
+  std::uint32_t depth = 0;
+  while (depth < size && stack[depth] != entry) ++depth;
+  if (depth < size) {
+    // Hit at `depth`: move-to-front shifts the shallower entries down one.
     histogram_.increment(depth);
-    stack.erase(it);
-    stack.insert(stack.begin(), entry);
+    std::memmove(stack + 1, stack, depth * sizeof(std::uint64_t));
   } else {
-    histogram_.increment(config_.profiled_ways);  // C(K+1): miss counter
-    stack.insert(stack.begin(), entry);
-    if (stack.size() > config_.profiled_ways) stack.pop_back();
+    // Miss: everything shifts down; the LRU entry falls off a full stack.
+    histogram_.increment(config_.profiled_ways);
+    const std::uint32_t new_size = std::min(size + 1, config_.profiled_ways);
+    std::memmove(stack + 1, stack, (new_size - 1) * sizeof(std::uint64_t));
+    stack_sizes_[stack_index] = new_size;
   }
+  stack[0] = entry;
 }
 
 MissRatioCurve StackProfiler::curve() const {
@@ -62,7 +77,7 @@ void StackProfiler::decay() { histogram_.decay_halve(); }
 
 void StackProfiler::clear() {
   histogram_.clear();
-  for (auto& stack : stacks_) stack.clear();
+  std::fill(stack_sizes_.begin(), stack_sizes_.end(), 0);
   observed_ = 0;
   sampled_ = 0;
 }

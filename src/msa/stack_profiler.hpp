@@ -66,9 +66,12 @@ class StackProfiler {
   std::uint64_t set_mask_ = 0;
   common::Histogram histogram_;  // profiled_ways + 1 bins
   // Per sampled set: tag stack, MRU first. Tags are either partial hashes
-  // or (width 0) the full block address folded to 32+ bits via a map keyed
-  // by 64-bit values — we store 64-bit entries uniformly for simplicity.
-  std::vector<std::vector<std::uint64_t>> stacks_;
+  // or (width 0) the full tag bits — stored uniformly as 64-bit entries.
+  // Stacks live in one flat array (profiled_ways entries per sampled set)
+  // so the move-to-front on every observe() is a single memmove over
+  // contiguous memory instead of a vector erase/insert.
+  std::vector<std::uint64_t> stack_entries_;  // num_stacks * profiled_ways
+  std::vector<std::uint32_t> stack_sizes_;    // per sampled set
   std::uint64_t observed_ = 0;
   std::uint64_t sampled_ = 0;
 };

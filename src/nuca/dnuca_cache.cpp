@@ -1,6 +1,7 @@
 #include "nuca/dnuca_cache.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "cache/partial_tag.hpp"
@@ -46,6 +47,9 @@ DnucaCache::DnucaCache(const DnucaConfig& config, noc::Noc& noc)
     : config_(config), noc_(&noc) {
   config_.geometry.validate();
   BACP_ASSERT(is_pow2(config_.sets_per_bank), "sets_per_bank must be a power of two");
+  BACP_ASSERT(config_.geometry.num_banks <= std::numeric_limits<std::uint16_t>::max() &&
+                  config_.geometry.ways_per_bank <= std::numeric_limits<std::uint16_t>::max(),
+              "residency Location packs bank and way into 16 bits each");
   banks_.reserve(config_.geometry.num_banks);
   for (BankId id = 0; id < config_.geometry.num_banks; ++id) {
     cache::SetAssocCache::Config bank_config;
@@ -63,9 +67,26 @@ DnucaCache::DnucaCache(const DnucaConfig& config, noc::Noc& noc)
       views_[core].push_back(id);
     }
   }
+  rebuild_view_positions();
   round_robin_.assign(config_.geometry.num_cores, 0);
+  // The residency index can never hold more entries than the structure has
+  // lines; sizing it up front keeps the access path allocation-free.
+  residency_.reserve(std::size_t{config_.geometry.num_banks} * config_.sets_per_bank *
+                     config_.geometry.ways_per_bank);
   stats_.hits.assign(config_.geometry.num_cores, 0);
   stats_.misses.assign(config_.geometry.num_cores, 0);
+}
+
+void DnucaCache::rebuild_view_positions() {
+  view_pos_.assign(std::size_t{config_.geometry.num_cores} * config_.geometry.num_banks,
+                   kNotInView);
+  for (CoreId core = 0; core < views_.size(); ++core) {
+    const auto& view = views_[core];
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      view_pos_[std::size_t{core} * config_.geometry.num_banks + view[i]] =
+          static_cast<std::uint32_t>(i);
+    }
+  }
 }
 
 void DnucaCache::apply_assignment(const partition::BankAssignment& assignment) {
@@ -79,6 +100,7 @@ void DnucaCache::apply_assignment(const partition::BankAssignment& assignment) {
   for (CoreId core = 0; core < views_.size(); ++core) {
     BACP_ASSERT(!views_[core].empty(), "every core needs at least one bank");
   }
+  rebuild_view_positions();
 }
 
 BankId DnucaCache::pick_fill_bank(BlockAddress block, CoreId core) {
@@ -120,8 +142,12 @@ void DnucaCache::fill_with_demotion(BlockAddress block, CoreId core, bool dirty,
   std::size_t chain_pos = 0;
   while (true) {
     const auto fill = banks_[current_bank].fill(current_block, core, current_dirty);
+    residency_.insert_or_assign(current_block,
+                                Location{static_cast<std::uint16_t>(current_bank),
+                                         static_cast<std::uint16_t>(fill.way)});
     if (!fill.evicted) return;
     if (chain_pos >= demotion_chain.size()) {
+      residency_.erase(fill.evicted->block);
       outcome.evicted.push_back(*fill.evicted);
       return;
     }
@@ -134,49 +160,57 @@ void DnucaCache::fill_with_demotion(BlockAddress block, CoreId core, bool dirty,
   }
 }
 
-void DnucaCache::migrate_one_step(BlockAddress block, CoreId core, BankId from,
+void DnucaCache::migrate_one_step(BlockAddress block, CoreId core, Location from,
                                   Cycle now) {
   const auto& view = views_[core];
-  const auto it = std::find(view.begin(), view.end(), from);
-  BACP_DASSERT(it != view.end(), "migration source outside the view");
-  if (it == view.begin()) return;  // already in the nearest bank
-  const BankId target = *(it - 1);
+  const std::uint32_t pos = view_position(core, from.bank);
+  BACP_DASSERT(pos != kNotInView, "migration source outside the view");
+  if (pos == 0) return;  // already in the nearest bank
+  const BankId target = view[pos - 1];
 
   // Gradual promotion: swap the hit line one bank closer to the requester,
   // displacing that bank's LRU victim into the hole left behind.
-  const auto line = banks_[from].invalidate(block);
-  BACP_ASSERT(line.has_value(), "migrating line vanished");
-  const auto fill = banks_[target].fill(line->block, core, line->dirty);
+  const auto line = banks_[from.bank].invalidate_at(block, from.way);
+  const auto fill = banks_[target].fill(line.block, core, line.dirty);
+  residency_.insert_or_assign(line.block,
+                              Location{static_cast<std::uint16_t>(target),
+                                       static_cast<std::uint16_t>(fill.way)});
   ++stats_.promotions;
-  noc_->migrate(from, target, now);
+  noc_->migrate(from.bank, target, now);
   if (fill.evicted) {
-    banks_[from].fill(fill.evicted->block, fill.evicted->allocator,
-                      fill.evicted->dirty);
+    const auto back = banks_[from.bank].fill(fill.evicted->block,
+                                             fill.evicted->allocator,
+                                             fill.evicted->dirty);
+    residency_.insert_or_assign(fill.evicted->block,
+                                Location{from.bank, static_cast<std::uint16_t>(back.way)});
     ++stats_.demotions;
-    noc_->migrate(target, from, now);
+    noc_->migrate(target, from.bank, now);
   }
 }
 
-void DnucaCache::promote_to_head(BlockAddress block, CoreId core, BankId from,
+void DnucaCache::promote_to_head(BlockAddress block, CoreId core, Location from,
                                  Cycle now, L2AccessOutcome& outcome) {
   const auto& view = views_[core];
   const BankId head = view.front();
-  if (from == head) return;
-  const auto line = banks_[from].invalidate(block);
-  BACP_ASSERT(line.has_value(), "promotion source lost the line");
+  if (from.bank == head) return;
+  const auto line = banks_[from.bank].invalidate_at(block, from.way);
   ++stats_.promotions;
-  noc_->migrate(from, head, now);
+  noc_->migrate(from.bank, head, now);
 
   // Demote displaced lines down the chain toward the hole left at `from`.
-  std::vector<BankId> chain;
+  // Chains are always contiguous stretches of the view, so they are spans
+  // into it rather than freshly built vectors.
+  std::span<const BankId> chain;
   if (config_.aggregation == AggregationKind::Cascade) {
-    const auto from_it = std::find(view.begin(), view.end(), from);
-    BACP_DASSERT(from_it != view.end(), "promotion source outside the view");
-    chain.assign(view.begin() + 1, from_it + 1);
+    const std::uint32_t from_pos = view_position(core, from.bank);
+    BACP_DASSERT(from_pos != kNotInView, "promotion source outside the view");
+    chain = std::span<const BankId>(view.data() + 1, from_pos);  // view[1..from]
   } else {
-    chain.push_back(from);  // TwoLevelCascade: straight swap with the head
+    // TwoLevelCascade: straight swap with the head.
+    const std::uint32_t from_pos = view_position(core, from.bank);
+    chain = std::span<const BankId>(view.data() + from_pos, 1);
   }
-  fill_with_demotion(line->block, core, line->dirty, head, chain, now, outcome);
+  fill_with_demotion(line.block, core, line.dirty, head, chain, now, outcome);
 }
 
 L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_write,
@@ -185,28 +219,28 @@ L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_writ
   L2AccessOutcome outcome;
   const auto& view = views_[core];
 
-  // Probe the partition first (nearest bank first), then the rest of the
-  // structure for repartition transients.
-  BankId found_bank = kInvalidBank;
-  bool in_view = false;
-  for (std::size_t i = 0; i < view.size(); ++i) {
-    if (banks_[view[i]].probe(block)) {
-      found_bank = view[i];
-      in_view = true;
-      // Lookup energy accounting per scheme: Parallel probes the whole
-      // partition directory at once; AddressHash exactly one bank; Cascade
-      // walks the chain; TwoLevel touches at most the head + the group.
-      switch (config_.aggregation) {
-        case AggregationKind::Parallel: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
-        case AggregationKind::AddressHash: outcome.directory_lookups = 1; break;
-        case AggregationKind::Cascade: outcome.directory_lookups = static_cast<std::uint32_t>(i) + 1; break;
-        case AggregationKind::TwoLevelCascade: outcome.directory_lookups = i == 0 ? 1 : 2; break;
-        case AggregationKind::SharedDnuca: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
-      }
-      break;
+  // Locate the line via the residency index. The modelled lookup cost still
+  // follows the hardware's search: partition first (nearest bank first),
+  // then the rest of the structure for repartition transients.
+  const Location* residency_entry = residency_.find(block);
+  const bool resident_here = residency_entry != nullptr;
+  const Location found = resident_here ? *residency_entry : Location{};
+  const BankId found_bank = found.bank;
+  const std::uint32_t pos =
+      resident_here ? view_position(core, found_bank) : kNotInView;
+  const bool in_view = pos != kNotInView;
+  if (in_view) {
+    // Lookup energy accounting per scheme: Parallel probes the whole
+    // partition directory at once; AddressHash exactly one bank; Cascade
+    // walks the chain; TwoLevel touches at most the head + the group.
+    switch (config_.aggregation) {
+      case AggregationKind::Parallel: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
+      case AggregationKind::AddressHash: outcome.directory_lookups = 1; break;
+      case AggregationKind::Cascade: outcome.directory_lookups = pos + 1; break;
+      case AggregationKind::TwoLevelCascade: outcome.directory_lookups = pos == 0 ? 1 : 2; break;
+      case AggregationKind::SharedDnuca: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
     }
-  }
-  if (found_bank == kInvalidBank) {
+  } else {
     switch (config_.aggregation) {
       case AggregationKind::Parallel: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
       case AggregationKind::AddressHash: outcome.directory_lookups = 1; break;
@@ -214,32 +248,25 @@ L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_writ
       case AggregationKind::TwoLevelCascade: outcome.directory_lookups = std::min<std::uint32_t>(2, static_cast<std::uint32_t>(view.size())); break;
       case AggregationKind::SharedDnuca: outcome.directory_lookups = static_cast<std::uint32_t>(view.size()); break;
     }
-    for (BankId id = 0; id < banks_.size(); ++id) {
-      if (std::find(view.begin(), view.end(), id) != view.end()) continue;
-      if (banks_[id].probe(block)) {
-        found_bank = id;
-        break;
-      }
-    }
   }
   stats_.directory_lookups += outcome.directory_lookups;
 
-  if (found_bank != kInvalidBank && in_view) {
+  if (resident_here && in_view) {
     ++stats_.hits[core];
     outcome.hit = true;
     outcome.bank = found_bank;
     outcome.ready_at = noc_->request(core, found_bank, now);
-    banks_[found_bank].access(block, core, is_write);
+    banks_[found_bank].touch_hit(block, found.way, core, is_write);
     if (config_.aggregation == AggregationKind::Cascade ||
         config_.aggregation == AggregationKind::TwoLevelCascade) {
-      promote_to_head(block, core, found_bank, now, outcome);
+      promote_to_head(block, core, found, now, outcome);
     } else if (config_.aggregation == AggregationKind::SharedDnuca) {
-      migrate_one_step(block, core, found_bank, now);
+      migrate_one_step(block, core, found, now);
     }
     return outcome;
   }
 
-  if (found_bank != kInvalidBank) {
+  if (resident_here) {
     // Off-view hit: the line survives from before a repartition. Serve it
     // from where it is, then migrate it into the core's own partition so
     // the transient drains.
@@ -248,17 +275,16 @@ L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_writ
     outcome.hit = true;
     outcome.bank = found_bank;
     outcome.ready_at = noc_->request(core, found_bank, now);
-    auto line = banks_[found_bank].invalidate(block);
-    BACP_ASSERT(line.has_value(), "off-view line vanished");
+    const auto line = banks_[found_bank].invalidate_at(block, found.way);
     const BankId target = pick_fill_bank(block, core);
     noc_->migrate(found_bank, target, now);
-    std::vector<BankId> chain;
+    std::span<const BankId> chain;
     if (config_.aggregation == AggregationKind::Cascade) {
-      chain.assign(view.begin() + 1, view.end());
+      chain = std::span<const BankId>(view.data() + 1, view.size() - 1);
     } else if (config_.aggregation == AggregationKind::TwoLevelCascade && view.size() > 1) {
-      chain.push_back(view[1]);
+      chain = std::span<const BankId>(view.data() + 1, 1);
     }
-    fill_with_demotion(block, core, line->dirty || is_write, target, chain, now,
+    fill_with_demotion(block, core, line.dirty || is_write, target, chain, now,
                        outcome);
     return outcome;
   }
@@ -269,32 +295,30 @@ L2AccessOutcome DnucaCache::access(BlockAddress block, CoreId core, bool is_writ
   const BankId fill_bank = pick_fill_bank(block, core);
   outcome.bank = fill_bank;
   outcome.ready_at = noc_->request(core, fill_bank, now);
-  std::vector<BankId> chain;
+  std::span<const BankId> chain;
   if (config_.aggregation == AggregationKind::Cascade) {
-    chain.assign(view.begin() + 1, view.end());
+    chain = std::span<const BankId>(view.data() + 1, view.size() - 1);
   } else if (config_.aggregation == AggregationKind::TwoLevelCascade && view.size() > 1) {
-    chain.push_back(view[1]);
+    chain = std::span<const BankId>(view.data() + 1, 1);
   }
   fill_with_demotion(block, core, is_write, fill_bank, chain, now, outcome);
   return outcome;
 }
 
 bool DnucaCache::writeback_update(BlockAddress block) {
-  for (auto& bank : banks_) {
-    if (bank.mark_dirty(block)) return true;
-  }
-  return false;
+  const Location* location = residency_.find(block);
+  if (location == nullptr) return false;
+  banks_[location->bank].mark_dirty_at(block, location->way);
+  return true;
 }
 
 bool DnucaCache::resident(BlockAddress block) const {
-  return bank_of(block) != kInvalidBank;
+  return residency_.find(block) != nullptr;
 }
 
 BankId DnucaCache::bank_of(BlockAddress block) const {
-  for (BankId id = 0; id < banks_.size(); ++id) {
-    if (banks_[id].probe(block)) return id;
-  }
-  return kInvalidBank;
+  const Location* location = residency_.find(block);
+  return location != nullptr ? location->bank : kInvalidBank;
 }
 
 void DnucaCache::clear_stats() {

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "cache/set_assoc_cache.hpp"
+#include "common/flat_hash.hpp"
+#include "common/inline_vec.hpp"
 #include "common/types.hpp"
 #include "noc/noc.hpp"
 #include "obs/metrics.hpp"
@@ -51,13 +53,18 @@ struct DnucaConfig {
 };
 
 /// Outcome of one L2 access, including everything the system simulator
-/// needs to account timing and inclusion.
+/// needs to account timing and inclusion. Plain value with inline storage:
+/// the access path allocates nothing.
 struct L2AccessOutcome {
   bool hit = false;
   BankId bank = kInvalidBank;  ///< serving bank (hit) or fill bank (miss)
   Cycle ready_at = 0;          ///< bank response time (miss: when the miss is known)
   std::uint32_t directory_lookups = 0;
-  std::vector<cache::Line> evicted;  ///< lines that left the L2 this access
+  /// Lines that left the L2 this access. A single access displaces at most
+  /// one line all the way out of the structure (each demotion chain
+  /// terminates at the first non-demoted eviction); capacity 2 leaves
+  /// headroom for future schemes.
+  common::InlineVec<cache::Line, 2> evicted;
 };
 
 struct DnucaStats {
@@ -82,6 +89,13 @@ void export_stats(const DnucaStats& stats, obs::Registry& registry);
 /// The 16-bank DNUCA L2 (paper Section II): per-bank way-partitioned
 /// 8-way caches plus the aggregation policy that welds each core's banks
 /// into one partition. Timing is delegated to the NoC model.
+///
+/// Every block resides in at most one bank (all fill paths install only
+/// non-resident blocks), so lookups go through a block -> bank residency
+/// index instead of probing bank after bank; the modelled directory-lookup
+/// *accounting* is unchanged — it depends only on the aggregation scheme
+/// and the found bank's position in the requester's view, not on how the
+/// software locates the line.
 class DnucaCache {
  public:
   DnucaCache(const DnucaConfig& config, noc::Noc& noc);
@@ -112,23 +126,46 @@ class DnucaCache {
   const std::vector<BankId>& view_of(CoreId core) const { return views_.at(core); }
 
  private:
+  /// Sentinel for "bank not in this core's view".
+  static constexpr std::uint32_t kNotInView = static_cast<std::uint32_t>(-1);
+
+  /// Where a resident block lives. The way is exact, not a hint: every
+  /// path that installs or removes a line updates the index, and a line's
+  /// way never changes while it stays resident — so hits, writebacks and
+  /// migrations skip the bank's tag scan entirely. Half-width fields keep
+  /// a residency hash slot (key + Location) at 16 bytes, four per cache
+  /// line — the table is tens of megabytes, so probe misses dominate the
+  /// lookup cost (the ctor asserts the geometry fits).
+  struct Location {
+    std::uint16_t bank = 0;
+    std::uint16_t way = 0;
+  };
+
   /// Fills `block` into `bank_id` for `core`, cascading the displaced
   /// victim down `chain` starting at `chain_next` (empty chain: victim
-  /// leaves the cache). Appends fully-evicted lines to `outcome`.
+  /// leaves the cache). Appends fully-evicted lines to `outcome` and keeps
+  /// the residency index in sync.
   void fill_with_demotion(BlockAddress block, CoreId core, bool dirty, BankId bank_id,
                           std::span<const BankId> demotion_chain, Cycle now,
                           L2AccessOutcome& outcome);
 
   BankId pick_fill_bank(BlockAddress block, CoreId core);
-  void promote_to_head(BlockAddress block, CoreId core, BankId from, Cycle now,
+  void promote_to_head(BlockAddress block, CoreId core, Location from, Cycle now,
                        L2AccessOutcome& outcome);
-  void migrate_one_step(BlockAddress block, CoreId core, BankId from, Cycle now);
+  void migrate_one_step(BlockAddress block, CoreId core, Location from, Cycle now);
+  void rebuild_view_positions();
+
+  std::uint32_t view_position(CoreId core, BankId bank) const {
+    return view_pos_[std::size_t{core} * config_.geometry.num_banks + bank];
+  }
 
   DnucaConfig config_;
   noc::Noc* noc_;
   std::vector<cache::SetAssocCache> banks_;
   std::vector<std::vector<BankId>> views_;      // per core: banks with owned ways
+  std::vector<std::uint32_t> view_pos_;         // core x bank -> index in view
   std::vector<std::size_t> round_robin_;        // per core: Parallel fill cursor
+  common::FlatHash64<Location> residency_;      // block -> unique holding bank+way
   DnucaStats stats_;
 };
 

@@ -136,6 +136,11 @@ System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
   config_.validate();
   BACP_ASSERT(mix_.num_cores() == config_.geometry.num_cores,
               "mix size must match the core count");
+  // A directory entry exists only while a block has an L1 copy, so the
+  // table can never exceed the total L1 line count; sizing it up front
+  // keeps its load factor low and the entry churn rehash-free.
+  directory_.reserve(std::size_t{config_.geometry.num_cores} * config_.l1_sets *
+                     config_.l1_ways);
 
   nuca::DnucaConfig l2_config;
   l2_config.geometry = config_.geometry;
@@ -254,14 +259,13 @@ void System::record_epoch_series() {
   epoch_series_.begin_epoch();
   const auto& l2_stats = l2_->stats();
   for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
-    const std::string prefix = "core" + std::to_string(core) + ".";
-    epoch_series_.record(prefix + "ways",
+    epoch_series_.record(epoch_handles_.ways[core],
                          static_cast<double>(allocation_.ways_per_core.at(core)));
     const double instructions =
         timers_[core]->instructions() - epoch_baseline_.instructions[core];
     const double cycles =
         static_cast<double>(timers_[core]->time()) - epoch_baseline_.cycles[core];
-    epoch_series_.record(prefix + "cpi",
+    epoch_series_.record(epoch_handles_.cpi[core],
                          instructions > 0.0 ? cycles / instructions : 0.0);
     epoch_baseline_.instructions[core] = timers_[core]->instructions();
     epoch_baseline_.cycles[core] = static_cast<double>(timers_[core]->time());
@@ -271,24 +275,37 @@ void System::record_epoch_series() {
     baseline = now;
     return static_cast<double>(d);
   };
-  epoch_series_.record("promotions",
+  epoch_series_.record(epoch_handles_.promotions,
                        delta(l2_stats.promotions, epoch_baseline_.promotions));
-  epoch_series_.record("demotions",
+  epoch_series_.record(epoch_handles_.demotions,
                        delta(l2_stats.demotions, epoch_baseline_.demotions));
-  epoch_series_.record("offview_hits",
+  epoch_series_.record(epoch_handles_.offview_hits,
                        delta(l2_stats.offview_hits, epoch_baseline_.offview_hits));
-  epoch_series_.record("dram_reads",
+  epoch_series_.record(epoch_handles_.dram_reads,
                        delta(dram_.stats().demand_reads, epoch_baseline_.dram_reads));
   epoch_series_.record(
-      "dram_writebacks",
+      epoch_handles_.dram_writebacks,
       delta(dram_.stats().writebacks, epoch_baseline_.dram_writebacks));
   epoch_series_.record(
-      "noc_queue_cycles",
+      epoch_handles_.noc_queue_cycles,
       delta(noc_.stats().total_queue_cycles, epoch_baseline_.noc_queue_cycles));
 }
 
 void System::reset_epoch_tracking() {
   epoch_series_.clear();
+  epoch_handles_.ways.clear();
+  epoch_handles_.cpi.clear();
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    const std::string prefix = "core" + std::to_string(core) + ".";
+    epoch_handles_.ways.push_back(epoch_series_.intern(prefix + "ways"));
+    epoch_handles_.cpi.push_back(epoch_series_.intern(prefix + "cpi"));
+  }
+  epoch_handles_.promotions = epoch_series_.intern("promotions");
+  epoch_handles_.demotions = epoch_series_.intern("demotions");
+  epoch_handles_.offview_hits = epoch_series_.intern("offview_hits");
+  epoch_handles_.dram_reads = epoch_series_.intern("dram_reads");
+  epoch_handles_.dram_writebacks = epoch_series_.intern("dram_writebacks");
+  epoch_handles_.noc_queue_cycles = epoch_series_.intern("noc_queue_cycles");
   epoch_baseline_ = EpochBaseline{};
   epoch_baseline_.instructions.resize(config_.geometry.num_cores);
   epoch_baseline_.cycles.resize(config_.geometry.num_cores);

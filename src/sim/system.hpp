@@ -216,6 +216,22 @@ class System {
     bool taken = false;
   };
 
+  /// Interned TimeSeries column handles for every series the epoch
+  /// recorder emits, so an epoch boundary performs no string building or
+  /// map lookups ("core<N>.ways" etc. are interned once per reset, not
+  /// rebuilt per epoch). Rebuilt by reset_epoch_tracking() because
+  /// TimeSeries::clear() invalidates handles.
+  struct EpochSeriesHandles {
+    std::vector<obs::TimeSeries::SeriesHandle> ways;  // per core
+    std::vector<obs::TimeSeries::SeriesHandle> cpi;   // per core
+    obs::TimeSeries::SeriesHandle promotions = 0;
+    obs::TimeSeries::SeriesHandle demotions = 0;
+    obs::TimeSeries::SeriesHandle offview_hits = 0;
+    obs::TimeSeries::SeriesHandle dram_reads = 0;
+    obs::TimeSeries::SeriesHandle dram_writebacks = 0;
+    obs::TimeSeries::SeriesHandle noc_queue_cycles = 0;
+  };
+
   /// Component-stat values at the last epoch boundary (or stats reset);
   /// the per-epoch time series records deltas against these.
   struct EpochBaseline {
@@ -261,6 +277,7 @@ class System {
   Cycle next_epoch_ = 0;
   std::uint64_t epochs_ = 0;
   obs::TimeSeries epoch_series_;
+  EpochSeriesHandles epoch_handles_;
   EpochBaseline epoch_baseline_;
 };
 

@@ -1,5 +1,9 @@
 #include "trace/synthetic.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "common/assert.hpp"
 
 namespace bacp::trace {
@@ -10,12 +14,15 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(const WorkloadModel& model,
     : model_(&model),
       config_(config),
       rng_(seed, config.core),
-      recency_(config.num_sets) {
+      ring_capacity_(std::bit_ceil(std::uint32_t{config.max_depth})),
+      ring_mask_(ring_capacity_ - 1) {
   BACP_ASSERT(config_.num_sets > 0, "generator needs at least one set");
   BACP_ASSERT(config_.max_depth >= 1, "generator needs max_depth >= 1");
+  recency_entries_.assign(std::size_t{config_.num_sets} * ring_capacity_, 0);
+  recency_heads_.assign(config_.num_sets, 0);
+  recency_sizes_.assign(config_.num_sets, 0);
   const auto weights = model.stack_distance_weights(config_.max_depth);
   depth_sampler_ = common::DiscreteSampler(weights);
-  for (auto& list : recency_) list.reserve(config_.max_depth);
 }
 
 BlockAddress SyntheticTraceGenerator::fresh_block(std::uint32_t set) {
@@ -38,21 +45,34 @@ void SyntheticTraceGenerator::switch_model(const WorkloadModel& model) {
 
 MemoryAccess SyntheticTraceGenerator::next() {
   const auto set = static_cast<std::uint32_t>(rng_.next_below(config_.num_sets));
-  auto& list = recency_[set];
+  BlockAddress* ring = recency_entries_.data() + std::size_t{set} * ring_capacity_;
+  std::uint32_t& head = recency_heads_[set];
+  std::uint32_t& size = recency_sizes_[set];
 
   const std::size_t depth_bin = depth_sampler_.sample(rng_);
   // depth_bin in [0, max_depth-1] => stack distance depth_bin + 1;
   // depth_bin == max_depth      => cold / beyond-depth access.
   BlockAddress block;
-  if (depth_bin >= config_.max_depth || depth_bin >= list.size()) {
+  if (depth_bin >= config_.max_depth || depth_bin >= size) {
+    // Fresh block enters at MRU by retreating the head one slot; once the
+    // list is full the LRU tail falls out of the live window implicitly.
     block = fresh_block(set);
-    list.insert(list.begin(), block);
-    if (list.size() > config_.max_depth) list.pop_back();
+    head = (head - 1) & ring_mask_;
+    ring[head] = block;
+    size = std::min(size + 1, config_.max_depth);
   } else {
-    const auto it = list.begin() + static_cast<std::ptrdiff_t>(depth_bin);
-    block = *it;
-    list.erase(it);
-    list.insert(list.begin(), block);
+    // Re-touch at depth_bin: slide the depth_bin entries above it down one
+    // slot and reinsert at MRU. One memmove when the stretch does not wrap.
+    const std::uint32_t depth = static_cast<std::uint32_t>(depth_bin);
+    block = ring[(head + depth) & ring_mask_];
+    if (head + depth < ring_capacity_) {
+      std::memmove(ring + head + 1, ring + head, depth * sizeof(BlockAddress));
+    } else {
+      for (std::uint32_t i = depth; i > 0; --i) {
+        ring[(head + i) & ring_mask_] = ring[(head + i - 1) & ring_mask_];
+      }
+    }
+    ring[head] = block;
   }
 
   MemoryAccess access;

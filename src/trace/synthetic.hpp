@@ -58,7 +58,16 @@ class SyntheticTraceGenerator {
   GeneratorConfig config_;
   common::Rng rng_;
   common::DiscreteSampler depth_sampler_;
-  std::vector<std::vector<BlockAddress>> recency_;  // [set] MRU-first
+  // Per-set MRU-first recency lists stored as ring buffers in one flat
+  // array (set s owns the ring_capacity_-sized stride starting at
+  // s * ring_capacity_; logical depth d lives at (head + d) & ring_mask_).
+  // A cold insert is head-decrement + one store instead of shifting the
+  // whole list; a depth-d re-touch shifts only the d entries above it.
+  std::vector<BlockAddress> recency_entries_;
+  std::vector<std::uint32_t> recency_heads_;
+  std::vector<std::uint32_t> recency_sizes_;
+  std::uint32_t ring_capacity_ = 0;  ///< bit_ceil(max_depth)
+  std::uint32_t ring_mask_ = 0;
   std::uint64_t next_block_id_ = 0;
 };
 

@@ -1,0 +1,717 @@
+// Equivalence suite for the hot-path data structures: every optimized
+// component is replayed against a deliberately naive reference
+// formulation on randomized streams and must agree bit-for-bit.
+//
+//   - cache::SetAssocCache (packed bitmask metadata + intrusive byte-wide
+//     LRU links) vs. a vector<Line> + per-set `vector<WayIndex> lru_order`
+//     cache, including the known-way fast paths (touch_hit, mark_dirty_at,
+//     invalidate_at) and mid-stream repartitions;
+//   - msa::StackProfiler (flat stacks + memmove move-to-front) vs. a
+//     vector-of-vectors Mattson stack, across sampling factors and tag
+//     widths;
+//   - trace::SyntheticTraceGenerator (ring-buffer recency lists) vs. a
+//     vector-of-vectors erase/insert formulation, including a mid-stream
+//     model switch;
+//   - core::CoreTimer (min-heap on done_at, in-place window scans) vs. a
+//     multiset-ordered formulation of the original pop-loop semantics;
+//   - nuca::DnucaCache residency index (exact {bank, way}) vs. brute-force
+//     probes over every bank.
+//
+// Streams are >= 10^6 operations in total so LRU wrap-around, stack
+// overflow, ring wrap and hash-table growth/erase churn are all exercised.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cache/partial_tag.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "common/rng.hpp"
+#include "core/core_timer.hpp"
+#include "msa/stack_profiler.hpp"
+#include "nuca/dnuca_cache.hpp"
+#include "partition/static_policies.hpp"
+#include "trace/spec2000.hpp"
+#include "trace/synthetic.hpp"
+
+namespace bacp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference set-associative cache: vector<Line> per set plus an explicit
+// MRU-first `lru_order` vector, shuffled with erase/insert. Matches the
+// documented semantics of cache::SetAssocCache operation for operation.
+// ---------------------------------------------------------------------------
+
+class RefCache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    WayIndex way = 0;
+  };
+  struct FillOutcome {
+    WayIndex way = 0;
+    std::optional<cache::Line> evicted;
+  };
+
+  explicit RefCache(const cache::SetAssocCache::Config& config)
+      : config_(config),
+        lines_(std::size_t{config.num_sets} * config.ways),
+        lru_(config.num_sets),
+        way_masks_(config.ways, ~CoreMask{0}),
+        hits_(config.num_cores, 0),
+        misses_(config.num_cores, 0),
+        evictions_(config.num_cores, 0) {
+    for (auto& order : lru_) {
+      order.resize(config_.ways);
+      std::iota(order.begin(), order.end(), 0u);
+    }
+  }
+
+  AccessResult access(BlockAddress block, CoreId core, bool is_write) {
+    const std::uint32_t set = set_of(block);
+    const int way = find_way(set, block);
+    if (way < 0) {
+      ++misses_[core];
+      return {false, 0};
+    }
+    ++hits_[core];
+    touch_mru(set, static_cast<WayIndex>(way));
+    if (is_write) line(set, static_cast<WayIndex>(way)).dirty = true;
+    return {true, static_cast<WayIndex>(way)};
+  }
+
+  FillOutcome fill(BlockAddress block, CoreId core, bool dirty) {
+    const std::uint32_t set = set_of(block);
+    WayIndex victim = config_.ways;  // sentinel
+    for (WayIndex way = 0; way < config_.ways; ++way) {
+      if (owned(core, way) && !line(set, way).valid) {
+        victim = way;
+        break;
+      }
+    }
+    if (victim == config_.ways) {
+      const auto& order = lru_[set];
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (owned(core, *it)) {
+          victim = *it;
+          break;
+        }
+      }
+    }
+    FillOutcome outcome;
+    outcome.way = victim;
+    cache::Line& slot = line(set, victim);
+    if (slot.valid) {
+      outcome.evicted = slot;
+      ++evictions_[core];
+    }
+    slot.block = block;
+    slot.allocator = core;
+    slot.valid = true;
+    slot.dirty = dirty;
+    touch_mru(set, victim);
+    return outcome;
+  }
+
+  bool mark_dirty(BlockAddress block) {
+    const std::uint32_t set = set_of(block);
+    const int way = find_way(set, block);
+    if (way < 0) return false;
+    line(set, static_cast<WayIndex>(way)).dirty = true;
+    return true;
+  }
+
+  std::optional<cache::Line> invalidate(BlockAddress block) {
+    const std::uint32_t set = set_of(block);
+    const int way = find_way(set, block);
+    if (way < 0) return std::nullopt;
+    cache::Line& slot = line(set, static_cast<WayIndex>(way));
+    const cache::Line copy = slot;
+    slot.valid = false;
+    slot.dirty = false;
+    slot.allocator = kInvalidCore;
+    demote_lru(set, static_cast<WayIndex>(way));
+    return copy;
+  }
+
+  std::optional<cache::Line> lru_line_for_core(BlockAddress block, CoreId core) const {
+    const std::uint32_t set = set_of(block);
+    const auto& order = lru_[set];
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const cache::Line& slot = lines_[std::size_t{set} * config_.ways + *it];
+      if (owned(core, *it) && slot.valid) return slot;
+    }
+    return std::nullopt;
+  }
+
+  void set_way_partition(const std::vector<CoreMask>& masks) { way_masks_ = masks; }
+
+  bool probe(BlockAddress block) const {
+    return find_way(set_of(block), block) >= 0;
+  }
+
+  std::optional<WayIndex> way_of(BlockAddress block) const {
+    const int way = find_way(set_of(block), block);
+    if (way < 0) return std::nullopt;
+    return static_cast<WayIndex>(way);
+  }
+
+  std::uint64_t valid_lines() const {
+    std::uint64_t count = 0;
+    for (const auto& slot : lines_) {
+      if (slot.valid) ++count;
+    }
+    return count;
+  }
+
+  const std::vector<std::uint64_t>& hits() const { return hits_; }
+  const std::vector<std::uint64_t>& misses() const { return misses_; }
+  const std::vector<std::uint64_t>& evictions() const { return evictions_; }
+
+ private:
+  std::uint32_t set_of(BlockAddress block) const {
+    return static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+  }
+  cache::Line& line(std::uint32_t set, WayIndex way) {
+    return lines_[std::size_t{set} * config_.ways + way];
+  }
+  bool owned(CoreId core, WayIndex way) const {
+    return (way_masks_[way] & core_bit(core)) != 0;
+  }
+  int find_way(std::uint32_t set, BlockAddress block) const {
+    for (WayIndex way = 0; way < config_.ways; ++way) {
+      const cache::Line& slot = lines_[std::size_t{set} * config_.ways + way];
+      if (slot.valid && slot.block == block) return static_cast<int>(way);
+    }
+    return -1;
+  }
+  void touch_mru(std::uint32_t set, WayIndex way) {
+    auto& order = lru_[set];
+    order.erase(std::find(order.begin(), order.end(), way));
+    order.insert(order.begin(), way);
+  }
+  void demote_lru(std::uint32_t set, WayIndex way) {
+    auto& order = lru_[set];
+    order.erase(std::find(order.begin(), order.end(), way));
+    order.push_back(way);
+  }
+
+  cache::SetAssocCache::Config config_;
+  std::vector<cache::Line> lines_;
+  std::vector<std::vector<WayIndex>> lru_;
+  std::vector<CoreMask> way_masks_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  std::vector<std::uint64_t> evictions_;
+};
+
+/// Random per-way masks where every way has an owner and every core owns
+/// at least one way (the fill precondition).
+std::vector<CoreMask> random_partition(common::Rng& rng, WayCount ways,
+                                       std::uint32_t num_cores) {
+  const CoreMask all = num_cores >= 32 ? ~CoreMask{0}
+                                       : ((CoreMask{1} << num_cores) - 1);
+  std::vector<CoreMask> masks(ways);
+  for (auto& mask : masks) {
+    mask = static_cast<CoreMask>(rng.next_u64()) & all;
+    if (mask == 0) mask = all;
+  }
+  for (CoreId core = 0; core < num_cores; ++core) {
+    bool owns = false;
+    for (const CoreMask mask : masks) {
+      owns = owns || (mask & core_bit(core)) != 0;
+    }
+    if (!owns) masks[rng.next_below(ways)] |= core_bit(core);
+  }
+  return masks;
+}
+
+void replay_cache(const cache::SetAssocCache::Config& config, std::uint64_t seed,
+                  std::size_t ops) {
+  cache::SetAssocCache real(config);
+  RefCache ref(config);
+  common::Rng rng(seed);
+  std::vector<BlockAddress> pool;
+
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t op = rng.next_below(100);
+    const CoreId core = static_cast<CoreId>(rng.next_below(config.num_cores));
+    BlockAddress block;
+    if (!pool.empty() && rng.next_bool(0.7)) {
+      block = pool[rng.next_below(pool.size())];
+    } else {
+      block = rng.next_u64() & 0x3FFF;  // small space => frequent reuse
+      pool.push_back(block);
+    }
+    const bool is_write = rng.next_bool(0.3);
+
+    if (op < 70) {
+      // Access, filling on a miss — the L2 service pattern.
+      const auto expected = ref.access(block, core, is_write);
+      if (expected.hit && i % 2 == 0) {
+        // Exercise the known-way fast path on alternating hits.
+        real.touch_hit(block, expected.way, core, is_write);
+      } else {
+        const auto got = real.access(block, core, is_write);
+        ASSERT_EQ(got.hit, expected.hit) << "op " << i;
+        if (got.hit) {
+          ASSERT_EQ(got.way, expected.way) << "op " << i;
+        }
+      }
+      if (!expected.hit) {
+        const auto got = real.fill(block, core, is_write);
+        const auto want = ref.fill(block, core, is_write);
+        ASSERT_EQ(got.way, want.way) << "op " << i;
+        ASSERT_EQ(got.evicted.has_value(), want.evicted.has_value()) << "op " << i;
+        if (got.evicted) {
+          ASSERT_EQ(got.evicted->block, want.evicted->block) << "op " << i;
+          ASSERT_EQ(got.evicted->allocator, want.evicted->allocator) << "op " << i;
+          ASSERT_EQ(got.evicted->dirty, want.evicted->dirty) << "op " << i;
+        }
+      }
+    } else if (op < 78) {
+      const auto way = ref.way_of(block);
+      if (way.has_value() && i % 2 == 0) {
+        real.mark_dirty_at(block, *way);
+        ASSERT_TRUE(ref.mark_dirty(block)) << "op " << i;
+      } else {
+        ASSERT_EQ(real.mark_dirty(block), ref.mark_dirty(block)) << "op " << i;
+      }
+    } else if (op < 86) {
+      const auto way = ref.way_of(block);
+      const auto want = ref.invalidate(block);
+      if (way.has_value() && i % 2 == 0) {
+        const auto got = real.invalidate_at(block, *way);
+        ASSERT_EQ(got.block, want->block) << "op " << i;
+        ASSERT_EQ(got.allocator, want->allocator) << "op " << i;
+        ASSERT_EQ(got.dirty, want->dirty) << "op " << i;
+      } else {
+        const auto got = real.invalidate(block);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << i;
+        if (got) {
+          ASSERT_EQ(got->block, want->block) << "op " << i;
+          ASSERT_EQ(got->dirty, want->dirty) << "op " << i;
+        }
+      }
+    } else if (op < 94) {
+      const auto got = real.lru_line_for_core(block, core);
+      const auto want = ref.lru_line_for_core(block, core);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "op " << i;
+      if (got) {
+        ASSERT_EQ(got->block, want->block) << "op " << i;
+      }
+    } else {
+      const auto masks = random_partition(rng, config.ways, config.num_cores);
+      real.set_way_partition(masks);
+      ref.set_way_partition(masks);
+    }
+  }
+
+  ASSERT_EQ(real.valid_lines(), ref.valid_lines());
+  for (CoreId core = 0; core < config.num_cores; ++core) {
+    ASSERT_EQ(real.stats().hits[core], ref.hits()[core]) << "core " << core;
+    ASSERT_EQ(real.stats().misses[core], ref.misses()[core]) << "core " << core;
+    ASSERT_EQ(real.stats().evictions[core], ref.evictions()[core]) << "core " << core;
+  }
+  for (const BlockAddress block : pool) {
+    ASSERT_EQ(real.probe(block), ref.probe(block)) << "block " << block;
+  }
+}
+
+TEST(CacheEquivalence, DirectMappedSingleCore) {
+  replay_cache({"dm", 64, 1, 1}, 0xC0FFEE, 120'000);
+}
+
+TEST(CacheEquivalence, FourWayFourCores) {
+  replay_cache({"4w", 64, 4, 4}, 0xBEEF, 150'000);
+}
+
+TEST(CacheEquivalence, EightWayEightCoresRepartitioned) {
+  replay_cache({"8w", 32, 8, 8}, 0xFACADE, 150'000);
+}
+
+TEST(CacheEquivalence, WideSixteenWay) {
+  replay_cache({"16w", 16, 16, 4}, 0x5EED, 120'000);
+}
+
+// ---------------------------------------------------------------------------
+// Reference Mattson stack profiler: per-sampled-set vector stacks moved to
+// front with erase/insert.
+// ---------------------------------------------------------------------------
+
+class RefProfiler {
+ public:
+  explicit RefProfiler(const msa::ProfilerConfig& config)
+      : config_(config),
+        set_shift_(log2_floor(config.num_sets)),
+        stacks_((config.num_sets + config.set_sampling - 1) / config.set_sampling),
+        bins_(std::size_t{config.profiled_ways} + 1, 0) {}
+
+  void observe(BlockAddress block) {
+    ++observed_;
+    const auto set = static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+    if (set % config_.set_sampling != 0) return;
+    ++sampled_;
+    const std::uint64_t entry =
+        config_.partial_tag_bits == 0
+            ? (block >> set_shift_)
+            : static_cast<std::uint64_t>(
+                  cache::partial_tag(block >> set_shift_, config_.partial_tag_bits));
+    auto& stack = stacks_[set / config_.set_sampling];
+    const auto found = std::find(stack.begin(), stack.end(), entry);
+    if (found != stack.end()) {
+      ++bins_[static_cast<std::size_t>(found - stack.begin())];
+      stack.erase(found);
+    } else {
+      ++bins_[config_.profiled_ways];
+      if (stack.size() == config_.profiled_ways) stack.pop_back();
+    }
+    stack.insert(stack.begin(), entry);
+  }
+
+  void decay() {
+    for (auto& bin : bins_) bin >>= 1;
+  }
+
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t sampled() const { return sampled_; }
+
+ private:
+  msa::ProfilerConfig config_;
+  std::uint32_t set_shift_;
+  std::vector<std::vector<std::uint64_t>> stacks_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+void replay_profiler(const msa::ProfilerConfig& config, std::uint64_t seed,
+                     std::size_t ops) {
+  msa::StackProfiler real(config);
+  RefProfiler ref(config);
+  common::Rng rng(seed);
+  std::vector<BlockAddress> pool;
+  for (std::size_t i = 0; i < ops; ++i) {
+    BlockAddress block;
+    if (!pool.empty() && rng.next_bool(0.75)) {
+      block = pool[rng.next_below(pool.size())];
+    } else {
+      block = rng.next_u64() & 0xFFFFFF;
+      pool.push_back(block);
+    }
+    real.observe(block);
+    ref.observe(block);
+    if (i % 50'000 == 49'999) {
+      real.decay();
+      ref.decay();
+    }
+  }
+  ASSERT_EQ(real.observed_accesses(), ref.observed());
+  ASSERT_EQ(real.sampled_accesses(), ref.sampled());
+  const auto bins = real.histogram().bins();
+  ASSERT_EQ(bins.size(), ref.bins().size());
+  for (std::size_t bin = 0; bin < bins.size(); ++bin) {
+    ASSERT_EQ(bins[bin], ref.bins()[bin]) << "bin " << bin;
+  }
+}
+
+TEST(ProfilerEquivalence, FullSamplingFullTags) {
+  msa::ProfilerConfig config;
+  config.num_sets = 64;
+  config.set_sampling = 1;
+  config.partial_tag_bits = 0;
+  config.profiled_ways = 16;
+  replay_profiler(config, 0xAB1E, 150'000);
+}
+
+TEST(ProfilerEquivalence, SampledPartialTags) {
+  msa::ProfilerConfig config;
+  config.num_sets = 256;
+  config.set_sampling = 8;
+  config.partial_tag_bits = 12;
+  config.profiled_ways = 24;
+  replay_profiler(config, 0xD00D, 150'000);
+}
+
+TEST(ProfilerEquivalence, PaperScaleSampling) {
+  msa::ProfilerConfig config;  // defaults: 2048 sets, 1-in-32, 12b tags, 72 ways
+  replay_profiler(config, 0x90210, 150'000);
+}
+
+// ---------------------------------------------------------------------------
+// Reference synthetic trace generator: per-set vector recency lists with
+// erase/insert, same RNG and sampler draws as the ring-buffer generator.
+// ---------------------------------------------------------------------------
+
+class RefGenerator {
+ public:
+  RefGenerator(const trace::WorkloadModel& model, const trace::GeneratorConfig& config,
+               std::uint64_t seed)
+      : model_(&model),
+        config_(config),
+        rng_(seed, config.core),
+        sampler_(model.stack_distance_weights(config.max_depth)),
+        lists_(config.num_sets) {}
+
+  void switch_model(const trace::WorkloadModel& model) {
+    model_ = &model;
+    sampler_ = common::DiscreteSampler(model.stack_distance_weights(config_.max_depth));
+  }
+
+  trace::MemoryAccess next() {
+    const auto set = static_cast<std::uint32_t>(rng_.next_below(config_.num_sets));
+    auto& list = lists_[set];
+    const std::size_t depth_bin = sampler_.sample(rng_);
+    BlockAddress block;
+    if (depth_bin >= config_.max_depth || depth_bin >= list.size()) {
+      const std::uint64_t id = next_block_id_++;
+      block = (static_cast<std::uint64_t>(config_.core) << 52) |
+              (id << log2_floor(config_.num_sets)) | set;
+      list.insert(list.begin(), block);
+      if (list.size() > config_.max_depth) list.pop_back();
+    } else {
+      block = list[depth_bin];
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(depth_bin));
+      list.insert(list.begin(), block);
+    }
+    trace::MemoryAccess access;
+    access.block = block;
+    access.core = config_.core;
+    access.is_write = rng_.next_bool(model_->write_fraction);
+    return access;
+  }
+
+ private:
+  const trace::WorkloadModel* model_;
+  trace::GeneratorConfig config_;
+  common::Rng rng_;
+  common::DiscreteSampler sampler_;
+  std::vector<std::vector<BlockAddress>> lists_;
+  std::uint64_t next_block_id_ = 0;
+};
+
+TEST(GeneratorEquivalence, RingBufferMatchesVectorListsAcrossModelSwitch) {
+  const auto& model_a = trace::spec2000_by_name("art");
+  const auto& model_b = trace::spec2000_by_name("mcf");
+  trace::GeneratorConfig config;
+  config.num_sets = 128;
+  config.max_depth = 48;  // not a power of two: exercises ring wrap
+  config.core = 3;
+  trace::SyntheticTraceGenerator real(model_a, config, 77);
+  RefGenerator ref(model_a, config, 77);
+  for (std::size_t i = 0; i < 200'000; ++i) {
+    if (i == 100'000) {
+      real.switch_model(model_b);
+      ref.switch_model(model_b);
+    }
+    const auto got = real.next();
+    const auto want = ref.next();
+    ASSERT_EQ(got.block, want.block) << "access " << i;
+    ASSERT_EQ(got.core, want.core) << "access " << i;
+    ASSERT_EQ(got.is_write, want.is_write) << "access " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference core timer: multiset-ordered window (the original
+// priority-queue formulation's semantics) vs. the in-place heap scans.
+// ---------------------------------------------------------------------------
+
+class RefCoreTimer {
+ public:
+  explicit RefCoreTimer(const core::CoreTimerConfig& config)
+      : config_(config), rng_(config.seed, config.core) {}
+
+  double peek_issue() {
+    double t = time_ + next_gap();
+    if (window_.size() >= config_.mlp_window) {
+      // Ascending walk over completion times: the first `mlp_window`-th
+      // entry still in flight at t is the earliest the issue can happen.
+      std::uint32_t in_flight = 0;
+      for (const double done_at : done_ats_) {
+        if (done_at > t) {
+          ++in_flight;
+          if (in_flight >= config_.mlp_window) {
+            // earliest done_at > t is the first one seen in sorted order
+            t = *done_ats_.upper_bound(t);
+            break;
+          }
+        }
+      }
+    }
+    const double next_instr = instructions_ + config_.instructions_per_l2_access;
+    for (const auto& entry : window_) {
+      if (next_instr - entry.issued_at > static_cast<double>(config_.rob_entries)) {
+        t = std::max(t, entry.done_at);
+      }
+    }
+    return static_cast<double>(static_cast<Cycle>(t));
+  }
+
+  double advance_to_issue() {
+    const double issue = peek_issue();
+    pending_gap_ = -1.0;
+    time_ = issue;
+    instructions_ += config_.instructions_per_l2_access;
+    while (!done_ats_.empty() && *done_ats_.begin() <= time_) {
+      remove_earliest();
+    }
+    return issue;
+  }
+
+  void record_completion(double done_at) {
+    window_.push_back({done_at, instructions_});
+    done_ats_.insert(done_at);
+    while (window_.size() > config_.mlp_window) {
+      time_ = std::max(time_, *done_ats_.begin());
+      remove_earliest();
+    }
+  }
+
+  void drain() {
+    if (!done_ats_.empty()) time_ = std::max(time_, *done_ats_.rbegin());
+    window_.clear();
+    done_ats_.clear();
+  }
+
+  double time() const { return time_; }
+  double instructions() const { return instructions_; }
+
+ private:
+  struct Entry {
+    double done_at = 0.0;
+    double issued_at = 0.0;
+  };
+
+  double next_gap() {
+    if (pending_gap_ < 0.0) {
+      const double jitter = 1.0 + config_.gap_jitter * (2.0 * rng_.next_double() - 1.0);
+      pending_gap_ = config_.instructions_per_l2_access * config_.base_cpi * jitter;
+    }
+    return pending_gap_;
+  }
+
+  void remove_earliest() {
+    const double earliest = *done_ats_.begin();
+    done_ats_.erase(done_ats_.begin());
+    for (auto it = window_.begin(); it != window_.end(); ++it) {
+      if (it->done_at == earliest) {
+        window_.erase(it);
+        break;
+      }
+    }
+  }
+
+  core::CoreTimerConfig config_;
+  common::Rng rng_;
+  double time_ = 0.0;
+  double instructions_ = 0.0;
+  double pending_gap_ = -1.0;
+  std::vector<Entry> window_;
+  std::multiset<double> done_ats_;
+};
+
+TEST(CoreTimerEquivalence, HeapMatchesOrderedWindow) {
+  core::CoreTimerConfig config;
+  config.base_cpi = 0.7;
+  config.instructions_per_l2_access = 40.0;
+  config.mlp_window = 4;
+  config.rob_entries = 128;
+  config.gap_jitter = 0.5;
+  config.seed = 99;
+  config.core = 1;
+  core::CoreTimer real(config);
+  RefCoreTimer ref(config);
+  common::Rng latencies(0x1A7E);
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    ASSERT_EQ(real.peek_issue(), static_cast<Cycle>(ref.peek_issue())) << "step " << i;
+    const Cycle issue = real.advance_to_issue();
+    const double ref_issue = ref.advance_to_issue();
+    ASSERT_EQ(issue, static_cast<Cycle>(ref_issue)) << "step " << i;
+    ASSERT_EQ(real.time(), static_cast<Cycle>(ref.time())) << "step " << i;
+    ASSERT_EQ(real.instructions(), ref.instructions()) << "step " << i;
+    const Cycle done_at = issue + 20 + latencies.next_below(400);
+    real.record_completion(done_at);
+    ref.record_completion(static_cast<double>(done_at));
+    if (i % 10'000 == 9'999) {
+      real.drain();
+      ref.drain();
+      ASSERT_EQ(real.time(), static_cast<Cycle>(ref.time())) << "step " << i;
+    }
+  }
+  real.drain();
+  ref.drain();
+  ASSERT_EQ(real.time(), static_cast<Cycle>(ref.time()));
+  ASSERT_EQ(real.instructions(), ref.instructions());
+}
+
+// ---------------------------------------------------------------------------
+// DNUCA residency index vs. brute-force bank probes.
+// ---------------------------------------------------------------------------
+
+void check_residency_index(nuca::AggregationKind kind, std::uint64_t seed) {
+  nuca::DnucaConfig config;
+  config.geometry.num_cores = 4;
+  config.geometry.num_banks = 8;
+  config.geometry.ways_per_bank = 4;
+  config.sets_per_bank = 16;
+  config.aggregation = kind;
+  noc::NocConfig noc_config;
+  noc_config.num_cores = 4;
+  noc_config.num_banks = 8;
+  noc::Noc noc(noc_config);
+  nuca::DnucaCache cache(config, noc);
+  cache.apply_assignment(partition::equal_partition(config.geometry).assignment);
+
+  common::Rng rng(seed);
+  std::vector<BlockAddress> pool;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    BlockAddress block;
+    if (!pool.empty() && rng.next_bool(0.7)) {
+      block = pool[rng.next_below(pool.size())];
+    } else {
+      block = rng.next_u64() & 0xFFFF;
+      pool.push_back(block);
+    }
+    const CoreId core = static_cast<CoreId>(rng.next_below(4));
+    cache.access(block, core, rng.next_bool(0.3), static_cast<Cycle>(i));
+    if (i % 1000 == 999) {
+      // The residency index must agree with a brute-force scan over every
+      // bank for every block ever touched, and blocks must never be
+      // resident in two banks at once (the single-residency invariant).
+      for (const BlockAddress probe : pool) {
+        BankId found = kInvalidBank;
+        std::uint32_t copies = 0;
+        for (BankId bank = 0; bank < config.geometry.num_banks; ++bank) {
+          if (cache.bank(bank).probe(probe)) {
+            found = bank;
+            ++copies;
+          }
+        }
+        ASSERT_LE(copies, 1u) << "block " << probe << " resident in two banks";
+        ASSERT_EQ(cache.bank_of(probe), found) << "block " << probe;
+        ASSERT_EQ(cache.resident(probe), copies == 1) << "block " << probe;
+      }
+    }
+  }
+}
+
+TEST(DnucaEquivalence, ResidencyIndexMatchesBruteForceProbesParallel) {
+  check_residency_index(nuca::AggregationKind::Parallel, 0xD0CA);
+}
+
+TEST(DnucaEquivalence, ResidencyIndexMatchesBruteForceProbesCascade) {
+  // Cascade demotes down bank chains and swaps on promotion — the paths
+  // that rewrite residency {bank, way} pairs most aggressively.
+  check_residency_index(nuca::AggregationKind::Cascade, 0xCA5C);
+}
+
+}  // namespace
+}  // namespace bacp

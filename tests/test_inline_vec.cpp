@@ -1,0 +1,73 @@
+#include "common/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bacp::common {
+namespace {
+
+TEST(InlineVec, StartsEmpty) {
+  InlineVec<int, 4> vec;
+  EXPECT_TRUE(vec.empty());
+  EXPECT_EQ(vec.size(), 0u);
+  EXPECT_EQ(vec.capacity(), 4u);
+  EXPECT_EQ(vec.begin(), vec.end());
+}
+
+TEST(InlineVec, PushBackAndIndexing) {
+  InlineVec<int, 4> vec;
+  vec.push_back(10);
+  vec.push_back(20);
+  vec.push_back(30);
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_EQ(vec[0], 10);
+  EXPECT_EQ(vec[1], 20);
+  EXPECT_EQ(vec[2], 30);
+  EXPECT_EQ(vec.front(), 10);
+  EXPECT_EQ(vec.back(), 30);
+}
+
+TEST(InlineVec, RangeForIteratesInInsertionOrder) {
+  InlineVec<int, 8> vec;
+  for (int i = 0; i < 5; ++i) vec.push_back(i + 1);
+  int sum = 0;
+  for (const int value : vec) sum += value;
+  EXPECT_EQ(sum, 15);
+  EXPECT_EQ(std::accumulate(vec.begin(), vec.end(), 0), 15);
+}
+
+TEST(InlineVec, ClearAndPopBack) {
+  InlineVec<int, 4> vec;
+  vec.push_back(1);
+  vec.push_back(2);
+  vec.pop_back();
+  ASSERT_EQ(vec.size(), 1u);
+  EXPECT_EQ(vec.back(), 1);
+  vec.clear();
+  EXPECT_TRUE(vec.empty());
+  vec.push_back(7);  // usable again after clear
+  EXPECT_EQ(vec.front(), 7);
+}
+
+TEST(InlineVec, HoldsAggregates) {
+  struct Pair {
+    int a = 0;
+    int b = 0;
+  };
+  InlineVec<Pair, 2> vec;
+  vec.push_back(Pair{1, 2});
+  vec.push_back(Pair{3, 4});
+  EXPECT_EQ(vec[0].a, 1);
+  EXPECT_EQ(vec[1].b, 4);
+}
+
+TEST(InlineVecDeathTest, OverflowAsserts) {
+  InlineVec<int, 2> vec;
+  vec.push_back(1);
+  vec.push_back(2);
+  EXPECT_DEATH(vec.push_back(3), "capacity");
+}
+
+}  // namespace
+}  // namespace bacp::common
