@@ -3,10 +3,13 @@
 // the geometric mean. Paper headline: Bank-aware removes ~70% of misses
 // vs. No-partitions (GM ~= 0.30) and ~25% vs. Equal-partitions.
 //
-// Flags: --warmup, --instr, --epoch, --seed, --sets, --json-out, --csv-out
+// Flags: --warmup, --instr, --epoch, --seed, --threads, --sets, --json-out,
+// --csv-out
 // (legacy env knobs BACP_SIM_{WARMUP,INSTR,EPOCH,SEED,SETS} still work).
 
+#include <algorithm>
 #include <iostream>
+#include <span>
 
 #include "common/env.hpp"
 #include "common/stats.hpp"
@@ -33,13 +36,13 @@ int main(int argc, char** argv) {
   std::vector<double> bank_ratios;
 
   const auto& sets = harness::table3_sets();
-  for (std::size_t i = 0; i < sets.size() && i < num_sets; ++i) {
-    const auto comparison =
-        harness::run_set_comparison(sets[i].label, sets[i].mix(), config);
+  const auto sweep = harness::run_detailed_sweep(
+      std::span(sets.data(), std::min(num_sets, sets.size())), config);
+  for (const auto& comparison : sweep) {
     equal_ratios.push_back(comparison.equal_relative_misses());
     bank_ratios.push_back(comparison.bank_relative_misses());
     table.begin_row()
-        .cell(sets[i].label)
+        .cell(comparison.label)
         .cell(1.0)
         .cell(comparison.equal_relative_misses())
         .cell(comparison.bank_relative_misses());

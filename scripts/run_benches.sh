@@ -33,6 +33,16 @@ fi
 
 mkdir -p "${out_dir}"
 
+# Provenance for the perf trajectory: every JSON artifact records which
+# build preset produced it and at which commit (obs::Report::emit appends
+# BACP_BENCH_META pairs to the JSON "meta" object). The preset is inferred
+# from the build directory name (build/<preset>, as CMakePresets.json lays
+# them out).
+preset="$(basename "${build_dir}")"
+if [[ "${preset}" == "build" ]]; then preset="default"; fi
+git_sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export BACP_BENCH_META="preset=${preset},git_sha=${git_sha}"
+
 benches=(
   bench_fig2_msa_histogram
   bench_fig3_miss_curves
@@ -49,6 +59,7 @@ benches=(
   bench_ablation_policies
   bench_ablation_profiler_accuracy
   bench_micro_components
+  bench_perf_throughput
 )
 
 failed=0

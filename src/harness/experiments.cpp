@@ -1,8 +1,11 @@
 #include "harness/experiments.hpp"
 
+#include <array>
+
 #include "common/assert.hpp"
 #include "common/env.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/phase_timer.hpp"
 
 namespace bacp::harness {
@@ -13,6 +16,7 @@ std::vector<std::pair<std::string, std::string>> DetailedRunConfig::cli_flags() 
       {"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
       {"seed=", "simulation seed (env BACP_SIM_SEED)"},
+      {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
   };
 }
 
@@ -25,6 +29,8 @@ DetailedRunConfig DetailedRunConfig::from_args(const common::ArgParser& parser) 
   config.epoch_cycles =
       parser.get_u64("epoch", common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles));
   config.seed = parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", config.seed));
+  config.num_threads = static_cast<std::size_t>(
+      parser.get_u64("threads", common::env_u64("BACP_THREADS", config.num_threads)));
   return config;
 }
 
@@ -101,17 +107,59 @@ sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& 
   return system.results();
 }
 
+constexpr std::array<sim::PolicyKind, 3> kComparisonPolicies = {
+    sim::PolicyKind::NoPartition, sim::PolicyKind::EqualPartition,
+    sim::PolicyKind::BankAware};
+
+void store_policy_result(SetComparison& comparison, std::size_t policy_index,
+                         sim::SystemResults results) {
+  switch (policy_index) {
+    case 0: comparison.none = std::move(results); break;
+    case 1: comparison.equal = std::move(results); break;
+    default: comparison.bank_aware = std::move(results); break;
+  }
+}
+
 }  // namespace
 
 SetComparison run_set_comparison(const std::string& label, const trace::WorkloadMix& mix,
                                  const DetailedRunConfig& config) {
   SetComparison comparison;
   comparison.label = label;
-  comparison.none = run_policy(sim::PolicyKind::NoPartition, mix, config);
-  comparison.equal = run_policy(sim::PolicyKind::EqualPartition, mix, config);
-  comparison.bank_aware = run_policy(sim::PolicyKind::BankAware, mix, config);
+  // Three independent simulations over the same reference streams (the
+  // seed, not shared state, ties them together) — fan them out.
+  common::ThreadPool pool(config.num_threads);
+  pool.parallel_for(kComparisonPolicies.size(), [&](std::size_t policy) {
+    store_policy_result(comparison, policy,
+                        run_policy(kComparisonPolicies[policy], mix, config));
+  });
   BACP_ASSERT(comparison.none.l2_misses() > 0, "no misses in the baseline run");
   return comparison;
+}
+
+std::vector<SetComparison> run_detailed_sweep(std::span<const ExperimentSet> sets,
+                                              const DetailedRunConfig& config) {
+  std::vector<SetComparison> comparisons(sets.size());
+  std::vector<trace::WorkloadMix> mixes;
+  mixes.reserve(sets.size());
+  for (const auto& set : sets) {
+    mixes.push_back(set.mix());
+  }
+  // One flat set x policy task list: with per-set fan-out a fast set's
+  // workers would idle while the slowest policy run of that set finishes.
+  common::ThreadPool pool(config.num_threads);
+  pool.parallel_for(sets.size() * kComparisonPolicies.size(), [&](std::size_t task) {
+    const std::size_t set_index = task / kComparisonPolicies.size();
+    const std::size_t policy = task % kComparisonPolicies.size();
+    store_policy_result(
+        comparisons[set_index], policy,
+        run_policy(kComparisonPolicies[policy], mixes[set_index], config));
+  });
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    comparisons[i].label = sets[i].label;
+    BACP_ASSERT(comparisons[i].none.l2_misses() > 0, "no misses in the baseline run");
+  }
+  return comparisons;
 }
 
 }  // namespace bacp::harness

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,10 @@ struct DetailedRunConfig {
   Cycle epoch_cycles = 8'000'000;
   nuca::AggregationKind aggregation = nuca::AggregationKind::Parallel;
   std::uint64_t seed = 42;
+  /// Worker threads for multi-run sweeps (0 = hardware concurrency).
+  /// Every run is an isolated System with its own seed-derived RNG
+  /// streams, so results are identical for any worker count.
+  std::size_t num_threads = 0;
 
   DetailedRunConfig& with_warmup_instructions(std::uint64_t value) {
     warmup_instructions = value;
@@ -53,6 +58,10 @@ struct DetailedRunConfig {
   }
   DetailedRunConfig& with_seed(std::uint64_t value) {
     seed = value;
+    return *this;
+  }
+  DetailedRunConfig& with_num_threads(std::size_t value) {
+    num_threads = value;
     return *this;
   }
 
@@ -82,7 +91,17 @@ struct SetComparison {
 
 /// Runs No-partition / Equal-partition / Bank-aware on one mix with
 /// identical seeds (same reference streams) and returns the comparison.
+/// The three policy runs are independent simulations and execute on a
+/// ThreadPool of config.num_threads workers.
 SetComparison run_set_comparison(const std::string& label, const trace::WorkloadMix& mix,
                                  const DetailedRunConfig& config);
+
+/// Runs the full set x policy matrix for `sets` (Figs. 8 and 9 share this
+/// sweep): all runs are flattened into one task list over a single
+/// ThreadPool, so an 8-set sweep keeps every worker busy instead of
+/// barriering after each set. Results come back in `sets` order and are
+/// byte-for-byte independent of the worker count.
+std::vector<SetComparison> run_detailed_sweep(std::span<const ExperimentSet> sets,
+                                              const DetailedRunConfig& config);
 
 }  // namespace bacp::harness

@@ -91,7 +91,10 @@ class Report {
 
   /// Prints to `console` and honors options.json_out / options.csv_out
   /// (parent directories are created). Returns false if a file write
-  /// failed (after reporting it to stderr).
+  /// failed (after reporting it to stderr). Provenance pairs from
+  /// BACP_BENCH_META ("key=value,key=value", set by scripts/run_benches.sh
+  /// with the build preset and git SHA) are appended to the JSON artifact's
+  /// "meta" object; to_json() itself stays environment-independent.
   bool emit(std::ostream& console, const ReportOptions& options) const;
 
  private:

@@ -51,23 +51,26 @@ TEST(DetailedRunConfig, FluentSettersChain) {
                           .with_warmup_instructions(123)
                           .with_measure_instructions(456)
                           .with_epoch_cycles(789)
-                          .with_seed(7);
+                          .with_seed(7)
+                          .with_num_threads(3);
   EXPECT_EQ(config.warmup_instructions, 123u);
   EXPECT_EQ(config.measure_instructions, 456u);
   EXPECT_EQ(config.epoch_cycles, 789u);
   EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.num_threads, 3u);
 }
 
 TEST(DetailedRunConfig, FromArgsPrefersFlags) {
   common::ArgParser parser(DetailedRunConfig::cli_flags());
   const char* argv[] = {"prog", "--warmup=111", "--instr=222", "--epoch=333",
-                        "--seed=444"};
-  ASSERT_TRUE(parser.parse(5, argv));
+                        "--seed=444", "--threads=2"};
+  ASSERT_TRUE(parser.parse(6, argv));
   const auto config = DetailedRunConfig::from_args(parser);
   EXPECT_EQ(config.warmup_instructions, 111u);
   EXPECT_EQ(config.measure_instructions, 222u);
   EXPECT_EQ(config.epoch_cycles, 333u);
   EXPECT_EQ(config.seed, 444u);
+  EXPECT_EQ(config.num_threads, 2u);
 }
 
 TEST(SetComparison, RatiosComputeAgainstNoPartition) {
@@ -95,6 +98,50 @@ TEST(SetComparison, EndToEndSmokeRun) {
   EXPECT_GT(comparison.equal_relative_misses(), 0.1);
   EXPECT_LT(comparison.equal_relative_misses(), 3.0);
   EXPECT_GT(comparison.none.mean_cpi(), 0.0);
+}
+
+void expect_same_results(const sim::SystemResults& a, const sim::SystemResults& b) {
+  EXPECT_EQ(a.l2_accesses(), b.l2_accesses());
+  EXPECT_EQ(a.l2_misses(), b.l2_misses());
+  EXPECT_EQ(a.promotions(), b.promotions());
+  EXPECT_EQ(a.demotions(), b.demotions());
+  EXPECT_EQ(a.dram_reads(), b.dram_reads());
+  EXPECT_EQ(a.dram_writebacks(), b.dram_writebacks());
+  EXPECT_EQ(a.epochs(), b.epochs());
+  EXPECT_EQ(a.mean_cpi(), b.mean_cpi());  // bitwise: same runs, same doubles
+}
+
+TEST(SetComparison, ResultsIndependentOfWorkerCount) {
+  // Every policy run is an isolated System seeded identically, so the
+  // sweep must produce bit-identical results for any thread count.
+  DetailedRunConfig config;
+  config.warmup_instructions = 200'000;
+  config.measure_instructions = 400'000;
+  config.epoch_cycles = 400'000;
+  const auto mix = table3_sets()[1].mix();
+  const auto serial = run_set_comparison("smoke", mix, config.with_num_threads(1));
+  const auto parallel = run_set_comparison("smoke", mix, config.with_num_threads(3));
+  expect_same_results(serial.none, parallel.none);
+  expect_same_results(serial.equal, parallel.equal);
+  expect_same_results(serial.bank_aware, parallel.bank_aware);
+}
+
+TEST(DetailedSweep, FlattenedSweepMatchesPerSetRuns) {
+  DetailedRunConfig config;
+  config.warmup_instructions = 200'000;
+  config.measure_instructions = 400'000;
+  config.epoch_cycles = 400'000;
+  config.num_threads = 2;
+  const auto& sets = table3_sets();
+  const auto sweep = run_detailed_sweep(std::span(sets.data(), 2), config);
+  ASSERT_EQ(sweep.size(), 2u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].label, sets[i].label);
+    const auto solo = run_set_comparison(sets[i].label, sets[i].mix(), config);
+    expect_same_results(solo.none, sweep[i].none);
+    expect_same_results(solo.equal, sweep[i].equal);
+    expect_same_results(solo.bank_aware, sweep[i].bank_aware);
+  }
 }
 
 }  // namespace
