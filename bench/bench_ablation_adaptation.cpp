@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   const std::uint64_t phase_instructions =
-      parser.get_u64("instr", common::env_u64("BACP_SIM_INSTR", 8'000'000));
+      parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 8'000'000));
   const Cycle epoch =
-      parser.get_u64("epoch", common::env_u64("BACP_SIM_EPOCH", 1'500'000));
+      parser.get_u64_or_fail("epoch", common::env_u64("BACP_SIM_EPOCH", 1'500'000));
 
   const auto mix = trace::mix_from_names(
       {"facerec", "gzip", "bzip2", "mesa", "sixtrack", "eon", "crafty", "perlbmk"});

@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   const std::uint64_t instructions =
-      parser.get_u64("instr", common::env_u64("BACP_SIM_INSTR", 10'000'000));
+      parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 10'000'000));
   const std::uint64_t seed =
-      parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", 42));
+      parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", 42));
   const auto mix = harness::table3_sets()[1].mix();  // Set2
 
   obs::Report report("ablation_epoch_length",

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   const std::size_t trials = static_cast<std::size_t>(
-      parser.get_u64("trials", common::env_u64("BACP_MC_TRIALS", 400)));
+      parser.get_u64_or_fail("trials", common::env_u64("BACP_MC_TRIALS", 400)));
   const std::uint64_t seed =
-      parser.get_u64("seed", common::env_u64("BACP_MC_SEED", 2009));
+      parser.get_u64_or_fail("seed", common::env_u64("BACP_MC_SEED", 2009));
 
   partition::CmpGeometry geometry;
   const auto& suite = trace::spec2000_suite();

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   const std::uint64_t accesses =
-      parser.get_u64("accesses", common::env_u64("BACP_ACC_ACCESSES", 1'500'000));
+      parser.get_u64_or_fail("accesses", common::env_u64("BACP_ACC_ACCESSES", 1'500'000));
   const char* workloads[] = {"sixtrack", "bzip2", "mcf"};
   const std::uint32_t tag_bits[] = {6, 8, 12, 16};
   const std::uint32_t samplings[] = {8, 32, 128};

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   msa::StackProfiler profiler(profiler_config);
 
   const std::uint64_t accesses =
-      parser.get_u64("accesses", common::env_u64("BACP_FIG2_ACCESSES", 400'000));
+      parser.get_u64_or_fail("accesses", common::env_u64("BACP_FIG2_ACCESSES", 400'000));
   for (std::uint64_t i = 0; i < accesses; ++i) profiler.observe(generator.next().block);
 
   obs::Report report("fig2_msa_histogram",

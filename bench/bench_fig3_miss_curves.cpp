@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   const char* names[] = {"sixtrack", "bzip2", "applu"};
   const std::uint64_t accesses =
-      parser.get_u64("accesses", common::env_u64("BACP_FIG3_ACCESSES", 2'000'000));
+      parser.get_u64_or_fail("accesses", common::env_u64("BACP_FIG3_ACCESSES", 2'000'000));
 
   std::vector<msa::MissRatioCurve> profiled;
   std::vector<msa::MissRatioCurve> analytic;

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   const auto config = harness::DetailedRunConfig::from_args(parser);
-  const std::size_t num_sets = static_cast<std::size_t>(parser.get_u64(
+  const std::size_t num_sets = static_cast<std::size_t>(parser.get_u64_or_fail(
       "sets", common::env_u64("BACP_SIM_SETS", harness::table3_sets().size())));
 
   obs::Report report("fig9_cpi", "Fig. 9: relative CPI over No-partitions");

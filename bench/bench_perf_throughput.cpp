@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   const auto options = obs::ReportOptions::from_args(parser);
 
   auto config = harness::DetailedRunConfig::from_args(parser);
-  const auto accesses = parser.get_u64(
+  const auto accesses = parser.get_u64_or_fail(
       "accesses", common::env_u64("BACP_PERF_ACCESSES", 4'000'000));
 
   obs::PhaseTimers timers;

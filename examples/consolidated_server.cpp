@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const auto mix = trace::mix_from_names(names);
 
   const std::uint64_t instructions =
-      parser.get_u64("instr", common::env_u64("BACP_EXAMPLE_INSTR", 4'000'000));
+      parser.get_u64_or_fail("instr", common::env_u64("BACP_EXAMPLE_INSTR", 4'000'000));
 
   std::vector<sim::SystemResults> results;
   for (const auto policy :

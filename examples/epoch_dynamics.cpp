@@ -31,11 +31,11 @@ int main(int argc, char** argv) {
   sim::SystemConfig config = sim::SystemConfig::baseline();
   config.policy = sim::PolicyKind::BankAware;
   config.epoch_cycles =
-      parser.get_u64("epoch", common::env_u64("BACP_EXAMPLE_EPOCH", 2'000'000));
+      parser.get_u64_or_fail("epoch", common::env_u64("BACP_EXAMPLE_EPOCH", 2'000'000));
   config.finalize();
 
   sim::System system(config, mix);
-  system.run(parser.get_u64("instr", common::env_u64("BACP_EXAMPLE_INSTR", 6'000'000)));
+  system.run(parser.get_u64_or_fail("instr", common::env_u64("BACP_EXAMPLE_INSTR", 6'000'000)));
   const auto results = system.results();
 
   obs::Report report("epoch_dynamics", "Epoch-by-epoch Bank-aware allocations");

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   };
   const Shape shapes[] = {{4, 8}, {8, 16}, {12, 24}, {16, 32}};
   const std::size_t trials = static_cast<std::size_t>(
-      parser.get_u64("trials", common::env_u64("BACP_EXAMPLE_TRIALS", 200)));
+      parser.get_u64_or_fail("trials", common::env_u64("BACP_EXAMPLE_TRIALS", 200)));
 
   obs::Report report("scaling_study",
                      "Bank-aware scalability across CMP geometries");

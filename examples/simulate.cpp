@@ -103,13 +103,13 @@ int main(int argc, char** argv) {
     label = trace::mix_label(mix);
   }
 
-  const std::uint64_t instructions = parser.get_u64("instr", 8'000'000);
-  const std::uint64_t warmup = parser.get_u64("warmup", instructions / 2);
+  const std::uint64_t instructions = parser.get_u64_or_fail("instr", 8'000'000);
+  const std::uint64_t warmup = parser.get_u64_or_fail("warmup", instructions / 2);
 
   sim::SystemConfig config = sim::SystemConfig::baseline();
   config.policy = *policy;
-  config.epoch_cycles = parser.get_u64("epoch", config.epoch_cycles);
-  config.seed = parser.get_u64("seed", config.seed);
+  config.epoch_cycles = parser.get_u64_or_fail("epoch", config.epoch_cycles);
+  config.seed = parser.get_u64_or_fail("seed", config.seed);
   config.finalize();
 
   sim::System system(config, mix);

@@ -1,7 +1,10 @@
 #include "common/args.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
+
+#include "common/parse.hpp"
 
 namespace bacp::common {
 
@@ -19,6 +22,7 @@ ArgParser::ArgParser(std::vector<std::pair<std::string, std::string>> spec) {
 }
 
 bool ArgParser::parse(int argc, const char* const* argv) {
+  if (argc > 0 && argv[0] != nullptr && *argv[0] != '\0') program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -63,22 +67,77 @@ std::string ArgParser::get(const std::string& name, const std::string& fallback)
   return it == values_.end() ? fallback : it->second;
 }
 
-std::uint64_t ArgParser::get_u64(const std::string& name, std::uint64_t fallback) const {
-  const auto it = values_.find(name);
-  if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+void ArgParser::fatal_usage(const std::string& message) const {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), help(program_).c_str());
+  std::exit(2);
 }
 
-double ArgParser::get_double(const std::string& name, double fallback) const {
+const std::string* ArgParser::raw_or_fatal_if_missing(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) fatal_usage("missing required flag --" + name);
+  return &it->second;
+}
+
+namespace {
+
+/// Composes the fatal-usage message for a malformed flag value.
+std::string flag_error(const std::string& name, const std::string& raw,
+                       const std::string& reason) {
+  return "invalid value '" + raw + "' for --" + name + ": " + reason;
+}
+
+}  // namespace
+
+std::uint64_t ArgParser::get_u64_or_fail(const std::string& name,
+                                         std::uint64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') return fallback;
-  return value;
+  const auto result = parse_u64(it->second);
+  if (!result) fatal_usage(flag_error(name, it->second, result.error));
+  return *result;
+}
+
+std::int64_t ArgParser::get_i64_or_fail(const std::string& name,
+                                        std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto result = parse_i64(it->second);
+  if (!result) fatal_usage(flag_error(name, it->second, result.error));
+  return *result;
+}
+
+double ArgParser::get_double_or_fail(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto result = parse_double(it->second);
+  if (!result) fatal_usage(flag_error(name, it->second, result.error));
+  return *result;
+}
+
+bool ArgParser::get_bool_or_fail(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const auto result = parse_bool(it->second);
+  if (!result) fatal_usage(flag_error(name, it->second, result.error));
+  return *result;
+}
+
+std::uint64_t ArgParser::require_u64(const std::string& name) const {
+  const std::string& raw = *raw_or_fatal_if_missing(name);
+  const auto result = parse_u64(raw);
+  if (!result) fatal_usage(flag_error(name, raw, result.error));
+  return *result;
+}
+
+double ArgParser::require_double(const std::string& name) const {
+  const std::string& raw = *raw_or_fatal_if_missing(name);
+  const auto result = parse_double(raw);
+  if (!result) fatal_usage(flag_error(name, raw, result.error));
+  return *result;
+}
+
+std::string ArgParser::require_string(const std::string& name) const {
+  return *raw_or_fatal_if_missing(name);
 }
 
 std::string ArgParser::help(const std::string& program) const {

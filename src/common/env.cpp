@@ -1,25 +1,52 @@
 #include "common/env.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
+
 namespace bacp::common {
+
+namespace {
+
+void warn_malformed(const char* name, const char* raw, const std::string& reason) {
+  std::fprintf(stderr, "warning: ignoring malformed environment variable %s='%s': %s\n",
+               name, raw, reason.c_str());
+}
+
+}  // namespace
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(value);
+  const auto result = parse_u64(raw);
+  if (!result) {
+    warn_malformed(name, raw, result.error);
+    return fallback;
+  }
+  return *result;
 }
 
 double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0') return fallback;
-  return value;
+  const auto result = parse_double(raw);
+  if (!result) {
+    warn_malformed(name, raw, result.error);
+    return fallback;
+  }
+  return *result;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const auto result = parse_bool(raw);
+  if (!result) {
+    warn_malformed(name, raw, result.error);
+    return fallback;
+  }
+  return *result;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

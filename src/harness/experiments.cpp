@@ -22,15 +22,15 @@ std::vector<std::pair<std::string, std::string>> DetailedRunConfig::cli_flags() 
 
 DetailedRunConfig DetailedRunConfig::from_args(const common::ArgParser& parser) {
   DetailedRunConfig config;
-  config.warmup_instructions = parser.get_u64(
+  config.warmup_instructions = parser.get_u64_or_fail(
       "warmup", common::env_u64("BACP_SIM_WARMUP", config.warmup_instructions));
-  config.measure_instructions = parser.get_u64(
+  config.measure_instructions = parser.get_u64_or_fail(
       "instr", common::env_u64("BACP_SIM_INSTR", config.measure_instructions));
   config.epoch_cycles =
-      parser.get_u64("epoch", common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles));
-  config.seed = parser.get_u64("seed", common::env_u64("BACP_SIM_SEED", config.seed));
+      parser.get_u64_or_fail("epoch", common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles));
+  config.seed = parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", config.seed));
   config.num_threads = static_cast<std::size_t>(
-      parser.get_u64("threads", common::env_u64("BACP_THREADS", config.num_threads)));
+      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", config.num_threads)));
   return config;
 }
 

@@ -28,9 +28,9 @@ std::vector<std::pair<std::string, std::string>> MonteCarloConfig::cli_flags() {
 MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
   MonteCarloConfig config;
   config.trials = static_cast<std::size_t>(
-      parser.get_u64("trials", common::env_u64("BACP_MC_TRIALS", config.trials)));
-  config.seed = parser.get_u64("seed", common::env_u64("BACP_MC_SEED", config.seed));
-  config.num_threads = static_cast<std::size_t>(parser.get_u64(
+      parser.get_u64_or_fail("trials", common::env_u64("BACP_MC_TRIALS", config.trials)));
+  config.seed = parser.get_u64_or_fail("seed", common::env_u64("BACP_MC_SEED", config.seed));
+  config.num_threads = static_cast<std::size_t>(parser.get_u64_or_fail(
       "threads", common::env_u64("BACP_THREADS", config.num_threads)));
   return config;
 }

@@ -247,9 +247,16 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+  Parser(std::string_view text, std::string* error, const JsonLimits& limits)
+      : text_(text), error_(error), limits_(limits) {}
 
   Json run() {
+    if (text_.size() > limits_.max_input_bytes) {
+      fail("input of " + std::to_string(text_.size()) +
+           " bytes exceeds the size limit of " +
+           std::to_string(limits_.max_input_bytes));
+      return Json();
+    }
     Json value = parse_value();
     skip_ws();
     if (!failed_ && pos_ != text_.size()) fail("trailing characters");
@@ -323,11 +330,27 @@ class Parser {
     return value;
   }
 
+  /// Containers recurse through parse_value; the depth limit bounds that
+  /// recursion so `[[[[...` fails with a positioned error instead of
+  /// overflowing the stack.
+  bool enter_container() {
+    if (depth_ >= limits_.max_depth) {
+      fail("nesting depth exceeds the limit of " + std::to_string(limits_.max_depth));
+      return false;
+    }
+    ++depth_;
+    return true;
+  }
+
   Json parse_object() {
     expect('{');
+    if (!enter_container()) return Json();
     Json object = Json::object();
     skip_ws();
-    if (consume('}')) return object;
+    if (consume('}')) {
+      --depth_;
+      return object;
+    }
     while (!failed_) {
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != '"') {
@@ -342,20 +365,26 @@ class Parser {
       if (consume('}')) break;
       if (!expect(',')) break;
     }
+    --depth_;
     return object;
   }
 
   Json parse_array() {
     expect('[');
+    if (!enter_container()) return Json();
     Json array = Json::array();
     skip_ws();
-    if (consume(']')) return array;
+    if (consume(']')) {
+      --depth_;
+      return array;
+    }
     while (!failed_) {
       array.push_back(parse_value());
       skip_ws();
       if (consume(']')) break;
       if (!expect(',')) break;
     }
+    --depth_;
     return array;
   }
 
@@ -487,14 +516,16 @@ class Parser {
 
   std::string_view text_;
   std::string* error_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   bool failed_ = false;
 };
 
 }  // namespace
 
-Json Json::parse(std::string_view text, std::string* error) {
-  Parser parser(text, error);
+Json Json::parse(std::string_view text, std::string* error, const JsonLimits& limits) {
+  Parser parser(text, error, limits);
   Json value = parser.run();
   return parser.failed() ? Json() : value;
 }

@@ -9,6 +9,15 @@
 
 namespace bacp::obs {
 
+/// Resource limits applied while parsing untrusted JSON text. The defaults
+/// are far beyond anything the sinks emit but small enough that a corrupt
+/// or adversarial document fails fast with a positioned error instead of
+/// exhausting the parser's recursion stack or memory.
+struct JsonLimits {
+  std::size_t max_depth = 64;                    ///< nesting of arrays/objects
+  std::size_t max_input_bytes = 1ull << 30;      ///< 1 GiB of text
+};
+
 /// Minimal JSON value model for the observability sinks. Two properties the
 /// standard alternatives do not give us for free:
 ///   - deterministic serialization: object members keep insertion order and
@@ -65,8 +74,12 @@ class Json {
   std::string dump(int indent = 0) const;
 
   /// Strict-ish recursive-descent parser. On failure returns a null value
-  /// and, when `error` is non-null, stores a description.
-  static Json parse(std::string_view text, std::string* error = nullptr);
+  /// and, when `error` is non-null, stores a description with the byte
+  /// offset of the problem. Inputs exceeding `limits` (nesting depth,
+  /// total size) are rejected the same way — never a crash or an
+  /// unbounded allocation.
+  static Json parse(std::string_view text, std::string* error = nullptr,
+                    const JsonLimits& limits = {});
 
   bool operator==(const Json& other) const;
 

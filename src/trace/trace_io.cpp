@@ -7,6 +7,10 @@ namespace bacp::trace {
 
 namespace {
 
+constexpr std::uint64_t kHeaderBytes = sizeof(kTraceMagic) + 8;  // magic + count
+constexpr std::uint64_t kRecordBytes = 9;  // block (u64) + flags (u8)
+constexpr unsigned kReservedFlagBits = 0x60u;  // bits 5..6 must be zero
+
 void put_u64(std::ofstream& out, std::uint64_t value) {
   char bytes[8];
   for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
@@ -24,41 +28,97 @@ bool get_u64(std::ifstream& in, std::uint64_t& value) {
   return true;
 }
 
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
 }  // namespace
 
-bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses) {
+bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses,
+                 std::string* error) {
+  // Validate before the file is opened (and truncated): a trace that cannot
+  // round-trip must not clobber an existing good one.
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (accesses[i].core > kTraceMaxCore) {
+      return set_error(error, "core " + std::to_string(accesses[i].core) +
+                                  " at record " + std::to_string(i) +
+                                  " does not fit the 5-bit core field (max " +
+                                  std::to_string(kTraceMaxCore) + ")");
+    }
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
+  if (!out) return set_error(error, "cannot open '" + path + "' for writing");
   out.write(kTraceMagic, sizeof(kTraceMagic));
   put_u64(out, accesses.size());
   for (const auto& access : accesses) {
     put_u64(out, access.block);
-    const auto flags = static_cast<char>((access.is_write ? 0x80u : 0u) |
-                                         (access.core & 0x1Fu));
+    const auto flags =
+        static_cast<char>((access.is_write ? 0x80u : 0u) | (access.core & 0x1Fu));
     out.write(&flags, 1);
   }
-  return static_cast<bool>(out);
+  if (!out) return set_error(error, "I/O failure writing '" + path + "'");
+  return true;
 }
 
-std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path) {
+std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path,
+                                                    std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    set_error(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff end_pos = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end_pos < 0 || static_cast<std::uint64_t>(end_pos) < kHeaderBytes) {
+    set_error(error, "file is shorter than the " + std::to_string(kHeaderBytes) +
+                         "-byte header");
+    return std::nullopt;
+  }
+  const std::uint64_t payload_bytes = static_cast<std::uint64_t>(end_pos) - kHeaderBytes;
+
   char magic[sizeof(kTraceMagic)];
   if (!in.read(magic, sizeof(magic)) ||
       std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    set_error(error, "bad magic (not a BACPTRC1 trace)");
     return std::nullopt;
   }
   std::uint64_t count = 0;
-  if (!get_u64(in, count)) return std::nullopt;
+  if (!get_u64(in, count)) {
+    set_error(error, "truncated header");
+    return std::nullopt;
+  }
+  // Never trust the header count before checking it against the bytes that
+  // are actually present: a corrupt count would otherwise drive reserve()
+  // into a huge allocation long before EOF fails the record loop.
+  if (count != payload_bytes / kRecordBytes || count * kRecordBytes != payload_bytes) {
+    set_error(error, "header claims " + std::to_string(count) + " records but " +
+                         std::to_string(payload_bytes) +
+                         " payload bytes are present (expected " +
+                         std::to_string(count * kRecordBytes) + ")");
+    return std::nullopt;
+  }
 
   std::vector<MemoryAccess> accesses;
   accesses.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     MemoryAccess access;
-    if (!get_u64(in, access.block)) return std::nullopt;
+    if (!get_u64(in, access.block)) {
+      set_error(error, "truncated record " + std::to_string(i));
+      return std::nullopt;
+    }
     char flags = 0;
-    if (!in.read(&flags, 1)) return std::nullopt;
+    if (!in.read(&flags, 1)) {
+      set_error(error, "truncated record " + std::to_string(i));
+      return std::nullopt;
+    }
     const auto bits = static_cast<unsigned char>(flags);
+    if ((bits & kReservedFlagBits) != 0) {
+      set_error(error, "reserved flag bits set in record " + std::to_string(i) +
+                           " (corrupt file?)");
+      return std::nullopt;
+    }
     access.is_write = (bits & 0x80u) != 0;
     access.core = bits & 0x1Fu;
     accesses.push_back(access);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,16 +15,33 @@ namespace bacp::trace {
 /// traces into the simulator):
 ///
 ///   magic "BACPTRC1" (8 bytes) | record count (u64 LE) | records...
-///   record: block address (u64 LE) | flags (u8: bit7 = write, bits 0..4 = core)
+///   record: block address (u64 LE) | flags (u8: bit7 = write, bits 5..6
+///   reserved and must be zero, bits 0..4 = core)
 ///
 /// 9 bytes per access; a 10M-access trace is ~90 MB.
+///
+/// Both directions validate strictly rather than repairing: a core ID that
+/// does not fit the 5-bit field is rejected at *write* time (the old
+/// behavior masked it with & 0x1F, silently corrupting the core field on
+/// round-trip), and a reader never trusts the header count before checking
+/// it against the actual file size (a corrupt header used to drive a
+/// multi-gigabyte reserve() before EOF was ever reached).
 inline constexpr char kTraceMagic[8] = {'B', 'A', 'C', 'P', 'T', 'R', 'C', '1'};
 
-/// Writes a whole trace. Returns false on I/O failure.
-bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses);
+/// Largest core ID the 5-bit flags field can represent.
+inline constexpr std::uint32_t kTraceMaxCore = 31;
 
-/// Reads a whole trace; std::nullopt on missing file, bad magic or a
-/// truncated record stream.
-std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path);
+/// Writes a whole trace. Returns false on I/O failure or when any access
+/// carries a core ID > kTraceMaxCore (validated before the file is touched);
+/// when `error` is non-null it receives the reason.
+bool write_trace(const std::string& path, std::span<const MemoryAccess> accesses,
+                 std::string* error = nullptr);
+
+/// Reads a whole trace; std::nullopt on missing file, bad magic, a header
+/// count inconsistent with the file size, reserved flag bits set, or a
+/// truncated record stream. When `error` is non-null it receives a
+/// positioned description of the first problem.
+std::optional<std::vector<MemoryAccess>> read_trace(const std::string& path,
+                                                    std::string* error = nullptr);
 
 }  // namespace bacp::trace

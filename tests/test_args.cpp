@@ -9,16 +9,23 @@ ArgParser make_parser() {
   return ArgParser({{"trials=", "number of trials"},
                     {"policy=", "policy name"},
                     {"scale=", "scale factor"},
+                    {"delta=", "signed adjustment"},
+                    {"strict=", "boolean knob"},
                     {"verbose", "chatty output"}});
 }
 
-const char* argv_of(const char* s) { return s; }
+ArgParser parsed(std::vector<const char*> argv) {
+  auto parser = make_parser();
+  argv.insert(argv.begin(), "prog");
+  EXPECT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  return parser;
+}
 
 TEST(ArgParser, ParsesEqualsForm) {
   auto parser = make_parser();
   const char* argv[] = {"prog", "--trials=42", "--policy=bank-aware"};
   ASSERT_TRUE(parser.parse(3, argv));
-  EXPECT_EQ(parser.get_u64("trials", 0), 42u);
+  EXPECT_EQ(parser.get_u64_or_fail("trials", 0), 42u);
   EXPECT_EQ(parser.get("policy", ""), "bank-aware");
 }
 
@@ -26,7 +33,7 @@ TEST(ArgParser, ParsesSpaceForm) {
   auto parser = make_parser();
   const char* argv[] = {"prog", "--trials", "7"};
   ASSERT_TRUE(parser.parse(3, argv));
-  EXPECT_EQ(parser.get_u64("trials", 0), 7u);
+  EXPECT_EQ(parser.get_u64_or_fail("trials", 0), 7u);
 }
 
 TEST(ArgParser, BooleanFlag) {
@@ -65,12 +72,92 @@ TEST(ArgParser, ValueOnBooleanFails) {
   EXPECT_FALSE(parser.parse(2, argv));
 }
 
-TEST(ArgParser, MalformedNumberFallsBack) {
-  auto parser = make_parser();
-  const char* argv[] = {"prog", "--trials=12x", "--scale=1.5"};
-  ASSERT_TRUE(parser.parse(3, argv));
-  EXPECT_EQ(parser.get_u64("trials", 9), 9u);
-  EXPECT_DOUBLE_EQ(parser.get_double("scale", 0.0), 1.5);
+TEST(ArgParser, AbsentFlagUsesFallback) {
+  auto parser = parsed({});
+  EXPECT_EQ(parser.get_u64_or_fail("trials", 9), 9u);
+  EXPECT_EQ(parser.get_i64_or_fail("delta", -3), -3);
+  EXPECT_DOUBLE_EQ(parser.get_double_or_fail("scale", 1.25), 1.25);
+  EXPECT_TRUE(parser.get_bool_or_fail("strict", true));
+}
+
+TEST(ArgParser, StrictTypedAccess) {
+  auto parser =
+      parsed({"--trials=42", "--delta=-3", "--scale=1.5", "--strict=false"});
+  EXPECT_EQ(parser.get_u64_or_fail("trials", 0), 42u);
+  EXPECT_EQ(parser.get_i64_or_fail("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(parser.get_double_or_fail("scale", 0.0), 1.5);
+  EXPECT_FALSE(parser.get_bool_or_fail("strict", true));
+  EXPECT_EQ(parser.require_u64("trials"), 42u);
+  EXPECT_DOUBLE_EQ(parser.require_double("scale"), 1.5);
+  EXPECT_EQ(parser.require_string("strict"), "false");
+}
+
+// The strict accessors exit(2) with a message naming the flag — the loud
+// boundary the ingestion layer guarantees. Each malformed value is a death
+// test asserting both the exit code and that the message names the flag.
+
+using ArgParserDeath = ::testing::Test;
+
+TEST(ArgParserDeath, TrailingGarbageNamesFlag) {
+  auto parser = parsed({"--trials=10k"});
+  EXPECT_EXIT(parser.get_u64_or_fail("trials", 0), ::testing::ExitedWithCode(2),
+              "invalid value '10k' for --trials");
+}
+
+TEST(ArgParserDeath, NegativeUnsignedNamesFlag) {
+  auto parser = parsed({"--trials=-1"});
+  EXPECT_EXIT(parser.get_u64_or_fail("trials", 0), ::testing::ExitedWithCode(2),
+              "--trials.*negative");
+}
+
+TEST(ArgParserDeath, OverflowIsRejectedNotSaturated) {
+  auto parser = parsed({"--trials=99999999999999999999"});
+  EXPECT_EXIT(parser.get_u64_or_fail("trials", 0), ::testing::ExitedWithCode(2),
+              "--trials.*out of range");
+}
+
+TEST(ArgParserDeath, MalformedDoubleNamesFlag) {
+  auto parser = parsed({"--scale=x1.5"});
+  EXPECT_EXIT(parser.get_double_or_fail("scale", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value 'x1.5' for --scale");
+}
+
+TEST(ArgParserDeath, NonFiniteDoubleIsRejected) {
+  auto parser = parsed({"--scale=inf"});
+  EXPECT_EXIT(parser.get_double_or_fail("scale", 0.0), ::testing::ExitedWithCode(2),
+              "--scale.*non-finite");
+}
+
+TEST(ArgParserDeath, MalformedBoolNamesFlag) {
+  auto parser = parsed({"--strict=maybe"});
+  EXPECT_EXIT(parser.get_bool_or_fail("strict", false), ::testing::ExitedWithCode(2),
+              "invalid value 'maybe' for --strict");
+}
+
+TEST(ArgParserDeath, MalformedSignedNamesFlag) {
+  auto parser = parsed({"--delta=--2"});
+  EXPECT_EXIT(parser.get_i64_or_fail("delta", 0), ::testing::ExitedWithCode(2),
+              "invalid value '--2' for --delta");
+}
+
+TEST(ArgParserDeath, RequireMissingFlagFails) {
+  auto parser = parsed({});
+  EXPECT_EXIT(parser.require_u64("trials"), ::testing::ExitedWithCode(2),
+              "missing required flag --trials");
+  EXPECT_EXIT(parser.require_string("policy"), ::testing::ExitedWithCode(2),
+              "missing required flag --policy");
+}
+
+TEST(ArgParserDeath, RequireMalformedFlagFails) {
+  auto parser = parsed({"--trials=1e3"});
+  EXPECT_EXIT(parser.require_u64("trials"), ::testing::ExitedWithCode(2),
+              "invalid value '1e3' for --trials");
+}
+
+TEST(ArgParserDeath, FatalMessageIncludesUsageText) {
+  auto parser = parsed({"--trials=nope"});
+  EXPECT_EXIT(parser.get_u64_or_fail("trials", 0), ::testing::ExitedWithCode(2),
+              "usage: prog");
 }
 
 TEST(ArgParser, HelpListsFlags) {
@@ -78,7 +165,6 @@ TEST(ArgParser, HelpListsFlags) {
   EXPECT_NE(help.find("--trials=<value>"), std::string::npos);
   EXPECT_NE(help.find("--verbose"), std::string::npos);
   EXPECT_EQ(help.find("--verbose=<value>"), std::string::npos);
-  (void)argv_of;
 }
 
 }  // namespace

@@ -3,14 +3,26 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 namespace bacp::common {
 namespace {
+
+/// Runs `body` with stderr captured and returns what was written — the
+/// malformed-env contract is "fall back loudly", so tests assert both the
+/// returned default and the warning that names the variable.
+template <typename Body>
+std::string captured_stderr(Body body) {
+  ::testing::internal::CaptureStderr();
+  body();
+  return ::testing::internal::GetCapturedStderr();
+}
 
 TEST(Env, MissingVariableUsesFallback) {
   ::unsetenv("BACP_TEST_MISSING");
   EXPECT_EQ(env_u64("BACP_TEST_MISSING", 42), 42u);
   EXPECT_DOUBLE_EQ(env_double("BACP_TEST_MISSING", 1.5), 1.5);
+  EXPECT_TRUE(env_bool("BACP_TEST_MISSING", true));
   EXPECT_EQ(env_string("BACP_TEST_MISSING", "x"), "x");
 }
 
@@ -20,12 +32,45 @@ TEST(Env, ParsesValidU64) {
   ::unsetenv("BACP_TEST_U64");
 }
 
-TEST(Env, MalformedU64FallsBack) {
+TEST(Env, MalformedU64WarnsAndFallsBack) {
   ::setenv("BACP_TEST_BAD", "12abc", 1);
-  EXPECT_EQ(env_u64("BACP_TEST_BAD", 9), 9u);
-  ::setenv("BACP_TEST_BAD", "", 1);
-  EXPECT_EQ(env_u64("BACP_TEST_BAD", 9), 9u);
+  std::uint64_t value = 0;
+  const auto warning = captured_stderr([&] { value = env_u64("BACP_TEST_BAD", 9); });
+  EXPECT_EQ(value, 9u);
+  EXPECT_NE(warning.find("BACP_TEST_BAD"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("12abc"), std::string::npos) << warning;
   ::unsetenv("BACP_TEST_BAD");
+}
+
+TEST(Env, EmptyVariableIsSilentFallback) {
+  // An empty variable is the conventional way to unset a knob in a wrapper
+  // script; it must fall back without noise.
+  ::setenv("BACP_TEST_EMPTY", "", 1);
+  const auto warning =
+      captured_stderr([] { EXPECT_EQ(env_u64("BACP_TEST_EMPTY", 9), 9u); });
+  EXPECT_TRUE(warning.empty()) << warning;
+  ::unsetenv("BACP_TEST_EMPTY");
+}
+
+TEST(Env, NegativeU64WarnsAndFallsBack) {
+  // strtoull would have wrapped "-1" to 18446744073709551615 — the exact
+  // silent-fallback bug this layer eradicates.
+  ::setenv("BACP_TEST_NEG", "-1", 1);
+  std::uint64_t value = 0;
+  const auto warning = captured_stderr([&] { value = env_u64("BACP_TEST_NEG", 7); });
+  EXPECT_EQ(value, 7u);
+  EXPECT_NE(warning.find("BACP_TEST_NEG"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("negative"), std::string::npos) << warning;
+  ::unsetenv("BACP_TEST_NEG");
+}
+
+TEST(Env, OverflowU64WarnsAndFallsBack) {
+  ::setenv("BACP_TEST_OVF", "99999999999999999999", 1);
+  std::uint64_t value = 0;
+  const auto warning = captured_stderr([&] { value = env_u64("BACP_TEST_OVF", 5); });
+  EXPECT_EQ(value, 5u);
+  EXPECT_NE(warning.find("out of range"), std::string::npos) << warning;
+  ::unsetenv("BACP_TEST_OVF");
 }
 
 TEST(Env, ParsesValidDouble) {
@@ -34,10 +79,32 @@ TEST(Env, ParsesValidDouble) {
   ::unsetenv("BACP_TEST_DBL");
 }
 
-TEST(Env, MalformedDoubleFallsBack) {
+TEST(Env, MalformedDoubleWarnsAndFallsBack) {
   ::setenv("BACP_TEST_DBL2", "x1.5", 1);
-  EXPECT_DOUBLE_EQ(env_double("BACP_TEST_DBL2", 3.0), 3.0);
+  double value = 0.0;
+  const auto warning =
+      captured_stderr([&] { value = env_double("BACP_TEST_DBL2", 3.0); });
+  EXPECT_DOUBLE_EQ(value, 3.0);
+  EXPECT_NE(warning.find("BACP_TEST_DBL2"), std::string::npos) << warning;
   ::unsetenv("BACP_TEST_DBL2");
+}
+
+TEST(Env, ParsesValidBool) {
+  ::setenv("BACP_TEST_BOOL", "true", 1);
+  EXPECT_TRUE(env_bool("BACP_TEST_BOOL", false));
+  ::setenv("BACP_TEST_BOOL", "off", 1);
+  EXPECT_FALSE(env_bool("BACP_TEST_BOOL", true));
+  ::unsetenv("BACP_TEST_BOOL");
+}
+
+TEST(Env, MalformedBoolWarnsAndFallsBack) {
+  ::setenv("BACP_TEST_BOOL2", "maybe", 1);
+  bool value = false;
+  const auto warning =
+      captured_stderr([&] { value = env_bool("BACP_TEST_BOOL2", true); });
+  EXPECT_TRUE(value);
+  EXPECT_NE(warning.find("BACP_TEST_BOOL2"), std::string::npos) << warning;
+  ::unsetenv("BACP_TEST_BOOL2");
 }
 
 TEST(Env, StringPassThrough) {

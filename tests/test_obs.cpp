@@ -52,6 +52,99 @@ TEST(Json, DoublesSerializeShortestRoundTrip) {
   EXPECT_EQ(Json(-0.25).dump(), "-0.25");
 }
 
+TEST(Json, ParseErrorsCarryBytePositions) {
+  struct Case {
+    const char* text;
+    const char* error_contains;
+  };
+  const Case cases[] = {
+      {"{\"a\":1,}", "expected object key at offset 7"},
+      {"[1,2", "expected ',' at offset 4"},
+      {"{\"a\" 1}", "expected ':' at offset 5"},
+      {"\"unterminated", "unterminated string at offset 13"},
+      {"[1] junk", "trailing characters at offset 4"},
+      {"", "unexpected end of input at offset 0"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    const auto parsed = Json::parse(c.text, &error);
+    EXPECT_TRUE(parsed.is_null()) << c.text;
+    EXPECT_NE(error.find(c.error_contains), std::string::npos)
+        << "input: " << c.text << " error: " << error;
+  }
+}
+
+TEST(Json, NestingDepthIsLimited) {
+  // 64 levels (the default limit) parse; 65 must fail with a positioned
+  // error instead of recursing toward a stack overflow.
+  const std::string ok_text = std::string(64, '[') + std::string(64, ']');
+  std::string error;
+  EXPECT_FALSE(Json::parse(ok_text, &error).is_null());
+  EXPECT_TRUE(error.empty()) << error;
+
+  const std::string deep_text = std::string(65, '[') + std::string(65, ']');
+  const auto parsed = Json::parse(deep_text, &error);
+  EXPECT_TRUE(parsed.is_null());
+  EXPECT_NE(error.find("nesting depth"), std::string::npos) << error;
+
+  // A pathologically deep document (the classic parser-killer input) is
+  // rejected quickly and safely regardless of length.
+  const std::string hostile(100'000, '[');
+  EXPECT_TRUE(Json::parse(hostile, &error).is_null());
+  EXPECT_NE(error.find("nesting depth"), std::string::npos) << error;
+}
+
+TEST(Json, CustomLimitsAreHonored) {
+  JsonLimits limits;
+  limits.max_depth = 2;
+  std::string error;
+  EXPECT_FALSE(Json::parse("[[1]]", &error, limits).is_null());
+  EXPECT_TRUE(Json::parse("[[[1]]]", &error, limits).is_null());
+  EXPECT_NE(error.find("limit of 2"), std::string::npos) << error;
+
+  limits = JsonLimits{};
+  limits.max_input_bytes = 10;
+  error.clear();
+  EXPECT_TRUE(Json::parse("[1,2,3,4,5,6]", &error, limits).is_null());
+  EXPECT_NE(error.find("size limit"), std::string::npos) << error;
+}
+
+// Deterministic byte-mutation fuzz over the JSON parser: flip one bit at
+// every position of a representative sink document and require "error or
+// valid parse, never crash". Runs under asan-ubsan in CI.
+TEST(Json, BitFlipFuzzNeverCrashes) {
+  Json doc = Json::object();
+  doc.set("schema", Json(std::uint64_t{1}));
+  doc.set("title", Json("fuzz \"quoted\" \\ text\n"));
+  doc.set("ratio", Json(0.7305));
+  doc.set("neg", Json(std::int64_t{-42}));
+  Json rows = Json::array();
+  for (int i = 0; i < 8; ++i) {
+    Json row = Json::array();
+    row.push_back(Json(std::uint64_t(i)));
+    row.push_back(Json(i * 0.125));
+    row.push_back(Json(i % 2 == 0));
+    row.push_back(Json());
+    rows.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(rows));
+  const std::string text = doc.dump(2);
+
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    for (const int bit : {0, 3, 6}) {
+      std::string mutated = text;
+      mutated[pos] = static_cast<char>(static_cast<unsigned char>(mutated[pos]) ^
+                                       (1u << bit));
+      std::string error;
+      const auto parsed = Json::parse(mutated, &error);
+      if (parsed.is_null() && !error.empty()) continue;  // rejected: fine
+      // Accepted: the result must re-serialize without tripping any
+      // internal assertion — i.e. it is a structurally valid document.
+      (void)parsed.dump();
+    }
+  }
+}
+
 // ------------------------------------------------------------- Registry --
 
 TEST(Registry, KindsAndValues) {

@@ -74,6 +74,124 @@ TEST(TraceIo, TruncatedRecordsAreRejected) {
   std::remove(path.c_str());
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+std::vector<MemoryAccess> sample_trace(std::size_t n) {
+  std::vector<MemoryAccess> accesses(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    accesses[i].block = 0x1000 + i * 37;
+    accesses[i].core = static_cast<CoreId>(i % 32);
+    accesses[i].is_write = (i % 3) == 0;
+  }
+  return accesses;
+}
+
+TEST(TraceIo, WriteRejectsCoreBeyondFiveBits) {
+  const auto path = temp_path("bigcore.bacptrc");
+  std::vector<MemoryAccess> accesses(3);
+  accesses[1].core = 32;  // the old writer masked this to core 0
+  std::string error;
+  EXPECT_FALSE(write_trace(path, accesses, &error));
+  EXPECT_NE(error.find("core 32"), std::string::npos) << error;
+  EXPECT_NE(error.find("record 1"), std::string::npos) << error;
+  // The invalid trace must not have clobbered the path.
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(TraceIo, CorruptHeaderCountIsRejectedBeforeAllocation) {
+  const auto path = temp_path("hugecount.bacptrc");
+  ASSERT_TRUE(write_trace(path, sample_trace(4)));
+  auto contents = slurp(path);
+  // Overwrite the count field (bytes 8..15, little-endian) with a value
+  // claiming ~10^18 records in a 52-byte file. Pre-fix this drove
+  // reserve(count) into a multi-GB allocation before EOF was ever seen.
+  for (std::size_t i = 0; i < 8; ++i) contents[8 + i] = static_cast<char>(0x0D);
+  spit(path, contents);
+  std::string error;
+  EXPECT_FALSE(read_trace(path, &error).has_value());
+  EXPECT_NE(error.find("header claims"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TrailingGarbageIsRejected) {
+  const auto path = temp_path("trailing.bacptrc");
+  ASSERT_TRUE(write_trace(path, sample_trace(4)));
+  spit(path, slurp(path) + "junk");
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReservedFlagBitsAreRejected) {
+  const auto path = temp_path("reserved.bacptrc");
+  ASSERT_TRUE(write_trace(path, sample_trace(2)));
+  auto contents = slurp(path);
+  // Flags byte of record 0 sits at offset 16 + 8.
+  contents[24] = static_cast<char>(static_cast<unsigned char>(contents[24]) | 0x20u);
+  spit(path, contents);
+  std::string error;
+  EXPECT_FALSE(read_trace(path, &error).has_value());
+  EXPECT_NE(error.find("reserved flag bits"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EveryTruncationPointIsErrorOrValid) {
+  const auto path = temp_path("trunc-sweep.bacptrc");
+  const auto accesses = sample_trace(16);
+  ASSERT_TRUE(write_trace(path, accesses));
+  const auto contents = slurp(path);
+  for (std::size_t len = 0; len < contents.size(); ++len) {
+    spit(path, contents.substr(0, len));
+    std::string error;
+    const auto loaded = read_trace(path, &error);
+    // Every strict prefix is corrupt (the header count no longer matches),
+    // so the reader must fail with a reason — never crash or mis-parse.
+    EXPECT_FALSE(loaded.has_value()) << "prefix length " << len;
+    EXPECT_FALSE(error.empty()) << "prefix length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+// Deterministic byte-mutation fuzz: flip one bit at every byte position and
+// assert the invariant "error or valid parse, never crash/OOM/garbage".
+// Runs under the asan-ubsan preset in CI, so a latent overflow or
+// over-allocation fails loudly.
+TEST(TraceIo, BitFlipFuzzNeverCrashesOrOverAllocates) {
+  const auto path = temp_path("fuzz.bacptrc");
+  const auto accesses = sample_trace(64);
+  ASSERT_TRUE(write_trace(path, accesses));
+  const auto contents = slurp(path);
+  for (std::size_t pos = 0; pos < contents.size(); ++pos) {
+    for (const int bit : {0, 4, 7}) {
+      auto mutated = contents;
+      mutated[pos] = static_cast<char>(static_cast<unsigned char>(mutated[pos]) ^
+                                       (1u << bit));
+      spit(path, mutated);
+      std::string error;
+      const auto loaded = read_trace(path, &error);
+      if (!loaded.has_value()) {
+        EXPECT_FALSE(error.empty()) << "pos " << pos << " bit " << bit;
+        continue;
+      }
+      // A parse that survives a bit flip must still satisfy the format's
+      // invariants: count bounded by the file size, cores within 5 bits.
+      EXPECT_EQ(loaded->size(), accesses.size()) << "pos " << pos << " bit " << bit;
+      for (const auto& access : *loaded) {
+        EXPECT_LE(access.core, kTraceMaxCore);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, WriteBitAndCoreSurviveEncoding) {
   const auto path = temp_path("flags.bacptrc");
   std::vector<MemoryAccess> accesses;
