@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Lint gate over src/ bench/ examples/ tests/ and scripts/.
+#
+# Three layers, cheapest first:
+#   1. Repo-specific grep rules (always run; no tools needed):
+#        - no lenient ArgParser getters (PR 3 made ingestion strict: use
+#          get_*_or_fail / require_* so malformed flags fail loudly),
+#        - no raw assert() (use BACP_ASSERT / BACP_DASSERT, which stay
+#          active in Release and print context),
+#        - no direct strtoull/strtol/atoi/atol number parsing outside
+#          common/parse.cpp (the one audited conversion site; everything
+#          else goes through common::parse_u64/parse_double).
+#      A line may opt out with a NOLINT marker carrying a reason.
+#   2. clang-tidy with the checked-in .clang-tidy, if installed.
+#   3. shellcheck over scripts/*.sh, if installed.
+#
+# Usage:
+#   scripts/lint.sh                 # run what is available, skip the rest
+#   scripts/lint.sh --require-tools # missing clang-tidy/shellcheck is an
+#                                   # error (CI mode)
+#
+# Exit status: 0 clean, 1 findings (or missing tools with --require-tools).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+require_tools=0
+if [[ "${1:-}" == "--require-tools" ]]; then
+  require_tools=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/lint.sh [--require-tools]" >&2
+  exit 2
+fi
+
+fail=0
+cxx_dirs=(src bench examples tests)
+
+# --- Layer 1: grep rules ---------------------------------------------------
+
+# Reports every line matching an ERE in the C++ tree (minus NOLINT'd lines)
+# as a lint failure.
+check_absent() {
+  local label="$1"
+  local pattern="$2"
+  shift 2
+  local matches
+  matches="$(grep -rnE --include='*.cpp' --include='*.hpp' "$@" \
+               -e "${pattern}" "${cxx_dirs[@]}" | grep -v 'NOLINT' || true)"
+  if [[ -n "${matches}" ]]; then
+    echo "lint: ${label}" >&2
+    echo "${matches}" >&2
+    echo >&2
+    fail=1
+  fi
+}
+
+# Lenient getters were removed when ingestion became strict; member-call
+# shape so free functions named get_u64 elsewhere stay legal.
+check_absent \
+  "lenient ArgParser getter — use get_*_or_fail / require_* instead" \
+  '(->|\.)get_(u64|i64|double|bool)\('
+
+# Raw assert() compiles out under NDEBUG and prints no context; the BACP
+# macros do neither. static_assert stays legal (leading '_' excluded).
+check_absent \
+  "raw assert() — use BACP_ASSERT / BACP_DASSERT instead" \
+  '(^|[^_[:alnum:]])assert[[:space:]]*\('
+
+# All textual number parsing goes through common/parse.cpp, the one place
+# that rejects negatives, overflow and trailing junk.
+check_absent \
+  "direct strto*/ato* call — use common::parse_u64 / parse_double instead" \
+  '(^|[^_[:alnum:]])(strtoull|strtoul|strtoll|strtol|atoi|atol|atoll)[[:space:]]*\(' \
+  --exclude=parse.cpp
+
+# --- Layer 2: clang-tidy ---------------------------------------------------
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  lint_build="${repo_root}/build/lint"
+  if [[ ! -f "${lint_build}/compile_commands.json" ]]; then
+    cmake -B "${lint_build}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DBACP_AUDIT=ON > /dev/null
+  fi
+  mapfile -t tidy_sources < <(find "${cxx_dirs[@]}" -name '*.cpp' | sort)
+  echo "clang-tidy over ${#tidy_sources[@]} files..."
+  if ! clang-tidy -p "${lint_build}" --quiet "${tidy_sources[@]}"; then
+    echo "lint: clang-tidy reported findings" >&2
+    fail=1
+  fi
+else
+  echo "lint: clang-tidy not installed — SKIPPING the clang-tidy layer" >&2
+  if [[ "${require_tools}" -eq 1 ]]; then fail=1; fi
+fi
+
+# --- Layer 3: shellcheck ---------------------------------------------------
+
+if command -v shellcheck > /dev/null 2>&1; then
+  if ! shellcheck scripts/*.sh; then
+    echo "lint: shellcheck reported findings" >&2
+    fail=1
+  fi
+else
+  echo "lint: shellcheck not installed — SKIPPING the shellcheck layer" >&2
+  if [[ "${require_tools}" -eq 1 ]]; then fail=1; fi
+fi
+
+if [[ "${fail}" -eq 0 ]]; then
+  echo "lint: clean"
+fi
+exit "${fail}"

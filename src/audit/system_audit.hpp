@@ -1,0 +1,21 @@
+#pragma once
+
+#include "audit/audit.hpp"
+#include "sim/system.hpp"
+
+namespace bacp::audit {
+
+/// Full structural + cross-structure audit of one sim::System. Header-only
+/// so the audit *library* stays below sim in the dependency order (sim's
+/// epoch hook links bacp_audit); callers of this helper sit above sim and
+/// link both.
+inline AuditReport audit_system(const sim::System& system) {
+  SystemView view;
+  view.l2 = &system.l2();
+  view.l1s = system.l1s();
+  view.directory = &system.directory();
+  view.allocation = &system.current_allocation();
+  return audit_system_components(view);
+}
+
+}  // namespace bacp::audit

@@ -8,6 +8,11 @@
 
 #include "common/types.hpp"
 
+namespace bacp::audit {
+class CacheAuditor;
+class NucaAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::cache {
 
 /// One cache line's bookkeeping. Addresses are block-granular, so the full
@@ -136,6 +141,13 @@ class SetAssocCache {
   }
 
  private:
+  /// The structural auditor reads raw link bytes and metadata bitmasks;
+  /// the test peer plants corruptions for the auditor's kill-tests. Only
+  /// these two may bypass the public API.
+  friend class audit::CacheAuditor;
+  friend class audit::NucaAuditor;  // reads per-slot lines for residency checks
+  friend struct CacheTestPeer;
+
   /// Intrusive-list terminator ("no way"); fits the byte-wide link arrays.
   static constexpr std::uint8_t kNil = 0xFF;
 

@@ -6,6 +6,10 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
+namespace bacp::audit {
+class DirectoryAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::coherence {
 
 /// MOESI state of a block *at a particular L1*. The directory is the
@@ -83,6 +87,11 @@ class MoesiDirectory {
   void clear_stats() { stats_ = CoherenceStats{}; }
 
  private:
+  /// The structural auditor walks raw entries for state-legality checks;
+  /// the test peer forges illegal states for the auditor's kill-tests.
+  friend class audit::DirectoryAuditor;
+  friend struct DirectoryTestPeer;
+
   /// Byte-wide owner id keeps Entry at 6 bytes so a directory hash slot
   /// (block + Entry + occupied flag) packs into 16 — four slots per cache
   /// line on a table that spans every L1-resident block.

@@ -16,9 +16,15 @@
     }                                                                       \
   } while (false)
 
+// A disabled assertion must still *use* its condition without evaluating
+// it, or parameters referenced only in assertions trip
+// -Werror=unused-parameter in the compiled-out configurations. sizeof's
+// operand is unevaluated, so this is free and has no side effects.
+#define BACP_UNUSED_ASSERT(cond) ((void)sizeof((cond) ? 1 : 0))
+
 // Cheaper checks in inner loops: enabled unless BACP_NDEBUG_FAST is defined.
 #ifdef BACP_NDEBUG_FAST
-#define BACP_DASSERT(cond, msg) ((void)0)
+#define BACP_DASSERT(cond, msg) BACP_UNUSED_ASSERT(cond)
 #else
 #define BACP_DASSERT(cond, msg) BACP_ASSERT(cond, msg)
 #endif
@@ -27,7 +33,7 @@
 // that would dominate the hot path they guard: enabled only in checked
 // (non-NDEBUG) builds, which is where the unit and equivalence suites run.
 #if defined(BACP_NDEBUG_FAST) || defined(NDEBUG)
-#define BACP_SLOW_DASSERT(cond, msg) ((void)0)
+#define BACP_SLOW_DASSERT(cond, msg) BACP_UNUSED_ASSERT(cond)
 #else
 #define BACP_SLOW_DASSERT(cond, msg) BACP_ASSERT(cond, msg)
 #endif

@@ -101,6 +101,16 @@ class FlatHash64 {
     size_ = 0;
   }
 
+  /// Invokes fn(key, value) for every occupied slot, in unspecified order.
+  /// Read-only walk for invariant audits and debugging; fn must not insert
+  /// into or erase from the table.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.occupied) fn(slot.key, slot.value);
+    }
+  }
+
  private:
   struct Slot {
     Key key = 0;

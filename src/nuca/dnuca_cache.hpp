@@ -13,6 +13,10 @@
 #include "obs/metrics.hpp"
 #include "partition/partition_types.hpp"
 
+namespace bacp::audit {
+class NucaAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::nuca {
 
 /// How a core's multi-bank partition behaves as one logical cache — the
@@ -126,6 +130,11 @@ class DnucaCache {
   const std::vector<BankId>& view_of(CoreId core) const { return views_.at(core); }
 
  private:
+  /// The structural auditor cross-checks the residency index against bank
+  /// contents; the test peer desyncs them for the auditor's kill-tests.
+  friend class audit::NucaAuditor;
+  friend struct NucaTestPeer;
+
   /// Sentinel for "bank not in this core's view".
   static constexpr std::uint32_t kNotInView = static_cast<std::uint32_t>(-1);
 

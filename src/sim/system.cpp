@@ -4,6 +4,13 @@
 #include <cmath>
 #include <queue>
 
+#ifdef BACP_AUDIT
+#include <cstdio>
+#include <cstdlib>
+
+#include "audit/audit.hpp"
+#endif
+
 #include "common/assert.hpp"
 #include "common/stats.hpp"
 #include "partition/bank_aware.hpp"
@@ -223,6 +230,24 @@ void System::apply_policy_plan() {
   }
 }
 
+void System::audit_checkpoint(const char* where) const {
+#ifdef BACP_AUDIT
+  audit::SystemView view;
+  view.l2 = l2_.get();
+  view.l1s = l1s();
+  view.directory = &directory_;
+  view.allocation = &allocation_;
+  const audit::AuditReport report = audit::audit_system_components(view);
+  if (!report.ok()) {
+    std::fprintf(stderr, "BACP_AUDIT failed at %s: %s\n", where,
+                 report.to_string().c_str());
+    std::abort();
+  }
+#else
+  (void)where;
+#endif
+}
+
 void System::run_epoch_boundary() {
   ++epochs_;
   if (config_.policy == PolicyKind::BankAware) {
@@ -253,6 +278,7 @@ void System::run_epoch_boundary() {
   // Record after any repartition so "core<N>.ways" reflects the allocation
   // installed at this boundary (matching allocation_history()).
   record_epoch_series();
+  audit_checkpoint("epoch boundary");
 }
 
 void System::record_epoch_series() {
@@ -429,6 +455,7 @@ void System::execute(std::uint64_t instructions_per_core) {
     if (unfinished > 0) queue.push({timers_[entry.core]->peek_issue(), entry.core});
   }
   for (auto& timer : timers_) timer->drain();
+  audit_checkpoint("end of run");
 }
 
 void System::snapshot_core(CoreId core) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -195,6 +196,11 @@ class System {
   }
   const nuca::DnucaCache& l2() const { return *l2_; }
   const cache::SetAssocCache& l1(CoreId core) const { return l1_.at(core); }
+  std::span<const cache::SetAssocCache> l1s() const {
+    return {l1_.data(), l1_.size()};
+  }
+  const coherence::MoesiDirectory& directory() const { return directory_; }
+  const SystemConfig& config() const { return config_; }
   const msa::StackProfiler& profiler(CoreId core) const { return *profilers_.at(core); }
   /// Epoch boundaries crossed since the last statistics reset (warm_up()
   /// ends with a reset, so after a measurement run this counts measured
@@ -246,6 +252,11 @@ class System {
   };
 
   void execute(std::uint64_t instructions_per_core);
+  /// Full structural audit of every component (builds configured with
+  /// -DBACP_AUDIT=ON only; a no-op otherwise). Aborts with the audit
+  /// report on the first violation: simulating onward from corrupted
+  /// structures would only bury the root cause under derived damage.
+  void audit_checkpoint(const char* where) const;
   void run_epoch_boundary();
   void record_epoch_series();
   void reset_epoch_tracking();

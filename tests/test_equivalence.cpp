@@ -29,6 +29,7 @@
 #include <set>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "cache/partial_tag.hpp"
 #include "cache/set_assoc_cache.hpp"
 #include "common/rng.hpp"
@@ -311,6 +312,18 @@ void replay_cache(const cache::SetAssocCache::Config& config, std::uint64_t seed
       real.set_way_partition(masks);
       ref.set_way_partition(masks);
     }
+
+    if (i % 10'000 == 9'999) {
+      // Equivalence with the reference proves observable behavior; the
+      // structural audit proves the internals (LRU byte-links, bitmasks,
+      // allocator columns) that equivalence alone cannot see.
+      const auto report = audit::audit_cache(real);
+      ASSERT_TRUE(report.ok()) << "op " << i << ": " << report.to_string();
+    }
+  }
+  {
+    const auto report = audit::audit_cache(real);
+    ASSERT_TRUE(report.ok()) << report.to_string();
   }
 
   ASSERT_EQ(real.valid_lines(), ref.valid_lines());
@@ -338,6 +351,13 @@ TEST(CacheEquivalence, EightWayEightCoresRepartitioned) {
 
 TEST(CacheEquivalence, WideSixteenWay) {
   replay_cache({"16w", 16, 16, 4}, 0x5EED, 120'000);
+}
+
+TEST(CacheEquivalence, LongAuditedReplay) {
+  // Pushes the suite's structurally-audited replay volume past 1e6 ops:
+  // 540k across the four configs above + 400k here + 200k in the DNUCA
+  // residency replays below, every slice audited at periodic checkpoints.
+  replay_cache({"8w-long", 64, 8, 8}, 0xAD17, 400'000);
 }
 
 // ---------------------------------------------------------------------------
@@ -699,6 +719,10 @@ void check_residency_index(nuca::AggregationKind kind, std::uint64_t seed) {
         ASSERT_EQ(cache.bank_of(probe), found) << "block " << probe;
         ASSERT_EQ(cache.resident(probe), copies == 1) << "block " << probe;
       }
+      // Brute-force probes check presence; the structural audit checks the
+      // exact {bank, way} coordinates, view tables and per-bank internals.
+      const auto report = audit::audit_nuca(cache);
+      ASSERT_TRUE(report.ok()) << "op " << i << ": " << report.to_string();
     }
   }
 }
