@@ -11,14 +11,20 @@
 // detect the collapse (the decaying MSA histogram drains the ghost of the
 // old profile) and hand the freed Center banks to bzip2. We report
 // per-phase misses under Equal-partitions and Bank-aware, plus the
-// allocation trace of the two cores.
+// allocation trace of the two cores. The two policy runs execute
+// concurrently over the sweep harness's snapshot-aware thread pool; rows
+// are emitted in policy order, so the artifact is byte-identical for any
+// --threads value.
 //
-// Flags: --instr (per phase), --epoch, --json-out, --csv-out (legacy env
-// knobs BACP_SIM_INSTR, BACP_SIM_EPOCH still work).
+// Flags: --instr (per phase), --epoch, --threads, --no-snapshot-reuse,
+// --shared-warmup, --json-out, --csv-out (legacy env knobs BACP_SIM_INSTR,
+// BACP_SIM_EPOCH, BACP_THREADS still work).
 
 #include <iostream>
+#include <vector>
 
 #include "common/env.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "obs/report.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
@@ -28,7 +34,10 @@ int main(int argc, char** argv) {
 
   common::ArgParser parser(obs::with_report_flags(
       {{"instr=", "instructions per core per phase (env BACP_SIM_INSTR)"},
-       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"}}));
+       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
+       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
+       {"no-snapshot-reuse", "warm every variant cold instead of forking snapshots"},
+       {"shared-warmup", "one policy-neutral warm-up for all variants (changes results)"}}));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
@@ -36,6 +45,11 @@ int main(int argc, char** argv) {
       parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 8'000'000));
   const Cycle epoch =
       parser.get_u64_or_fail("epoch", common::env_u64("BACP_SIM_EPOCH", 1'500'000));
+  harness::VariantSweepOptions sweep_options;
+  sweep_options.num_threads = static_cast<std::size_t>(
+      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", 0)));
+  sweep_options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
+  sweep_options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
 
   const auto mix = trace::mix_from_names(
       {"facerec", "gzip", "bzip2", "mesa", "sixtrack", "eon", "crafty", "perlbmk"});
@@ -46,28 +60,32 @@ int main(int argc, char** argv) {
     std::vector<partition::Allocation> history;
   };
 
-  auto run_policy = [&](sim::PolicyKind policy) {
+  std::vector<harness::SweepVariant> variants;
+  for (const auto policy :
+       {sim::PolicyKind::EqualPartition, sim::PolicyKind::BankAware}) {
     sim::SystemConfig config = sim::SystemConfig::baseline();
     config.policy = policy;
     config.epoch_cycles = epoch;
     config.finalize();
-    sim::System system(config, mix);
+    variants.push_back({sim::to_string(policy), config, phase_instructions / 2});
+  }
 
-    system.warm_up(phase_instructions / 2);
-    system.run(phase_instructions);
-    PhaseResult result;
-    result.phase1_misses = system.results().l2_misses();
+  std::vector<PhaseResult> phases(variants.size());
+  harness::run_variant_sweep(
+      variants, mix, sweep_options, [&](sim::System& system, std::size_t index) {
+        system.run(phase_instructions);
+        PhaseResult result;
+        result.phase1_misses = system.results().l2_misses();
 
-    // Phase change: core 0's working set collapses.
-    system.switch_workload(0, "gcc");
-    system.run(phase_instructions);
-    result.phase2_misses = system.results().l2_misses() - result.phase1_misses;
-    result.history = system.allocation_history();
-    return result;
-  };
-
-  const auto equal = run_policy(sim::PolicyKind::EqualPartition);
-  const auto bank = run_policy(sim::PolicyKind::BankAware);
+        // Phase change: core 0's working set collapses.
+        system.switch_workload(0, "gcc");
+        system.run(phase_instructions);
+        result.phase2_misses = system.results().l2_misses() - result.phase1_misses;
+        result.history = system.allocation_history();
+        phases[index] = std::move(result);
+      });
+  const PhaseResult& equal = phases[0];
+  const PhaseResult& bank = phases[1];
 
   obs::Report report("ablation_adaptation",
                      "Ablation: adaptation to a program phase change");

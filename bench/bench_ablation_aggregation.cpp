@@ -6,15 +6,21 @@
 //     directory look-ups (the scheme the paper adopts);
 //   - the Fig. 4c mitigation limits cascading to two levels.
 // This bench runs the same Bank-aware workload set under all four schemes
-// and reports migrations, look-up width, miss ratio and CPI.
+// and reports migrations, look-up width, miss ratio and CPI. The four
+// scheme variants run concurrently over the sweep harness's snapshot-aware
+// thread pool; rows are emitted in sweep order, so the artifact is
+// byte-identical for any --threads value.
 //
-// Flags: --warmup, --instr, --seed, --json-out, --csv-out (legacy env
-// knobs BACP_SIM_{WARMUP,INSTR,SEED} still work).
+// Flags: --warmup, --instr, --seed, --threads, --no-snapshot-reuse,
+// --shared-warmup, --json-out, --csv-out (legacy env knobs
+// BACP_SIM_{WARMUP,INSTR,SEED} and BACP_THREADS still work).
 
 #include <iostream>
+#include <vector>
 
 #include "common/env.hpp"
 #include "harness/experiments.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "obs/report.hpp"
 #include "sim/system.hpp"
 
@@ -24,7 +30,10 @@ int main(int argc, char** argv) {
   common::ArgParser parser(obs::with_report_flags(
       {{"warmup=", "warm-up instructions per core (env BACP_SIM_WARMUP)"},
        {"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
-       {"seed=", "simulation seed (env BACP_SIM_SEED)"}}));
+       {"seed=", "simulation seed (env BACP_SIM_SEED)"},
+       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
+       {"no-snapshot-reuse", "warm every variant cold instead of forking snapshots"},
+       {"shared-warmup", "one policy-neutral warm-up for all variants (changes results)"}}));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
@@ -34,13 +43,12 @@ int main(int argc, char** argv) {
       parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 6'000'000));
   const std::uint64_t seed =
       parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", 42));
+  harness::VariantSweepOptions sweep_options;
+  sweep_options.num_threads = static_cast<std::size_t>(
+      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", 0)));
+  sweep_options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
+  sweep_options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
   const auto mix = harness::table3_sets()[1].mix();  // Set2: capacity-diverse
-
-  obs::Report report("ablation_aggregation",
-                     "Ablation: bank aggregation schemes (Fig. 4), workload Set2");
-  auto& table = report.table(
-      "schemes", {"scheme", "migrations / 1k accesses", "dir look-ups / access",
-                  "L2 miss ratio", "mean CPI"});
 
   const nuca::AggregationKind kinds[] = {
       nuca::AggregationKind::Cascade,
@@ -48,32 +56,45 @@ int main(int argc, char** argv) {
       nuca::AggregationKind::Parallel,
       nuca::AggregationKind::TwoLevelCascade,
   };
+  std::vector<harness::SweepVariant> variants;
   for (const auto kind : kinds) {
     sim::SystemConfig config = sim::SystemConfig::baseline();
     config.policy = sim::PolicyKind::BankAware;
     config.aggregation = kind;
     config.seed = seed;
     config.finalize();
+    variants.push_back({nuca::to_string(kind), config, warmup});
+  }
 
-    sim::System system(config, mix);
-    system.warm_up(warmup);
-    system.run(accesses);
-    const auto results = system.results();
+  std::vector<sim::SystemResults> results(variants.size());
+  harness::run_variant_sweep(variants, mix, sweep_options,
+                             [&](sim::System& system, std::size_t index) {
+                               system.run(accesses);
+                               results[index] = system.results();
+                             });
 
+  obs::Report report("ablation_aggregation",
+                     "Ablation: bank aggregation schemes (Fig. 4), workload Set2");
+  auto& table = report.table(
+      "schemes", {"scheme", "migrations / 1k accesses", "dir look-ups / access",
+                  "L2 miss ratio", "mean CPI"});
+
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& run = results[i];
     const double per_k =
-        1000.0 * static_cast<double>(results.promotions() + results.demotions()) /
-        static_cast<double>(results.live_l2_accesses());
-    const double lookups = static_cast<double>(results.directory_lookups()) /
-                           static_cast<double>(results.live_l2_accesses());
+        1000.0 * static_cast<double>(run.promotions() + run.demotions()) /
+        static_cast<double>(run.live_l2_accesses());
+    const double lookups = static_cast<double>(run.directory_lookups()) /
+                           static_cast<double>(run.live_l2_accesses());
     table.begin_row()
-        .cell(nuca::to_string(kind))
+        .cell(variants[i].label)
         .cell(per_k, 1)
         .cell(lookups, 2)
-        .cell(results.l2_miss_ratio())
-        .cell(results.mean_cpi());
-    if (kind == nuca::AggregationKind::Parallel) {
+        .cell(run.l2_miss_ratio())
+        .cell(run.mean_cpi());
+    if (kinds[i] == nuca::AggregationKind::Parallel) {
       report.metric("parallel_migrations_per_kilo_access", per_k, 1);
-      report.metric("parallel_miss_ratio", results.l2_miss_ratio());
+      report.metric("parallel_miss_ratio", run.l2_miss_ratio());
     }
   }
   report.note("paper: Cascade migration 'prohibitively high'; Parallel ~ Hash "

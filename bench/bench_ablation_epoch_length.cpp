@@ -3,14 +3,20 @@
 // repartition transients (off-partition hits, migrations); long epochs
 // react slowly and ride stale profiles. This bench sweeps the epoch length
 // on a capacity-diverse mix and reports misses, CPI and transient traffic.
+// The four epoch variants run concurrently over the sweep harness's
+// snapshot-aware thread pool; rows are emitted in sweep order, so the
+// artifact is byte-identical for any --threads value.
 //
-// Flags: --instr, --seed, --json-out, --csv-out (legacy env knobs
-// BACP_SIM_INSTR, BACP_SIM_SEED still work).
+// Flags: --instr, --seed, --threads, --no-snapshot-reuse, --shared-warmup,
+// --json-out, --csv-out (legacy env knobs BACP_SIM_INSTR, BACP_SIM_SEED,
+// BACP_THREADS still work).
 
 #include <iostream>
+#include <vector>
 
 #include "common/env.hpp"
 #include "harness/experiments.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "obs/report.hpp"
 #include "sim/system.hpp"
 
@@ -19,7 +25,10 @@ int main(int argc, char** argv) {
 
   common::ArgParser parser(obs::with_report_flags(
       {{"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
-       {"seed=", "simulation seed (env BACP_SIM_SEED)"}}));
+       {"seed=", "simulation seed (env BACP_SIM_SEED)"},
+       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
+       {"no-snapshot-reuse", "warm every variant cold instead of forking snapshots"},
+       {"shared-warmup", "one policy-neutral warm-up for all variants (changes results)"}}));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
@@ -27,7 +36,29 @@ int main(int argc, char** argv) {
       parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 10'000'000));
   const std::uint64_t seed =
       parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", 42));
+  harness::VariantSweepOptions sweep_options;
+  sweep_options.num_threads = static_cast<std::size_t>(
+      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", 0)));
+  sweep_options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
+  sweep_options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
   const auto mix = harness::table3_sets()[1].mix();  // Set2
+
+  std::vector<harness::SweepVariant> variants;
+  for (const Cycle epoch : {500'000ull, 2'000'000ull, 8'000'000ull, 32'000'000ull}) {
+    sim::SystemConfig config = sim::SystemConfig::baseline();
+    config.policy = sim::PolicyKind::BankAware;
+    config.epoch_cycles = epoch;
+    config.seed = seed;
+    config.finalize();
+    variants.push_back({std::to_string(epoch), config, instructions / 2});
+  }
+
+  std::vector<sim::SystemResults> results(variants.size());
+  harness::run_variant_sweep(variants, mix, sweep_options,
+                             [&](sim::System& system, std::size_t index) {
+                               system.run(instructions);
+                               results[index] = system.results();
+                             });
 
   obs::Report report("ablation_epoch_length",
                      "Ablation: repartition epoch length (Set2, Bank-aware)");
@@ -36,23 +67,16 @@ int main(int argc, char** argv) {
                       "off-partition transient hits"});
 
   double best_cpi = 0.0;
-  for (const Cycle epoch : {500'000ull, 2'000'000ull, 8'000'000ull, 32'000'000ull}) {
-    sim::SystemConfig config = sim::SystemConfig::baseline();
-    config.policy = sim::PolicyKind::BankAware;
-    config.epoch_cycles = epoch;
-    config.seed = seed;
-    config.finalize();
-    sim::System system(config, mix);
-    system.warm_up(instructions / 2);
-    system.run(instructions);
-    const auto results = system.results();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
     table.begin_row()
-        .cell(std::to_string(epoch))
-        .cell(results.epochs())
-        .cell(results.l2_misses())
-        .cell(results.mean_cpi())
-        .cell(results.offview_hits());
-    if (best_cpi == 0.0 || results.mean_cpi() < best_cpi) best_cpi = results.mean_cpi();
+        .cell(variants[i].label)
+        .cell(results[i].epochs())
+        .cell(results[i].l2_misses())
+        .cell(results[i].mean_cpi())
+        .cell(results[i].offview_hits());
+    if (best_cpi == 0.0 || results[i].mean_cpi() < best_cpi) {
+      best_cpi = results[i].mean_cpi();
+    }
   }
   report.metric("best_mean_cpi", best_cpi);
   report.note("expected: a broad sweet spot in the middle; very short epochs "

@@ -19,6 +19,7 @@ const char* to_string(Structure structure) {
     case Structure::Directory: return "directory";
     case Structure::Partition: return "partition";
     case Structure::Cross: return "cross";
+    case Structure::Snapshot: return "snapshot";
   }
   return "?";
 }

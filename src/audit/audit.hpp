@@ -31,6 +31,7 @@ enum class Structure : std::uint8_t {
   Directory,  ///< coherence::MoesiDirectory entry legality
   Partition,  ///< partition plan (way masks, allocations, bank lists)
   Cross,      ///< cross-structure agreement (inclusion, directory vs. L1s)
+  Snapshot,   ///< snapshot buffer framing (header, section table, checksums)
 };
 const char* to_string(Structure structure);
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
 
 namespace bacp::cache {
 
@@ -286,6 +287,48 @@ std::vector<Line> SetAssocCache::resident_lines() const {
     }
   }
   return lines;
+}
+
+void SetAssocCache::save_state(snapshot::Writer& writer) const {
+  // Geometry echo: restore_state() cross-checks these against the live
+  // cache so a snapshot can never be applied to a differently-shaped one.
+  writer.u32(config_.num_sets);
+  writer.u32(config_.ways);
+  writer.u32(config_.num_cores);
+  writer.scalars(std::span<const BlockAddress>(tags_));
+  writer.scalars(std::span<const CoreId>(allocators_));
+  // SetMeta has padding; serialize field-by-field, never as raw bytes.
+  for (const SetMeta& meta : meta_) {
+    writer.u64(meta.valid);
+    writer.u64(meta.dirty);
+    writer.u8(meta.head);
+    writer.u8(meta.tail);
+  }
+  writer.scalars(std::span<const std::uint8_t>(links_));
+  writer.scalars(std::span<const CoreMask>(way_masks_));
+  writer.scalars(std::span<const std::uint64_t>(stats_.hits));
+  writer.scalars(std::span<const std::uint64_t>(stats_.misses));
+  writer.scalars(std::span<const std::uint64_t>(stats_.evictions));
+}
+
+void SetAssocCache::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == config_.num_sets, "snapshot num_sets mismatch");
+  BACP_ASSERT(reader.u32() == config_.ways, "snapshot ways mismatch");
+  BACP_ASSERT(reader.u32() == config_.num_cores, "snapshot num_cores mismatch");
+  reader.scalars_into(std::span<BlockAddress>(tags_));
+  reader.scalars_into(std::span<CoreId>(allocators_));
+  for (SetMeta& meta : meta_) {
+    meta.valid = reader.u64();
+    meta.dirty = reader.u64();
+    meta.head = reader.u8();
+    meta.tail = reader.u8();
+  }
+  reader.scalars_into(std::span<std::uint8_t>(links_));
+  reader.scalars_into(std::span<CoreMask>(way_masks_));
+  reader.scalars_into(std::span<std::uint64_t>(stats_.hits));
+  reader.scalars_into(std::span<std::uint64_t>(stats_.misses));
+  reader.scalars_into(std::span<std::uint64_t>(stats_.evictions));
+  rebuild_owned_ways();
 }
 
 std::uint64_t SetAssocCache::valid_lines() const {

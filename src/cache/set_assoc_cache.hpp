@@ -13,6 +13,11 @@ class CacheAuditor;
 class NucaAuditor;
 }  // namespace bacp::audit
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::cache {
 
 /// One cache line's bookkeeping. Addresses are block-granular, so the full
@@ -132,6 +137,13 @@ class SetAssocCache {
 
   /// Count of valid lines (for occupancy tests).
   std::uint64_t valid_lines() const;
+
+  /// Serializes the full mutable state (lines, recency lists, partition
+  /// masks, statistics) for warm-state snapshots. Restore asserts the
+  /// snapshot's geometry echo matches this cache's configuration; identical
+  /// state always serializes to identical bytes.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
   /// Snapshot of every valid line (invariant checks and debugging; O(size)).
   std::vector<Line> resident_lines() const;

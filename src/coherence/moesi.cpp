@@ -1,8 +1,12 @@
 #include "coherence/moesi.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
 
 namespace bacp::coherence {
 
@@ -152,6 +156,56 @@ void export_stats(const CoherenceStats& stats, obs::Registry& registry) {
   registry.counter("coherence.interventions").set(stats.interventions);
   registry.counter("coherence.inclusion_recalls").set(stats.inclusion_recalls);
   registry.counter("coherence.writebacks").set(stats.writebacks);
+}
+
+void MoesiDirectory::save_state(snapshot::Writer& writer) const {
+  writer.u32(num_cores_);
+  // FlatHash64 iteration order depends on insertion history; sort by key so
+  // identical directory contents serialize to identical bytes.
+  std::vector<std::pair<std::uint64_t, Entry>> entries;
+  entries.reserve(entries_.size());
+  entries_.for_each([&entries](std::uint64_t key, const Entry& entry) {
+    entries.emplace_back(key, entry);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.u64(entries.size());
+  for (const auto& [key, entry] : entries) {
+    writer.u64(key);
+    writer.u32(entry.sharers);
+    writer.u8(entry.owner);
+    writer.u8(static_cast<std::uint8_t>(entry.owner_state));
+  }
+  writer.u64(stats_.read_fills);
+  writer.u64(stats_.write_fills);
+  writer.u64(stats_.upgrades);
+  writer.u64(stats_.invalidations);
+  writer.u64(stats_.interventions);
+  writer.u64(stats_.inclusion_recalls);
+  writer.u64(stats_.writebacks);
+}
+
+void MoesiDirectory::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == num_cores_, "snapshot num_cores mismatch");
+  // clear() keeps capacity (System reserved the maximum L1 line count), so
+  // reinserting never grows the table.
+  entries_.clear();
+  const std::uint64_t entry_count = reader.u64();
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint64_t key = reader.u64();
+    Entry entry;
+    entry.sharers = reader.u32();
+    entry.owner = reader.u8();
+    entry.owner_state = static_cast<MoesiState>(reader.u8());
+    entries_.insert_or_assign(key, entry);
+  }
+  stats_.read_fills = reader.u64();
+  stats_.write_fills = reader.u64();
+  stats_.upgrades = reader.u64();
+  stats_.invalidations = reader.u64();
+  stats_.interventions = reader.u64();
+  stats_.inclusion_recalls = reader.u64();
+  stats_.writebacks = reader.u64();
 }
 
 }  // namespace bacp::coherence

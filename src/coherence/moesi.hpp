@@ -10,6 +10,11 @@ namespace bacp::audit {
 class DirectoryAuditor;
 }  // namespace bacp::audit
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::coherence {
 
 /// MOESI state of a block *at a particular L1*. The directory is the
@@ -85,6 +90,11 @@ class MoesiDirectory {
   std::size_t tracked_blocks() const { return entries_.size(); }
   const CoherenceStats& stats() const { return stats_; }
   void clear_stats() { stats_ = CoherenceStats{}; }
+
+  /// Serializes every directory entry (in key order, so identical state is
+  /// identical bytes) plus statistics. Restore asserts the core-count echo.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   /// The structural auditor walks raw entries for state-legality checks;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -59,6 +60,16 @@ class Rng {
 
   /// Bernoulli draw.
   bool next_bool(double probability_true) { return next_double() < probability_true; }
+
+  /// The full generator state, for warm-state snapshots: a generator
+  /// restored with set_state() produces the exact same stream the saved
+  /// generator would have continued with.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < state.size(); ++i) state_[i] = state[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

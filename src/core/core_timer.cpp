@@ -1,10 +1,12 @@
 #include "core/core_timer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <limits>
 
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
 
 namespace bacp::core {
 
@@ -106,6 +108,44 @@ void CoreTimer::mark() {
 double CoreTimer::cpi_since_mark() const {
   const double instr = instructions_since_mark();
   return instr == 0.0 ? 0.0 : cycles_since_mark() / instr;
+}
+
+void CoreTimer::save_state(snapshot::Writer& writer) const {
+  writer.u32(config_.core);
+  for (const std::uint64_t word : rng_.state()) writer.u64(word);
+  writer.f64(time_);
+  writer.f64(instructions_);
+  writer.f64(mark_time_);
+  writer.f64(mark_instructions_);
+  writer.f64(pending_gap_);
+  // Heap-array order, not sorted: restoring the exact array reproduces the
+  // exact heap, so subsequent pushes/pops are bit-identical.
+  writer.u64(outstanding_.size());
+  for (const InFlight& entry : outstanding_) {
+    writer.f64(entry.done_at);
+    writer.f64(entry.issued_at_instruction);
+  }
+}
+
+void CoreTimer::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == config_.core, "snapshot core id mismatch");
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  rng_.set_state(rng_state);
+  time_ = reader.f64();
+  instructions_ = reader.f64();
+  mark_time_ = reader.f64();
+  mark_instructions_ = reader.f64();
+  pending_gap_ = reader.f64();
+  const std::uint64_t in_flight = reader.u64();
+  BACP_ASSERT(in_flight <= config_.mlp_window + 1, "snapshot MLP window overflow");
+  outstanding_.clear();
+  for (std::uint64_t i = 0; i < in_flight; ++i) {
+    InFlight entry;
+    entry.done_at = reader.f64();
+    entry.issued_at_instruction = reader.f64();
+    outstanding_.push_back(entry);
+  }
 }
 
 }  // namespace bacp::core

@@ -6,6 +6,11 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::core {
 
 /// Timing abstraction of one out-of-order core (Table I: 4 GHz, 30-stage,
@@ -64,6 +69,11 @@ class CoreTimer {
   double cpi_since_mark() const;
 
   const CoreTimerConfig& config() const { return config_; }
+
+  /// Serializes the RNG state, clocks, marks, the pre-drawn gap and the
+  /// in-flight window (in heap-array order, so restore is bit-exact).
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   struct InFlight {

@@ -6,6 +6,7 @@
 #include "common/env.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "obs/phase_timer.hpp"
 
 namespace bacp::harness {
@@ -17,6 +18,8 @@ std::vector<std::pair<std::string, std::string>> DetailedRunConfig::cli_flags() 
       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
       {"seed=", "simulation seed (env BACP_SIM_SEED)"},
       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
+      {"no-snapshot-reuse", "warm every run cold instead of forking snapshots"},
+      {"shared-warmup", "one policy-neutral warm-up per mix (changes results)"},
   };
 }
 
@@ -31,6 +34,8 @@ DetailedRunConfig DetailedRunConfig::from_args(const common::ArgParser& parser) 
   config.seed = parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", config.seed));
   config.num_threads = static_cast<std::size_t>(
       parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", config.num_threads)));
+  config.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
+  config.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
   return config;
 }
 
@@ -87,7 +92,7 @@ double SetComparison::bank_relative_cpi() const {
 namespace {
 
 sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& mix,
-                              const DetailedRunConfig& config) {
+                              const DetailedRunConfig& config, SnapshotCache* cache) {
   sim::SystemConfig system_config = sim::SystemConfig::baseline();
   system_config.policy = policy;
   system_config.aggregation = config.aggregation;
@@ -96,10 +101,7 @@ sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& 
   system_config.finalize();
 
   sim::System system(system_config, mix);
-  {
-    const auto timer = obs::global_phase_timers().scope("warmup");
-    system.warm_up(config.warmup_instructions);
-  }
+  warm_system(system, mix, config.warmup_instructions, cache, config.shared_warmup);
   {
     const auto timer = obs::global_phase_timers().scope("simulate");
     system.run(config.measure_instructions);
@@ -128,10 +130,13 @@ SetComparison run_set_comparison(const std::string& label, const trace::Workload
   comparison.label = label;
   // Three independent simulations over the same reference streams (the
   // seed, not shared state, ties them together) — fan them out.
+  SnapshotCache cache;
+  SnapshotCache* cache_ptr = config.snapshot_reuse ? &cache : nullptr;
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(kComparisonPolicies.size(), [&](std::size_t policy) {
-    store_policy_result(comparison, policy,
-                        run_policy(kComparisonPolicies[policy], mix, config));
+    store_policy_result(
+        comparison, policy,
+        run_policy(kComparisonPolicies[policy], mix, config, cache_ptr));
   });
   BACP_ASSERT(comparison.none.l2_misses() > 0, "no misses in the baseline run");
   return comparison;
@@ -147,13 +152,15 @@ std::vector<SetComparison> run_detailed_sweep(std::span<const ExperimentSet> set
   }
   // One flat set x policy task list: with per-set fan-out a fast set's
   // workers would idle while the slowest policy run of that set finishes.
+  SnapshotCache cache;
+  SnapshotCache* cache_ptr = config.snapshot_reuse ? &cache : nullptr;
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(sets.size() * kComparisonPolicies.size(), [&](std::size_t task) {
     const std::size_t set_index = task / kComparisonPolicies.size();
     const std::size_t policy = task % kComparisonPolicies.size();
     store_policy_result(
         comparisons[set_index], policy,
-        run_policy(kComparisonPolicies[policy], mixes[set_index], config));
+        run_policy(kComparisonPolicies[policy], mixes[set_index], config, cache_ptr));
   });
   for (std::size_t i = 0; i < sets.size(); ++i) {
     comparisons[i].label = sets[i].label;

@@ -39,6 +39,13 @@ struct DetailedRunConfig {
   /// Every run is an isolated System with its own seed-derived RNG
   /// streams, so results are identical for any worker count.
   std::size_t num_threads = 0;
+  /// Warm once per distinct warm-state fingerprint and fork the snapshot
+  /// into every run sharing it. Exact restore: artifacts stay byte-for-byte
+  /// identical to cold per-run warm-up (--no-snapshot-reuse disables).
+  bool snapshot_reuse = true;
+  /// Opt-in (--shared-warmup): one policy-neutral warm-up per (mix, scale)
+  /// adopted into every policy variant. Results change by design.
+  bool shared_warmup = false;
 
   DetailedRunConfig& with_warmup_instructions(std::uint64_t value) {
     warmup_instructions = value;
@@ -64,9 +71,18 @@ struct DetailedRunConfig {
     num_threads = value;
     return *this;
   }
+  DetailedRunConfig& with_snapshot_reuse(bool value) {
+    snapshot_reuse = value;
+    return *this;
+  }
+  DetailedRunConfig& with_shared_warmup(bool value) {
+    shared_warmup = value;
+    return *this;
+  }
 
-  /// The standard scale flags (--warmup, --instr, --epoch, --seed) for
-  /// binaries that drive detailed simulations; pair with from_args().
+  /// The standard scale flags (--warmup, --instr, --epoch, --seed,
+  /// --threads, --no-snapshot-reuse, --shared-warmup) for binaries that
+  /// drive detailed simulations; pair with from_args().
   static std::vector<std::pair<std::string, std::string>> cli_flags();
 
   /// Builds a config from parsed flags. Precedence: explicit flag, then the

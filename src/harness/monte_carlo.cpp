@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/assert.hpp"
 #include "common/env.hpp"
@@ -37,18 +38,31 @@ MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
 
 namespace {
 
-/// Intensity-weighted analytic curves for a mix: curves carry projected
-/// miss *counts per kilo-instruction*, so cores with heavier L2 traffic
-/// dominate the Marginal Utility comparisons — mirroring live profilers,
-/// whose histograms are absolute per-epoch counts.
-std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
-                                                WayCount depth) {
+/// Intensity-weighted analytic curves for the whole suite: curves carry
+/// projected miss *counts per kilo-instruction*, so cores with heavier L2
+/// traffic dominate the Marginal Utility comparisons — mirroring live
+/// profilers, whose histograms are absolute per-epoch counts. Built once
+/// per sweep: a workload's curve depends only on (model, depth), so the
+/// thousands of trials index this bank instead of re-deriving the same ~26
+/// curves from the model each time.
+std::vector<msa::MissRatioCurve> suite_curve_bank(WayCount depth) {
   const auto& suite = trace::spec2000_suite();
+  std::vector<msa::MissRatioCurve> bank;
+  bank.reserve(suite.size());
+  for (const auto& model : suite) {
+    bank.push_back(msa::MissRatioCurve::from_model(model, depth).scaled(model.l2_apki));
+  }
+  return bank;
+}
+
+/// Per-core curves for one mix, copied out of the precomputed bank.
+std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
+                                                std::span<const msa::MissRatioCurve> bank) {
   std::vector<msa::MissRatioCurve> curves;
   curves.reserve(mix.num_cores());
   for (const std::size_t index : mix.workload_indices) {
-    const auto& model = suite.at(index);
-    curves.push_back(msa::MissRatioCurve::from_model(model, depth).scaled(model.l2_apki));
+    BACP_ASSERT(index < bank.size(), "workload index outside the curve bank");
+    curves.push_back(bank[index]);
   }
   return curves;
 }
@@ -66,13 +80,14 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
   summary.trials.resize(config.trials);
 
   const auto timer = obs::global_phase_timers().scope("monte_carlo");
+  const auto bank = suite_curve_bank(config.curve_depth);
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(config.trials, [&](std::size_t trial) {
     // Per-trial RNG stream: identical mixes regardless of thread count.
     common::Rng rng(config.seed, trial);
     TrialResult result;
     result.mix = trace::random_mix(rng, suite.size(), config.geometry.num_cores);
-    const auto curves = curves_for_mix(result.mix, config.curve_depth);
+    const auto curves = curves_for_mix(result.mix, bank);
 
     const std::vector<WayCount> even(config.geometry.num_cores, even_share);
     result.fixed_share_misses = partition::projected_total_misses(curves, even);

@@ -1,0 +1,108 @@
+#include "harness/snapshot_cache.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "obs/phase_timer.hpp"
+#include "sim/system_config.hpp"
+
+namespace bacp::harness {
+
+SnapshotCache::SnapshotPtr SnapshotCache::get_or_warm(std::uint64_t key,
+                                                      const WarmFn& warm) {
+  std::shared_future<SnapshotPtr> future;
+  std::shared_ptr<std::promise<SnapshotPtr>> owned;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      owned = std::make_shared<std::promise<SnapshotPtr>>();
+      future = owned->get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+  if (owned) {
+    // Warm outside the lock: other keys proceed concurrently, and waiters
+    // on this key block on the future, not the mutex.
+    try {
+      owned->set_value(std::make_shared<const snapshot::SystemSnapshot>(warm()));
+    } catch (...) {
+      owned->set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::uint64_t SnapshotCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SnapshotCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t warmup_key(std::uint64_t state_digest, std::uint64_t warmup_instructions) {
+  // Fold the warm-up length into the digest with one FNV-1a round per byte,
+  // matching the hash family used for the digest itself.
+  std::uint64_t hash = state_digest;
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    hash ^= (warmup_instructions >> shift) & 0xFF;
+    hash *= 0x00000100000001B3ull;
+  }
+  return hash;
+}
+
+void warm_system(sim::System& system, const trace::WorkloadMix& mix,
+                 std::uint64_t warmup_instructions, SnapshotCache* cache,
+                 bool shared_warmup) {
+  if (cache == nullptr) {
+    const auto timer = obs::global_phase_timers().scope("warmup");
+    system.warm_up(warmup_instructions);
+    return;
+  }
+  if (shared_warmup) {
+    const std::uint64_t key =
+        warmup_key(sim::warm_state_digest(system.config(), mix), warmup_instructions);
+    const auto snapshot = cache->get_or_warm(key, [&] {
+      const auto timer = obs::global_phase_timers().scope("warmup");
+      sim::System canonical(sim::canonical_warm_config(system.config()), mix);
+      canonical.warm_up(warmup_instructions);
+      return canonical.save_state();
+    });
+    system.adopt_warm_state(*snapshot);
+    return;
+  }
+  const std::uint64_t key =
+      warmup_key(sim::config_digest(system.config(), mix), warmup_instructions);
+  const auto snapshot = cache->get_or_warm(key, [&] {
+    const auto timer = obs::global_phase_timers().scope("warmup");
+    sim::System twin(system.config(), mix);
+    twin.warm_up(warmup_instructions);
+    return twin.save_state();
+  });
+  system.restore_state(*snapshot);
+}
+
+void run_variant_sweep(std::span<const SweepVariant> variants,
+                       const trace::WorkloadMix& mix, const VariantSweepOptions& options,
+                       const std::function<void(sim::System&, std::size_t)>& body) {
+  SnapshotCache cache;
+  SnapshotCache* cache_ptr = options.snapshot_reuse ? &cache : nullptr;
+  common::ThreadPool pool(options.num_threads);
+  pool.parallel_for(variants.size(), [&](std::size_t index) {
+    const SweepVariant& variant = variants[index];
+    sim::System system(variant.config, mix);
+    warm_system(system, mix, variant.warmup_instructions, cache_ptr,
+                options.shared_warmup);
+    body(system, index);
+  });
+}
+
+}  // namespace bacp::harness

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/codec.hpp"
+
 namespace bacp::mem {
 
 Cycle Dram::claim_channel(Cycle now) {
@@ -20,6 +22,20 @@ Cycle Dram::read(Cycle now) {
 void Dram::writeback(Cycle now) {
   ++stats_.writebacks;
   claim_channel(now);
+}
+
+void Dram::save_state(snapshot::Writer& writer) const {
+  writer.u64(channel_free_at_);
+  writer.u64(stats_.demand_reads);
+  writer.u64(stats_.writebacks);
+  writer.u64(stats_.total_channel_wait);
+}
+
+void Dram::restore_state(snapshot::Reader& reader) {
+  channel_free_at_ = reader.u64();
+  stats_.demand_reads = reader.u64();
+  stats_.writebacks = reader.u64();
+  stats_.total_channel_wait = reader.u64();
 }
 
 void export_stats(const DramStats& stats, obs::Registry& registry) {

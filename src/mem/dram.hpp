@@ -5,6 +5,11 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::mem {
 
 /// Main-memory model matching Table I: fixed 260-cycle access latency and a
@@ -41,6 +46,10 @@ class Dram {
   const DramConfig& config() const { return config_; }
   const DramStats& stats() const { return stats_; }
   void clear_stats() { stats_ = DramStats{}; }
+
+  /// Serializes channel occupancy and statistics.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   Cycle claim_channel(Cycle now);

@@ -5,6 +5,7 @@
 
 #include "cache/partial_tag.hpp"
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
 
 namespace bacp::msa {
 
@@ -27,6 +28,8 @@ StackProfiler::StackProfiler(const ProfilerConfig& config)
   BACP_ASSERT(config_.profiled_ways >= 1, "profiled_ways must be >= 1");
   set_shift_ = log2_floor(config_.num_sets);
   set_mask_ = config_.num_sets - 1;
+  sample_is_pow2_ = is_pow2(config_.set_sampling);
+  sample_mask_ = config_.set_sampling - 1;
 }
 
 std::uint32_t StackProfiler::stored_tag(BlockAddress block) const {
@@ -80,6 +83,38 @@ void StackProfiler::clear() {
   std::fill(stack_sizes_.begin(), stack_sizes_.end(), 0);
   observed_ = 0;
   sampled_ = 0;
+}
+
+void StackProfiler::save_state(snapshot::Writer& writer) const {
+  writer.u32(config_.num_sets);
+  writer.u32(config_.set_sampling);
+  writer.u32(config_.partial_tag_bits);
+  writer.u32(config_.profiled_ways);
+  writer.scalars(histogram_.bins());
+  writer.scalars(std::span<const std::uint64_t>(stack_entries_));
+  writer.scalars(std::span<const std::uint32_t>(stack_sizes_));
+  writer.u64(observed_);
+  writer.u64(sampled_);
+}
+
+void StackProfiler::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == config_.num_sets, "snapshot num_sets mismatch");
+  BACP_ASSERT(reader.u32() == config_.set_sampling, "snapshot set_sampling mismatch");
+  BACP_ASSERT(reader.u32() == config_.partial_tag_bits,
+              "snapshot partial_tag_bits mismatch");
+  BACP_ASSERT(reader.u32() == config_.profiled_ways, "snapshot profiled_ways mismatch");
+  // Rebuild the histogram through its public interface so its total/bins
+  // invariant holds by construction.
+  const std::vector<std::uint64_t> bins = reader.scalars<std::uint64_t>();
+  BACP_ASSERT(bins.size() == histogram_.num_bins(), "snapshot histogram shape mismatch");
+  histogram_.clear();
+  for (std::size_t bin = 0; bin < bins.size(); ++bin) {
+    if (bins[bin] != 0) histogram_.increment(bin, bins[bin]);
+  }
+  reader.scalars_into(std::span<std::uint64_t>(stack_entries_));
+  reader.scalars_into(std::span<std::uint32_t>(stack_sizes_));
+  observed_ = reader.u64();
+  sampled_ = reader.u64();
 }
 
 }  // namespace bacp::msa

@@ -7,6 +7,11 @@
 #include "common/types.hpp"
 #include "msa/miss_curve.hpp"
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::msa {
 
 /// Hardware-faithful Mattson stack-distance profiler (paper Section III-A).
@@ -53,8 +58,16 @@ class StackProfiler {
   std::uint64_t sampled_accesses() const { return sampled_; }
   const ProfilerConfig& config() const { return config_; }
 
+  /// Serializes the histogram, the per-set tag stacks and the access
+  /// counters. Restore asserts the config echo matches.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
+
  private:
   bool is_sampled_set(std::uint32_t set) const {
+    // observe() runs per L2 access and the default sampling (1 in 32) is a
+    // power of two, so the common case is a mask test, not a division.
+    if (sample_is_pow2_) return (set & sample_mask_) == 0;
     return set % config_.set_sampling == 0;
   }
   std::uint32_t stored_tag(BlockAddress block) const;
@@ -64,6 +77,9 @@ class StackProfiler {
   // access, so the shift/mask must not be recomputed per call.
   std::uint32_t set_shift_ = 0;
   std::uint64_t set_mask_ = 0;
+  // Sampling-test fast path, derived once at construction.
+  bool sample_is_pow2_ = false;
+  std::uint32_t sample_mask_ = 0;
   common::Histogram histogram_;  // profiled_ways + 1 bins
   // Per sampled set: tag stack, MRU first. Tags are either partial hashes
   // or (width 0) the full tag bits — stored uniformly as 64-bit entries.

@@ -6,6 +6,11 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::noc {
 
 /// Latency/contention model of the Fig. 1 floorplan: a row of cores, the
@@ -63,6 +68,11 @@ class Noc {
   const NocConfig& config() const { return config_; }
   const NocStats& stats() const { return stats_; }
   void clear_stats();
+
+  /// Serializes bank occupancy and statistics; restore asserts the
+  /// geometry echo.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   NocConfig config_;

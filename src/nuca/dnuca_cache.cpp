@@ -6,6 +6,7 @@
 
 #include "cache/partial_tag.hpp"
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
 
 namespace bacp::nuca {
 
@@ -329,6 +330,63 @@ void DnucaCache::clear_stats() {
   stats_.directory_lookups = 0;
   stats_.offview_hits = 0;
   for (auto& bank : banks_) bank.clear_stats();
+}
+
+void DnucaCache::save_state(snapshot::Writer& writer) const {
+  // Shape fields only — aggregation is a behavior knob, and shared-warmup
+  // deliberately adopts warm contents across aggregation variants.
+  writer.u32(config_.geometry.num_banks);
+  writer.u32(config_.geometry.num_cores);
+  for (const auto& bank : banks_) bank.save_state(writer);
+  for (const auto& view : views_) writer.scalars(std::span<const BankId>(view));
+  writer.scalars(std::span<const std::size_t>(round_robin_));
+  // FlatHash64 iteration order depends on insertion history, not contents;
+  // sorting by key makes identical residency state identical bytes.
+  std::vector<std::pair<std::uint64_t, Location>> entries;
+  entries.reserve(residency_.size());
+  residency_.for_each([&entries](std::uint64_t key, const Location& location) {
+    entries.emplace_back(key, location);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.u64(entries.size());
+  for (const auto& [key, location] : entries) {
+    writer.u64(key);
+    writer.u16(location.bank);
+    writer.u16(location.way);
+  }
+  writer.scalars(std::span<const std::uint64_t>(stats_.hits));
+  writer.scalars(std::span<const std::uint64_t>(stats_.misses));
+  writer.u64(stats_.promotions);
+  writer.u64(stats_.demotions);
+  writer.u64(stats_.directory_lookups);
+  writer.u64(stats_.offview_hits);
+}
+
+void DnucaCache::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == config_.geometry.num_banks, "snapshot num_banks mismatch");
+  BACP_ASSERT(reader.u32() == config_.geometry.num_cores, "snapshot num_cores mismatch");
+  for (auto& bank : banks_) bank.restore_state(reader);
+  for (auto& view : views_) view = reader.scalars<BankId>();
+  reader.scalars_into(std::span<std::size_t>(round_robin_));
+  // clear() keeps capacity (the ctor reserved the maximum possible line
+  // count), so reinserting never grows the table.
+  residency_.clear();
+  const std::uint64_t entry_count = reader.u64();
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint64_t key = reader.u64();
+    Location location;
+    location.bank = reader.u16();
+    location.way = reader.u16();
+    residency_.insert_or_assign(key, location);
+  }
+  reader.scalars_into(std::span<std::uint64_t>(stats_.hits));
+  reader.scalars_into(std::span<std::uint64_t>(stats_.misses));
+  stats_.promotions = reader.u64();
+  stats_.demotions = reader.u64();
+  stats_.directory_lookups = reader.u64();
+  stats_.offview_hits = reader.u64();
+  rebuild_view_positions();
 }
 
 }  // namespace bacp::nuca

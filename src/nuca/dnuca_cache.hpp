@@ -17,6 +17,11 @@ namespace bacp::audit {
 class NucaAuditor;
 }  // namespace bacp::audit
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::nuca {
 
 /// How a core's multi-bank partition behaves as one logical cache — the
@@ -128,6 +133,12 @@ class DnucaCache {
   const DnucaConfig& config() const { return config_; }
   const cache::SetAssocCache& bank(BankId id) const { return banks_.at(id); }
   const std::vector<BankId>& view_of(CoreId core) const { return views_.at(core); }
+
+  /// Serializes all banks, the partition views, the fill cursors, the
+  /// residency index (entries in key order, so identical state is identical
+  /// bytes) and statistics. Restore asserts the geometry echo matches.
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   /// The structural auditor cross-checks the residency index against bank

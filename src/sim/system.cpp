@@ -492,6 +492,162 @@ void System::warm_up(std::uint64_t instructions_per_core) {
   clear_all_stats();
 }
 
+snapshot::SystemSnapshot System::save_state() const {
+  // Snapshots are only meaningful at statistics-clean points (right after
+  // construction or warm_up()): epoch tracking, series handles and core
+  // snapshots are all in their reset state there, so restore can rebuild
+  // them deterministically instead of serializing registry internals.
+  BACP_ASSERT(epochs_ == 0, "save_state requires a statistics-clean system");
+  for (const auto& core_snapshot : snapshots_) {
+    BACP_ASSERT(!core_snapshot.taken, "save_state requires a statistics-clean system");
+  }
+  snapshot::SnapshotBuilder builder(config_digest(config_, mix_));
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::SystemMeta);
+    writer.scalars(std::span<const std::size_t>(mix_.workload_indices));
+    writer.scalars(std::span<const WayCount>(allocation_.ways_per_core));
+    writer.u64(allocation_history_.size());
+    for (const auto& allocation : allocation_history_) {
+      writer.scalars(std::span<const WayCount>(allocation.ways_per_core));
+    }
+    // Doubles travel one at a time through the bit-exact f64 path (the bulk
+    // scalar codec rejects types with non-unique object representations).
+    writer.u64(last_epoch_instructions_.size());
+    for (const double value : last_epoch_instructions_) writer.f64(value);
+    writer.u64(decayed_instructions_.size());
+    for (const double value : decayed_instructions_) writer.f64(value);
+    writer.u64(next_epoch_);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Noc);
+    noc_.save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Dram);
+    dram_.save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Directory);
+    directory_.save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::L2);
+    l2_->save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::L1);
+    for (const auto& l1 : l1_) l1.save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Generators);
+    for (const auto& generator : generators_) generator->save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Profilers);
+    for (const auto& profiler : profilers_) profiler->save_state(writer);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Timers);
+    for (const auto& timer : timers_) timer->save_state(writer);
+  }
+  return builder.finish();
+}
+
+void System::restore_components(const snapshot::SnapshotView& view) {
+  {
+    auto reader = view.section(snapshot::SectionId::Noc);
+    noc_.restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::Dram);
+    dram_.restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::Directory);
+    directory_.restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::L2);
+    l2_->restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::L1);
+    for (auto& l1 : l1_) l1.restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::Generators);
+    for (auto& generator : generators_) generator->restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::Profilers);
+    for (auto& profiler : profilers_) profiler->restore_state(reader);
+  }
+  {
+    auto reader = view.section(snapshot::SectionId::Timers);
+    for (auto& timer : timers_) timer->restore_state(reader);
+  }
+}
+
+void System::restore_state(const snapshot::SystemSnapshot& snapshot) {
+  const snapshot::SnapshotView view(snapshot);
+  BACP_ASSERT(view.config_digest() == config_digest(config_, mix_),
+              "snapshot belongs to a different (config, mix)");
+  restore_components(view);
+  auto reader = view.section(snapshot::SectionId::SystemMeta);
+  const auto mix_indices = reader.scalars<std::size_t>();
+  BACP_ASSERT(mix_indices == mix_.workload_indices, "snapshot mix mismatch");
+  reader.scalars_into(std::span<WayCount>(allocation_.ways_per_core));
+  allocation_history_.clear();
+  const std::uint64_t history_entries = reader.u64();
+  for (std::uint64_t i = 0; i < history_entries; ++i) {
+    partition::Allocation allocation;
+    allocation.ways_per_core = reader.scalars<WayCount>();
+    allocation_history_.push_back(std::move(allocation));
+  }
+  BACP_ASSERT(reader.u64() == last_epoch_instructions_.size(),
+              "snapshot array length mismatch");
+  for (double& value : last_epoch_instructions_) value = reader.f64();
+  BACP_ASSERT(reader.u64() == decayed_instructions_.size(),
+              "snapshot array length mismatch");
+  for (double& value : decayed_instructions_) value = reader.f64();
+  next_epoch_ = reader.u64();
+  // The saving system was statistics-clean (save_state asserts it), so the
+  // derived tracking state rebuilds deterministically from component state —
+  // exactly what clear_all_stats() established on the saving side.
+  snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
+  epochs_ = 0;
+  reset_epoch_tracking();
+  audit_checkpoint("restore_state");
+}
+
+void System::adopt_warm_state(const snapshot::SystemSnapshot& snapshot) {
+  const snapshot::SnapshotView view(snapshot);
+  BACP_ASSERT(view.config_digest() == warm_state_digest(config_, mix_),
+              "snapshot is not this (config, mix)'s canonical warm state");
+  restore_components(view);
+  {
+    auto reader = view.section(snapshot::SectionId::SystemMeta);
+    const auto mix_indices = reader.scalars<std::size_t>();
+    BACP_ASSERT(mix_indices == mix_.workload_indices, "snapshot mix mismatch");
+  }
+  // The warm state is policy-neutral; install this config's plan over the
+  // warm contents (stale lines in reassigned ways displace naturally, the
+  // same transient a mid-run repartition produces).
+  apply_policy_plan();
+  allocation_history_.clear();
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    last_epoch_instructions_[core] = timers_[core]->instructions();
+    decayed_instructions_[core] = 0.0;
+  }
+  // Re-arm the epoch clock at the next boundary past the warm clock (the
+  // canonical warm config suppresses boundaries with a huge interval).
+  Cycle max_time = 0;
+  for (const auto& timer : timers_) max_time = std::max(max_time, timer->time());
+  next_epoch_ = (max_time / config_.epoch_cycles + 1) * config_.epoch_cycles;
+  clear_all_stats();
+  audit_checkpoint("adopt_warm_state");
+}
+
 void System::run(std::uint64_t instructions_per_core) {
   execute(instructions_per_core);
 }

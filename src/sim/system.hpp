@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/system_config.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/mix.hpp"
 #include "trace/synthetic.hpp"
 
@@ -210,6 +211,27 @@ class System {
   /// Live view of the per-epoch recorder (also copied into results()).
   const obs::TimeSeries& epoch_series() const { return epoch_series_; }
 
+  /// Serializes the entire warm state — caches, directory, profilers,
+  /// generators, timers, NoC/DRAM occupancy, partition state, RNG streams —
+  /// into one flat buffer stamped with config_digest(). Only legal at a
+  /// statistics-clean point (right after construction or warm_up(): no
+  /// epochs counted, no core snapshots frozen); identical state always
+  /// produces identical bytes.
+  snapshot::SystemSnapshot save_state() const;
+
+  /// Exact inverse of save_state(): asserts the snapshot's digest matches
+  /// this system's config_digest(), then rebuilds every component so a
+  /// subsequent run() is bit-identical to one the saving system would have
+  /// produced.
+  void restore_state(const snapshot::SystemSnapshot& snapshot);
+
+  /// Shared-warmup adoption: takes warm state produced by a system built
+  /// from canonical_warm_config() (asserted via warm_state_digest()),
+  /// reinstalls *this* config's partitioning plan over the warm contents and
+  /// re-arms the epoch clock. Results differ from a cold per-variant warm-up
+  /// by design — this is the opt-in --shared-warmup mode.
+  void adopt_warm_state(const snapshot::SystemSnapshot& snapshot);
+
  private:
   /// Per-core statistics frozen at quota completion (cores run on past
   /// their quota to keep interference alive until the slowest finishes).
@@ -264,6 +286,7 @@ class System {
   void apply_policy_plan();
   void clear_all_stats();
   void snapshot_core(CoreId core);
+  void restore_components(const snapshot::SnapshotView& view);
 
   SystemConfig config_;
   trace::WorkloadMix mix_;

@@ -1,5 +1,8 @@
 #include "sim/system_config.hpp"
 
+#include <bit>
+#include <cstdint>
+
 #include "common/assert.hpp"
 
 namespace bacp::sim {
@@ -38,6 +41,82 @@ void SystemConfig::validate() const {
   BACP_ASSERT(noc.num_banks == geometry.num_banks, "NoC bank count mismatch");
   BACP_ASSERT(profiler.num_sets == sets_per_bank, "profiler set count mismatch");
   BACP_ASSERT(epoch_cycles > 0, "epoch_cycles must be positive");
+}
+
+// Fingerprint completeness: the digest below serializes every field of
+// SystemConfig and of each nested config struct. These size checks make
+// "someone added a field but not a digest line" a compile error instead of
+// a silently-stale snapshot cache key. When one fires, extend
+// config_digest() with the new field, then update the expected size.
+static_assert(sizeof(partition::CmpGeometry) == 12, "extend config_digest()");
+static_assert(sizeof(noc::NocConfig) == 32, "extend config_digest()");
+static_assert(sizeof(mem::DramConfig) == 16, "extend config_digest()");
+static_assert(sizeof(mem::MshrConfig) == 4, "extend config_digest()");
+static_assert(sizeof(msa::ProfilerConfig) == 16, "extend config_digest()");
+static_assert(sizeof(SystemConfig) == 144, "extend config_digest()");
+
+namespace {
+
+/// Streaming FNV-1a over 64-bit words (each field widened to u64 before
+/// hashing, so field widths can change without reshuffling the stream).
+class FieldDigest {
+ public:
+  void u64(std::uint64_t value) {
+    for (unsigned shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (value >> shift) & 0xFF;
+      hash_ *= 0x00000100000001B3ull;
+    }
+  }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace
+
+std::uint64_t config_digest(const SystemConfig& config, const trace::WorkloadMix& mix) {
+  FieldDigest digest;
+  digest.u64(config.geometry.num_cores);
+  digest.u64(config.geometry.num_banks);
+  digest.u64(config.geometry.ways_per_bank);
+  digest.u64(static_cast<std::uint64_t>(config.policy));
+  digest.u64(static_cast<std::uint64_t>(config.aggregation));
+  digest.u64(config.l1_sets);
+  digest.u64(config.l1_ways);
+  digest.u64(config.l1_latency);
+  digest.u64(config.sets_per_bank);
+  digest.u64(config.noc.num_cores);
+  digest.u64(config.noc.num_banks);
+  digest.u64(config.noc.cycles_per_hop);
+  digest.u64(config.noc.max_hops);
+  digest.u64(config.noc.bank_busy_cycles);
+  digest.u64(config.dram.access_latency);
+  digest.u64(config.dram.cycles_per_line);
+  digest.u64(config.mshr.entries_per_core);
+  digest.u64(config.profiler.num_sets);
+  digest.u64(config.profiler.set_sampling);
+  digest.u64(config.profiler.partial_tag_bits);
+  digest.u64(config.profiler.profiled_ways);
+  digest.u64(config.epoch_cycles);
+  digest.u64(config.seed);
+  digest.f64(config.gap_jitter);
+  digest.u64(mix.workload_indices.size());
+  for (const std::size_t index : mix.workload_indices) digest.u64(index);
+  return digest.value();
+}
+
+SystemConfig canonical_warm_config(const SystemConfig& config) {
+  SystemConfig canonical = config;
+  canonical.policy = PolicyKind::EqualPartition;
+  canonical.aggregation = nuca::AggregationKind::Parallel;
+  canonical.epoch_cycles = Cycle{1} << 62;
+  return canonical;
+}
+
+std::uint64_t warm_state_digest(const SystemConfig& config, const trace::WorkloadMix& mix) {
+  return config_digest(canonical_warm_config(config), mix);
 }
 
 }  // namespace bacp::sim

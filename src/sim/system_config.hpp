@@ -8,6 +8,7 @@
 #include "noc/noc.hpp"
 #include "nuca/dnuca_cache.hpp"
 #include "partition/partition_types.hpp"
+#include "trace/mix.hpp"
 
 namespace bacp::sim {
 
@@ -61,5 +62,23 @@ struct SystemConfig {
 
   void validate() const;
 };
+
+/// Fingerprint over *every* SystemConfig field plus the workload mix: two
+/// (config, mix) pairs warm up to byte-identical state iff their digests
+/// match, so the snapshot cache keys on this value and snapshot restore
+/// asserts it. The implementation serializes each field explicitly and
+/// static_asserts the struct sizes, so adding a config field without
+/// extending the digest fails the build (fingerprint completeness).
+std::uint64_t config_digest(const SystemConfig& config, const trace::WorkloadMix& mix);
+
+/// The policy-neutral warm-up configuration for --shared-warmup: the same
+/// system with EqualPartition/Parallel and an epoch interval no run ever
+/// reaches, so no epoch boundary (profiler decay, repartition) fires during
+/// warm-up and the warm state is identical for every policy/epoch/aggregation
+/// variant sharing the remaining fields.
+SystemConfig canonical_warm_config(const SystemConfig& config);
+
+/// config_digest() of canonical_warm_config(): the shared-warmup cache key.
+std::uint64_t warm_state_digest(const SystemConfig& config, const trace::WorkloadMix& mix);
 
 }  // namespace bacp::sim

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "snapshot/codec.hpp"
+
+namespace bacp::snapshot {
+
+/// One section per stateful subsystem of sim::System. Ids are stable
+/// format constants: renumbering breaks every serialized snapshot.
+enum class SectionId : std::uint32_t {
+  SystemMeta = 1,  ///< mix, allocation, epoch counters, history
+  Noc = 2,
+  Dram = 3,
+  Directory = 4,
+  L2 = 5,
+  L1 = 6,          ///< all per-core L1s, core order
+  Generators = 7,  ///< all per-core trace generators, core order
+  Profilers = 8,   ///< all per-core MSA profilers, core order
+  Timers = 9,      ///< all per-core timers, core order
+};
+
+const char* to_string(SectionId id);
+
+/// Format constants shared by the builder, the view and audit_snapshot.
+/// Layout (all integers host-order):
+///   [0]  magic   u64  "BACPSNAP"
+///   [8]  version u32
+///   [12] count   u32  number of sections
+///   [16] digest  u64  config fingerprint of the producing system
+///   [24] table   count x {id u32, pad u32, offset u64, length u64, checksum u64}
+///   ...  payload  sections, contiguous, in table order
+inline constexpr std::uint64_t kMagic = 0x50414E5350434142ull;  // "BACPSNAP"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kTableEntryBytes = 32;
+inline constexpr std::size_t kMaxSections = 16;
+
+/// FNV-1a over a byte range; the per-section integrity checksum.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/// A whole simulated system's warm state as one flat buffer. Value type:
+/// copyable, shareable across threads once built (readers never mutate).
+struct SystemSnapshot {
+  std::vector<std::uint8_t> bytes;
+
+  std::size_t size_bytes() const { return bytes.size(); }
+};
+
+/// Accumulates sections and assembles the final buffer. Sections must be
+/// appended in strictly increasing SectionId order so identical state
+/// always produces identical bytes.
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(std::uint64_t config_digest)
+      : config_digest_(config_digest) {
+    // A begin_section() Writer points into sections_; pre-sizing keeps
+    // every section slot stable while earlier Writers may still be live.
+    sections_.reserve(kMaxSections);
+  }
+
+  /// Starts a section; write its payload through the returned Writer
+  /// before the next begin_section()/finish() call.
+  Writer begin_section(SectionId id);
+
+  SystemSnapshot finish();
+
+ private:
+  struct Section {
+    SectionId id;
+    std::vector<std::uint8_t> payload;
+  };
+
+  std::uint64_t config_digest_;
+  std::vector<Section> sections_;
+};
+
+/// Read-side accessor. Construction asserts structural validity (magic,
+/// version, table bounds, checksums) — callers wanting a diagnosis instead
+/// of an abort run audit::audit_snapshot first.
+class SnapshotView {
+ public:
+  explicit SnapshotView(const SystemSnapshot& snapshot);
+
+  std::uint64_t config_digest() const { return config_digest_; }
+
+  bool has_section(SectionId id) const;
+
+  /// Reader over one section's payload; asserts the section exists.
+  Reader section(SectionId id) const;
+
+ private:
+  struct TableEntry {
+    SectionId id;
+    std::uint64_t offset;
+    std::uint64_t length;
+  };
+
+  const SystemSnapshot* snapshot_;
+  std::uint64_t config_digest_ = 0;
+  std::vector<TableEntry> table_;
+};
+
+}  // namespace bacp::snapshot

@@ -1,10 +1,15 @@
 #include "trace/synthetic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
+#include <span>
+#include <string>
 
 #include "common/assert.hpp"
+#include "snapshot/codec.hpp"
+#include "trace/spec2000.hpp"
 
 namespace bacp::trace {
 
@@ -80,6 +85,35 @@ MemoryAccess SyntheticTraceGenerator::next() {
   access.core = config_.core;
   access.is_write = rng_.next_bool(model_->write_fraction);
   return access;
+}
+
+void SyntheticTraceGenerator::save_state(snapshot::Writer& writer) const {
+  writer.u32(config_.num_sets);
+  writer.u32(config_.max_depth);
+  writer.u32(config_.core);
+  // The model is a non-owning pointer into the SPEC2000 registry, which
+  // outlives every generator; the name is the stable identity.
+  writer.str(model_->name);
+  for (const std::uint64_t word : rng_.state()) writer.u64(word);
+  writer.scalars(std::span<const BlockAddress>(recency_entries_));
+  writer.scalars(std::span<const std::uint32_t>(recency_heads_));
+  writer.scalars(std::span<const std::uint32_t>(recency_sizes_));
+  writer.u64(next_block_id_);
+}
+
+void SyntheticTraceGenerator::restore_state(snapshot::Reader& reader) {
+  BACP_ASSERT(reader.u32() == config_.num_sets, "snapshot num_sets mismatch");
+  BACP_ASSERT(reader.u32() == config_.max_depth, "snapshot max_depth mismatch");
+  BACP_ASSERT(reader.u32() == config_.core, "snapshot core id mismatch");
+  const std::string model_name = reader.str();
+  if (model_name != model_->name) switch_model(spec2000_by_name(model_name));
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  rng_.set_state(rng_state);
+  reader.scalars_into(std::span<BlockAddress>(recency_entries_));
+  reader.scalars_into(std::span<std::uint32_t>(recency_heads_));
+  reader.scalars_into(std::span<std::uint32_t>(recency_sizes_));
+  next_block_id_ = reader.u64();
 }
 
 }  // namespace bacp::trace

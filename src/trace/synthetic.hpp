@@ -7,6 +7,11 @@
 #include "trace/access.hpp"
 #include "trace/workload_model.hpp"
 
+namespace bacp::snapshot {
+class Writer;
+class Reader;
+}  // namespace bacp::snapshot
+
 namespace bacp::trace {
 
 /// Geometry knobs for the synthetic stream. Defaults match the baseline L2
@@ -50,6 +55,12 @@ class SyntheticTraceGenerator {
 
   /// Number of distinct blocks ever touched (footprint so far).
   std::uint64_t blocks_allocated() const { return next_block_id_; }
+
+  /// Serializes the model name, RNG state, recency rings and block counter.
+  /// Restore asserts the geometry echo and re-resolves the model by name
+  /// from the SPEC2000 registry (the sampler is rebuilt deterministically).
+  void save_state(snapshot::Writer& writer) const;
+  void restore_state(snapshot::Reader& reader);
 
  private:
   BlockAddress fresh_block(std::uint32_t set);

@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "audit/snapshot_audit.hpp"
 #include "audit/system_audit.hpp"
 #include "cache/set_assoc_cache.hpp"
+#include "snapshot/codec.hpp"
+#include "snapshot/snapshot.hpp"
 #include "coherence/moesi.hpp"
 #include "noc/noc.hpp"
 #include "nuca/dnuca_cache.hpp"
@@ -571,6 +574,76 @@ TEST(AuditSystem, RealSimulationPassesFullAudit) {
   const AuditReport report = audit_system(system);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_GT(report.checks, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot framing (mutation kill-tests: one corruption each, asserting the
+// exact structure/field the auditor must report)
+// ---------------------------------------------------------------------------
+
+snapshot::SystemSnapshot small_snapshot() {
+  snapshot::SnapshotBuilder builder(/*config_digest=*/7);
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Noc);
+    writer.u64(11);
+    writer.u64(13);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Dram);
+    writer.str("dram-state");
+  }
+  return builder.finish();
+}
+
+TEST(SnapshotAudit, CleanSnapshotPasses) {
+  const auto report = audit_snapshot(small_snapshot());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(SnapshotAudit, FlagsTruncatedBuffer) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes.resize(snapshot::kHeaderBytes - 1);
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "min_size");
+}
+
+TEST(SnapshotAudit, FlagsTruncatedSectionTable) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes.resize(snapshot::kHeaderBytes + snapshot::kTableEntryBytes / 2);
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "table_bounds");
+}
+
+TEST(SnapshotAudit, FlagsCorruptedMagic) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes[0] ^= 0xFF;
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "magic");
+}
+
+TEST(SnapshotAudit, FlagsVersionSkew) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes[8] += 1;  // version field sits right after the u64 magic
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "version");
+}
+
+TEST(SnapshotAudit, FlagsCorruptedSectionPayload) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes.back() ^= 0x01;  // last payload byte, checksummed
+  const auto report = audit_snapshot(snapshot);
+  const Violation& violation =
+      require_violation(report, Structure::Snapshot, "checksum");
+  EXPECT_NE(violation.object.find("dram"), std::string::npos);
+}
+
+TEST(SnapshotAudit, FlagsTrailingBytes) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes.push_back(0);
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "trailing_bytes");
+}
+
+TEST(SnapshotAudit, FlagsOversizedSectionCount) {
+  auto snapshot = small_snapshot();
+  snapshot.bytes[12] = 0xFF;  // section count field
+  require_violation(audit_snapshot(snapshot), Structure::Snapshot, "section_count");
 }
 
 TEST(AuditReportTest, ViolationRendersAllCoordinates) {

