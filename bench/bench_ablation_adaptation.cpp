@@ -23,7 +23,7 @@
 #include <iostream>
 #include <vector>
 
-#include "common/env.hpp"
+#include "harness/config_cli.hpp"
 #include "harness/snapshot_cache.hpp"
 #include "obs/report.hpp"
 #include "sim/system.hpp"
@@ -32,24 +32,17 @@
 int main(int argc, char** argv) {
   using namespace bacp;
 
-  common::ArgParser parser(obs::with_report_flags(
-      {{"instr=", "instructions per core per phase (env BACP_SIM_INSTR)"},
-       {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
-       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
-       {"no-snapshot-reuse", "warm every variant cold instead of forking snapshots"},
-       {"shared-warmup", "one policy-neutral warm-up for all variants (changes results)"}}));
+  harness::FlagSpec spec = {harness::value_flag(harness::kInstrKnob),
+                            harness::value_flag(harness::kEpochKnob)};
+  for (auto& row : harness::VariantSweepOptions::cli_flags()) spec.push_back(std::move(row));
+  common::ArgParser parser(obs::with_report_flags(std::move(spec)));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
   const std::uint64_t phase_instructions =
-      parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 8'000'000));
-  const Cycle epoch =
-      parser.get_u64_or_fail("epoch", common::env_u64("BACP_SIM_EPOCH", 1'500'000));
-  harness::VariantSweepOptions sweep_options;
-  sweep_options.num_threads = static_cast<std::size_t>(
-      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", 0)));
-  sweep_options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
-  sweep_options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
+      harness::read_u64(parser, harness::kInstrKnob, 8'000'000);
+  const Cycle epoch = harness::read_u64(parser, harness::kEpochKnob, 1'500'000);
+  const auto sweep_options = harness::VariantSweepOptions::from_args(parser);
 
   const auto mix = trace::mix_from_names(
       {"facerec", "gzip", "bzip2", "mesa", "sixtrack", "eon", "crafty", "perlbmk"});

@@ -14,7 +14,7 @@
 #include <iostream>
 #include <vector>
 
-#include "common/env.hpp"
+#include "harness/config_cli.hpp"
 #include "harness/experiments.hpp"
 #include "harness/snapshot_cache.hpp"
 #include "obs/report.hpp"
@@ -23,24 +23,16 @@
 int main(int argc, char** argv) {
   using namespace bacp;
 
-  common::ArgParser parser(obs::with_report_flags(
-      {{"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
-       {"seed=", "simulation seed (env BACP_SIM_SEED)"},
-       {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
-       {"no-snapshot-reuse", "warm every variant cold instead of forking snapshots"},
-       {"shared-warmup", "one policy-neutral warm-up for all variants (changes results)"}}));
+  harness::FlagSpec spec = {harness::value_flag(harness::kInstrKnob),
+                            harness::value_flag(harness::kSimSeedKnob)};
+  for (auto& row : harness::VariantSweepOptions::cli_flags()) spec.push_back(std::move(row));
+  common::ArgParser parser(obs::with_report_flags(std::move(spec)));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
-  const std::uint64_t instructions =
-      parser.get_u64_or_fail("instr", common::env_u64("BACP_SIM_INSTR", 10'000'000));
-  const std::uint64_t seed =
-      parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", 42));
-  harness::VariantSweepOptions sweep_options;
-  sweep_options.num_threads = static_cast<std::size_t>(
-      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", 0)));
-  sweep_options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
-  sweep_options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
+  const std::uint64_t instructions = harness::read_u64(parser, harness::kInstrKnob, 10'000'000);
+  const std::uint64_t seed = harness::read_u64(parser, harness::kSimSeedKnob, 42);
+  const auto sweep_options = harness::VariantSweepOptions::from_args(parser);
   const auto mix = harness::table3_sets()[1].mix();  // Set2
 
   std::vector<harness::SweepVariant> variants;

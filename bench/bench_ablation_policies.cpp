@@ -15,9 +15,9 @@
 
 #include <iostream>
 
-#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "harness/config_cli.hpp"
 #include "msa/miss_curve.hpp"
 #include "obs/report.hpp"
 #include "partition/bank_aware.hpp"
@@ -30,15 +30,13 @@ int main(int argc, char** argv) {
   using namespace bacp;
 
   common::ArgParser parser(obs::with_report_flags(
-      {{"trials=", "number of random mixes (env BACP_MC_TRIALS)"},
-       {"seed=", "sweep seed (env BACP_MC_SEED)"}}));
+      {harness::value_flag(harness::kTrialsKnob), harness::value_flag(harness::kMcSeedKnob)}));
   if (const auto exit_code = obs::handle_cli(parser, argc, argv)) return *exit_code;
   const auto options = obs::ReportOptions::from_args(parser);
 
-  const std::size_t trials = static_cast<std::size_t>(
-      parser.get_u64_or_fail("trials", common::env_u64("BACP_MC_TRIALS", 300)));
-  const std::uint64_t seed =
-      parser.get_u64_or_fail("seed", common::env_u64("BACP_MC_SEED", 2009));
+  const std::size_t trials =
+      static_cast<std::size_t>(harness::read_u64(parser, harness::kTrialsKnob, 300));
+  const std::uint64_t seed = harness::read_u64(parser, harness::kMcSeedKnob, 2009);
 
   partition::CmpGeometry geometry;
   const auto& suite = trace::spec2000_suite();

@@ -75,6 +75,15 @@ check_absent \
   '(^|[^_[:alnum:]])(strtoull|strtoul|strtoll|strtol|atoi|atol|atoll)[[:space:]]*\(' \
   --exclude=parse.cpp
 
+# Hash-table iteration order is unspecified and leaks straight into
+# artifacts (the sched tenant tables and every report are iteration-ordered).
+# Deterministic code uses common::FlatHash64 or std::map; the flat-hash unit
+# test keeps std::unordered_map as its reference oracle.
+check_absent \
+  "std::unordered_* include — use common::FlatHash64 or std::map instead" \
+  '#include <unordered_' \
+  --exclude=test_flat_hash.cpp
+
 # --- Layer 2: clang-tidy ---------------------------------------------------
 
 if command -v clang-tidy > /dev/null 2>&1; then

@@ -20,6 +20,7 @@ const char* to_string(Structure structure) {
     case Structure::Partition: return "partition";
     case Structure::Cross: return "cross";
     case Structure::Snapshot: return "snapshot";
+    case Structure::Sched: return "sched";
   }
   return "?";
 }

@@ -32,6 +32,7 @@ enum class Structure : std::uint8_t {
   Partition,  ///< partition plan (way masks, allocations, bank lists)
   Cross,      ///< cross-structure agreement (inclusion, directory vs. L1s)
   Snapshot,   ///< snapshot buffer framing (header, section table, checksums)
+  Sched,      ///< sched::Service tenant table vs. system slot/allocation state
 };
 const char* to_string(Structure structure);
 

@@ -100,6 +100,24 @@ double CoreTimer::cpi() const {
   return instructions_ == 0.0 ? 0.0 : time_ / instructions_;
 }
 
+void CoreTimer::rebind(const CoreTimerConfig& config) {
+  BACP_ASSERT(config.core == config_.core, "rebind may not move the timer across cores");
+  BACP_ASSERT(config.base_cpi > 0.0, "base_cpi must be positive");
+  BACP_ASSERT(config.instructions_per_l2_access > 0.0,
+              "instructions_per_l2_access must be positive");
+  BACP_ASSERT(config.mlp_window >= 1, "mlp_window must be >= 1");
+  config_ = config;
+  rng_ = common::Rng(config.seed, config.core);
+  pending_gap_ = -1.0;
+  outstanding_.reserve(config_.mlp_window + 1);
+  // A shrunken MLP window must not leave an oversized in-flight set behind.
+  while (outstanding_.size() > config_.mlp_window) {
+    time_ = std::max(time_, outstanding_.front().done_at);
+    std::pop_heap(outstanding_.begin(), outstanding_.end(), std::greater<>{});
+    outstanding_.pop_back();
+  }
+}
+
 void CoreTimer::mark() {
   mark_time_ = time_;
   mark_instructions_ = instructions_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -61,6 +62,22 @@ class CoreTimer {
   double instructions() const { return instructions_; }
   Cycle time() const { return static_cast<Cycle>(time_); }
   double cpi() const;
+
+  /// Rebinds the timer to a new workload's timing parameters mid-run (a
+  /// tenant admission reusing this core slot): the clocks, marks and the
+  /// in-flight window carry over — global time never rewinds — while the
+  /// gap model, MLP window and RNG stream are rebuilt from `config`. The
+  /// pre-drawn gap is discarded so the first gap of the new tenant comes
+  /// from its own stream.
+  void rebind(const CoreTimerConfig& config);
+
+  /// Advances the local clock to `now` if it is behind (never rewinds).
+  /// Used when a core slot rejoins the simulation after sitting idle: its
+  /// first access must issue at current global time, not at the frozen
+  /// clock of its previous tenant.
+  void fast_forward(Cycle now) {
+    time_ = std::max(time_, static_cast<double>(now));
+  }
 
   /// Snapshots the measurement-window start (end of cache warm-up).
   void mark();

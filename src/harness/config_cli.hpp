@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/args.hpp"
+
+namespace bacp::harness {
+
+/// One scale knob: a `--flag=value` backed by an environment variable, read
+/// with the standard precedence explicit flag > environment > built-in
+/// default. Every config struct's cli_flags()/from_args() pair is assembled
+/// from these, so a new binary cannot invent a fourth precedence order or
+/// mistype an env name for a knob the rest of the repo already has.
+struct EnvFlag {
+  const char* flag;  ///< flag name, without "--" or the trailing '='
+  const char* env;   ///< backing environment variable; "" = flag-only
+  const char* help;  ///< help text; the "(env NAME)" suffix is appended
+};
+
+using FlagSpec = std::vector<std::pair<std::string, std::string>>;
+
+/// ArgParser spec row for a value knob: "name=" plus help text with the
+/// "(env NAME)" suffix when the knob is environment-backed.
+std::pair<std::string, std::string> value_flag(const EnvFlag& knob);
+
+/// ArgParser spec row for a plain boolean flag (no value, no env backing).
+std::pair<std::string, std::string> bool_flag(const char* flag, const char* help);
+
+/// Reads a knob with the standard precedence. Malformed input (flag or env)
+/// is fatal, exactly as the underlying strict accessors define it.
+std::uint64_t read_u64(const common::ArgParser& parser, const EnvFlag& knob,
+                       std::uint64_t fallback);
+double read_double(const common::ArgParser& parser, const EnvFlag& knob, double fallback);
+
+/// The repo-wide scale knobs. Binaries that take one of these MUST take it
+/// through the shared definition; the names and env vars are part of the
+/// artifact-reproduction contract (they are echoed into report meta).
+inline constexpr EnvFlag kWarmupKnob{"warmup", "BACP_SIM_WARMUP",
+                                     "warm-up instructions per core"};
+inline constexpr EnvFlag kInstrKnob{"instr", "BACP_SIM_INSTR",
+                                    "measured instructions per core"};
+inline constexpr EnvFlag kEpochKnob{"epoch", "BACP_SIM_EPOCH", "epoch length in cycles"};
+inline constexpr EnvFlag kSimSeedKnob{"seed", "BACP_SIM_SEED", "simulation seed"};
+inline constexpr EnvFlag kTrialsKnob{"trials", "BACP_MC_TRIALS", "Monte-Carlo trial count"};
+inline constexpr EnvFlag kMcSeedKnob{"seed", "BACP_MC_SEED", "Monte-Carlo seed"};
+inline constexpr EnvFlag kThreadsKnob{"threads", "BACP_THREADS",
+                                      "worker threads, 0 = hardware"};
+
+/// The shared `--threads` / BACP_THREADS knob. Every sweep in the repo is
+/// deterministic for any worker count, so this is purely a speed dial.
+std::size_t read_threads(const common::ArgParser& parser, std::size_t fallback = 0);
+
+}  // namespace bacp::harness

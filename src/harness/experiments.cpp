@@ -3,40 +3,34 @@
 #include <array>
 
 #include "common/assert.hpp"
-#include "common/env.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "harness/config_cli.hpp"
 #include "harness/snapshot_cache.hpp"
 #include "obs/phase_timer.hpp"
 
 namespace bacp::harness {
 
 std::vector<std::pair<std::string, std::string>> DetailedRunConfig::cli_flags() {
-  return {
-      {"warmup=", "warm-up instructions per core (env BACP_SIM_WARMUP)"},
-      {"instr=", "measured instructions per core (env BACP_SIM_INSTR)"},
-      {"epoch=", "epoch length in cycles (env BACP_SIM_EPOCH)"},
-      {"seed=", "simulation seed (env BACP_SIM_SEED)"},
-      {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
-      {"no-snapshot-reuse", "warm every run cold instead of forking snapshots"},
-      {"shared-warmup", "one policy-neutral warm-up per mix (changes results)"},
+  std::vector<std::pair<std::string, std::string>> spec = {
+      value_flag(kWarmupKnob),
+      value_flag(kInstrKnob),
+      value_flag(kEpochKnob),
+      value_flag(kSimSeedKnob),
   };
+  for (auto& row : VariantSweepOptions::cli_flags()) {
+    spec.push_back(std::move(row));
+  }
+  return spec;
 }
 
 DetailedRunConfig DetailedRunConfig::from_args(const common::ArgParser& parser) {
   DetailedRunConfig config;
-  config.warmup_instructions = parser.get_u64_or_fail(
-      "warmup", common::env_u64("BACP_SIM_WARMUP", config.warmup_instructions));
-  config.measure_instructions = parser.get_u64_or_fail(
-      "instr", common::env_u64("BACP_SIM_INSTR", config.measure_instructions));
-  config.epoch_cycles =
-      parser.get_u64_or_fail("epoch", common::env_u64("BACP_SIM_EPOCH", config.epoch_cycles));
-  config.seed = parser.get_u64_or_fail("seed", common::env_u64("BACP_SIM_SEED", config.seed));
-  config.num_threads = static_cast<std::size_t>(
-      parser.get_u64_or_fail("threads", common::env_u64("BACP_THREADS", config.num_threads)));
-  config.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
-  config.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
-  return config;
+  config.warmup_instructions = read_u64(parser, kWarmupKnob, config.warmup_instructions);
+  config.measure_instructions = read_u64(parser, kInstrKnob, config.measure_instructions);
+  config.epoch_cycles = read_u64(parser, kEpochKnob, config.epoch_cycles);
+  config.seed = read_u64(parser, kSimSeedKnob, config.seed);
+  return config.with_sweep(VariantSweepOptions::from_args(parser));
 }
 
 trace::WorkloadMix ExperimentSet::mix() const { return trace::mix_from_names(benchmarks); }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "nuca/dnuca_cache.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
@@ -67,6 +68,10 @@ struct DetailedRunConfig {
     seed = value;
     return *this;
   }
+  /// Deprecated spellings kept for source compatibility: the sweep-execution
+  /// knobs (threads, snapshot reuse, shared warm-up) are one shared struct
+  /// now — prefer with_sweep() / sweep_options() so every harness, including
+  /// sched::Service drivers, plumbs them identically.
   DetailedRunConfig& with_num_threads(std::size_t value) {
     num_threads = value;
     return *this;
@@ -78,6 +83,19 @@ struct DetailedRunConfig {
   DetailedRunConfig& with_shared_warmup(bool value) {
     shared_warmup = value;
     return *this;
+  }
+
+  DetailedRunConfig& with_sweep(const VariantSweepOptions& sweep) {
+    num_threads = sweep.num_threads;
+    snapshot_reuse = sweep.snapshot_reuse;
+    shared_warmup = sweep.shared_warmup;
+    return *this;
+  }
+  VariantSweepOptions sweep_options() const {
+    return VariantSweepOptions{}
+        .with_num_threads(num_threads)
+        .with_snapshot_reuse(snapshot_reuse)
+        .with_shared_warmup(shared_warmup);
   }
 
   /// The standard scale flags (--warmup, --instr, --epoch, --seed,

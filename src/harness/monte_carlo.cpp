@@ -5,10 +5,10 @@
 #include <span>
 
 #include "common/assert.hpp"
-#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "harness/config_cli.hpp"
 #include "msa/miss_curve.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
@@ -20,19 +20,17 @@ namespace bacp::harness {
 
 std::vector<std::pair<std::string, std::string>> MonteCarloConfig::cli_flags() {
   return {
-      {"trials=", "number of random mixes (env BACP_MC_TRIALS)"},
-      {"seed=", "sweep seed (env BACP_MC_SEED)"},
-      {"threads=", "worker threads, 0 = hardware (env BACP_THREADS)"},
+      value_flag(kTrialsKnob),
+      value_flag(kMcSeedKnob),
+      value_flag(kThreadsKnob),
   };
 }
 
 MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
   MonteCarloConfig config;
-  config.trials = static_cast<std::size_t>(
-      parser.get_u64_or_fail("trials", common::env_u64("BACP_MC_TRIALS", config.trials)));
-  config.seed = parser.get_u64_or_fail("seed", common::env_u64("BACP_MC_SEED", config.seed));
-  config.num_threads = static_cast<std::size_t>(parser.get_u64_or_fail(
-      "threads", common::env_u64("BACP_THREADS", config.num_threads)));
+  config.trials = static_cast<std::size_t>(read_u64(parser, kTrialsKnob, config.trials));
+  config.seed = read_u64(parser, kMcSeedKnob, config.seed);
+  config.num_threads = read_threads(parser, config.num_threads);
   return config;
 }
 

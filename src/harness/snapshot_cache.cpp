@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "harness/config_cli.hpp"
 #include "obs/phase_timer.hpp"
 #include "sim/system_config.hpp"
 
@@ -46,6 +47,22 @@ std::uint64_t SnapshotCache::hits() const {
 std::uint64_t SnapshotCache::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::vector<std::pair<std::string, std::string>> VariantSweepOptions::cli_flags() {
+  return {
+      value_flag(kThreadsKnob),
+      bool_flag("no-snapshot-reuse", "warm every run cold instead of forking snapshots"),
+      bool_flag("shared-warmup", "one policy-neutral warm-up per mix (changes results)"),
+  };
+}
+
+VariantSweepOptions VariantSweepOptions::from_args(const common::ArgParser& parser) {
+  VariantSweepOptions options;
+  options.num_threads = read_threads(parser, options.num_threads);
+  options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
+  options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
+  return options;
 }
 
 std::uint64_t warmup_key(std::uint64_t state_digest, std::uint64_t warmup_instructions) {

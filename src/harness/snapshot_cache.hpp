@@ -8,8 +8,10 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/args.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 
@@ -77,6 +79,29 @@ struct VariantSweepOptions {
   /// Opt-in: share one canonical warm-up across all variants of a mix
   /// (changes results by design — see warm_system()).
   bool shared_warmup = false;
+
+  VariantSweepOptions& with_num_threads(std::size_t value) {
+    num_threads = value;
+    return *this;
+  }
+  VariantSweepOptions& with_snapshot_reuse(bool value) {
+    snapshot_reuse = value;
+    return *this;
+  }
+  VariantSweepOptions& with_shared_warmup(bool value) {
+    shared_warmup = value;
+    return *this;
+  }
+
+  /// The shared sweep-execution flags (--threads, --no-snapshot-reuse,
+  /// --shared-warmup); every sweep binary takes exactly these three, and
+  /// the config structs that embed sweep knobs (DetailedRunConfig,
+  /// sched::ServiceConfig drivers) forward here instead of re-declaring
+  /// them. Pair with from_args().
+  static std::vector<std::pair<std::string, std::string>> cli_flags();
+
+  /// Standard precedence: explicit flag, then BACP_THREADS, then defaults.
+  static VariantSweepOptions from_args(const common::ArgParser& parser);
 };
 
 /// Runs every variant over a ThreadPool: construct the variant's System,

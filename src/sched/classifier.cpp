@@ -1,0 +1,29 @@
+#include "sched/classifier.hpp"
+
+#include <algorithm>
+
+namespace bacp::sched {
+
+const char* to_string(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::Light: return "light";
+    case TenantClass::Streaming: return "streaming";
+    case TenantClass::CacheSensitive: return "cache-sensitive";
+  }
+  return "?";
+}
+
+TenantClass classify(const msa::MissRatioCurve& curve, WayCount max_ways,
+                     const ClassifierConfig& config) {
+  if (curve.empty() || curve.total() < config.light_max_intensity) {
+    return TenantClass::Light;
+  }
+  const WayCount deepest = std::min(max_ways, curve.max_ways());
+  const double floor_misses = curve.miss_count(1);
+  if (floor_misses <= 0.0) return TenantClass::Light;  // everything hits at 1 way
+  const double flatness = curve.miss_count(deepest) / floor_misses;
+  return flatness >= config.streaming_min_flatness ? TenantClass::Streaming
+                                                   : TenantClass::CacheSensitive;
+}
+
+}  // namespace bacp::sched

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "msa/miss_curve.hpp"
+
+namespace bacp::sched {
+
+/// Capacity-behaviour buckets the scheduler plans with. Derived from the
+/// same MSA miss-ratio curves the Bank-aware allocator consumes, so the
+/// classification costs nothing beyond the profiling the paper already
+/// mandates:
+///   - Light: too few L2 accesses to matter — any allocation serves it;
+///   - Streaming: accesses plenty, but the curve is flat — extra capacity
+///     buys (almost) no misses back, so capacity spent here is wasted;
+///   - CacheSensitive: misses fall materially with ways — the tenants the
+///     marginal-utility machinery exists for.
+enum class TenantClass : std::uint8_t {
+  Light,
+  Streaming,
+  CacheSensitive,
+};
+const char* to_string(TenantClass cls);
+
+struct ClassifierConfig {
+  /// A tenant whose curve totals fewer accesses-per-Minstr than this is
+  /// Light regardless of curve shape (default ~1 APKI).
+  double light_max_intensity = 1000.0;
+  /// A tenant keeping more than this fraction of its misses at the maximum
+  /// assignable allocation (vs. one way) is Streaming: the curve is flat,
+  /// capacity cannot help it.
+  double streaming_min_flatness = 0.85;
+};
+
+/// Buckets one tenant from its intensity-weighted miss-ratio curve (counts
+/// scaled to per-Minstr, as the epoch controller normalizes them).
+/// `max_ways` is the deepest allocation the classifier considers — the
+/// geometry's max assignable capacity.
+TenantClass classify(const msa::MissRatioCurve& curve, WayCount max_ways,
+                     const ClassifierConfig& config);
+
+}  // namespace bacp::sched

@@ -1,0 +1,243 @@
+#include "sched/events.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "trace/spec2000.hpp"
+
+namespace bacp::sched {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Admit: return "admit";
+    case EventKind::Evict: return "evict";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Whitespace tokenizer for one event line (the grammar has no quoting).
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') ++pos;
+    if (pos > start) fields.push_back(line.substr(start, pos - start));
+  }
+  return fields;
+}
+
+/// Non-aborting workload lookup (trace::spec2000_index aborts on unknown
+/// names; a parse error must report, not kill the process).
+bool known_workload(std::string_view name) {
+  for (const auto& model : trace::spec2000_suite()) {
+    if (model.name == name) return true;
+  }
+  return false;
+}
+
+std::string positioned(std::size_t line_number, const std::string& message) {
+  return "line " + std::to_string(line_number) + ": " + message;
+}
+
+}  // namespace
+
+EventParseResult parse_events(std::string_view text) {
+  EventParseResult result;
+  std::size_t line_number = 0;
+  std::uint64_t last_epoch = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto fields = split_fields(line);
+    if (fields.empty()) continue;
+
+    if (fields.size() < 3) {
+      result.error = positioned(line_number, "expected '<epoch> <kind> <tenant-id> ...'");
+      return result;
+    }
+    const auto epoch = common::parse_u64(fields[0]);
+    if (!epoch) {
+      result.error = positioned(
+          line_number, "bad epoch '" + std::string(fields[0]) + "': " + epoch.error);
+      return result;
+    }
+    if (*epoch < last_epoch) {
+      result.error = positioned(
+          line_number, "epoch " + std::to_string(*epoch) +
+                           " regresses (previous event at epoch " +
+                           std::to_string(last_epoch) + ")");
+      return result;
+    }
+    const auto tenant = common::parse_u64(fields[2]);
+    if (!tenant) {
+      result.error = positioned(
+          line_number, "bad tenant id '" + std::string(fields[2]) + "': " + tenant.error);
+      return result;
+    }
+
+    Event event;
+    event.epoch = *epoch;
+    event.tenant = *tenant;
+    if (fields[1] == "admit") {
+      event.kind = EventKind::Admit;
+      if (fields.size() != 4) {
+        result.error =
+            positioned(line_number, "admit takes exactly '<epoch> admit <tenant-id> <workload>'");
+        return result;
+      }
+      if (!known_workload(fields[3])) {
+        result.error = positioned(
+            line_number, "unknown workload '" + std::string(fields[3]) + "'");
+        return result;
+      }
+      event.workload = std::string(fields[3]);
+    } else if (fields[1] == "evict") {
+      event.kind = EventKind::Evict;
+      if (fields.size() != 3) {
+        result.error = positioned(line_number, "evict takes exactly '<epoch> evict <tenant-id>'");
+        return result;
+      }
+    } else {
+      result.error = positioned(
+          line_number, "unknown event kind '" + std::string(fields[1]) +
+                           "' (expected 'admit' or 'evict')");
+      return result;
+    }
+    last_epoch = *epoch;
+    result.events.push_back(std::move(event));
+  }
+  return result;
+}
+
+EventParseResult parse_events_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    EventParseResult result;
+    result.error = "cannot read '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_events(buffer.str());
+}
+
+std::string format_events(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& event : events) {
+    out += std::to_string(event.epoch);
+    out += ' ';
+    out += to_string(event.kind);
+    out += ' ';
+    out += std::to_string(event.tenant);
+    if (event.kind == EventKind::Admit) {
+      out += ' ';
+      out += event.workload;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Knuth's product-of-uniforms Poisson sampler: exact, deterministic, and
+/// cheap at the small per-epoch rates churn streams use.
+std::uint64_t poisson_draw(common::Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = rng.next_double();
+  while (product > limit) {
+    ++count;
+    product *= rng.next_double();
+  }
+  return count;
+}
+
+/// Arrival palette spanning the three tenant classes: compute-bound lights,
+/// flat-curve streamers, and capacity-hungry cache-sensitive benchmarks.
+constexpr const char* kPalette[] = {
+    "eon", "crafty", "mesa",          // light
+    "swim", "lucas", "equake",        // streaming
+    "bzip2", "facerec", "mcf", "gcc", // cache-sensitive
+};
+constexpr const char* kThrasher = "art";
+
+}  // namespace
+
+std::vector<Event> generate_churn(const ChurnConfig& config) {
+  BACP_ASSERT(config.num_slots > 0, "churn needs at least one slot");
+  BACP_ASSERT(config.min_residency > 0 && config.min_residency <= config.max_residency,
+              "churn residency bounds are inverted");
+  common::Rng rng(config.seed, 0x5C4EDULL);
+  std::vector<Event> events;
+  // Slot occupancy: tenant id per slot (0 = free). Ids start at 1 and are
+  // never reused by the generator (reuse is exercised by dedicated tests).
+  std::vector<std::uint64_t> slot_tenant(config.num_slots, 0);
+  std::vector<std::uint64_t> slot_departs(config.num_slots, 0);
+  std::uint64_t next_id = 1;
+  constexpr double kPi = 3.14159265358979323846;
+
+  for (std::uint64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Departures first: a slot freed this epoch is admissible this epoch.
+    for (std::uint32_t slot = 0; slot < config.num_slots; ++slot) {
+      if (slot_tenant[slot] != 0 && slot_departs[slot] == epoch) {
+        events.push_back({epoch, EventKind::Evict, slot_tenant[slot], ""});
+        slot_tenant[slot] = 0;
+      }
+    }
+
+    const auto admit_to_free_slot = [&](const char* workload,
+                                        std::uint64_t residency) {
+      for (std::uint32_t slot = 0; slot < config.num_slots; ++slot) {
+        if (slot_tenant[slot] != 0) continue;
+        slot_tenant[slot] = next_id;
+        slot_departs[slot] = epoch + residency;
+        events.push_back({epoch, EventKind::Admit, next_id, workload});
+        ++next_id;
+        return;
+      }
+      // No free slot: the arrival balks. (Real services queue; a stream
+      // that over-admits would just trip the Service's capacity assert.)
+    };
+
+    // Diurnal modulation: rate swings between ~0 and the configured peak.
+    const double phase = 2.0 * kPi * static_cast<double>(epoch) / config.diurnal_period;
+    const double rate = config.arrival_rate * 0.5 * (1.0 + std::sin(phase));
+    const std::uint64_t arrivals = poisson_draw(rng, rate);
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+      const auto pick = rng.next_below(std::size(kPalette));
+      const std::uint64_t residency =
+          config.min_residency +
+          rng.next_below(config.max_residency - config.min_residency + 1);
+      admit_to_free_slot(kPalette[pick], residency);
+    }
+
+    // Adversarial thrasher: a streaming hog slammed in on a fixed cadence,
+    // phase-locked to the diurnal peak (period/4 is where sin() crests).
+    if (config.thrasher_period != 0 && epoch % config.thrasher_period == 0 &&
+        epoch != 0) {
+      admit_to_free_slot(kThrasher, config.thrasher_residency);
+    }
+  }
+  return events;
+}
+
+}  // namespace bacp::sched

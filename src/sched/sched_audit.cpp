@@ -1,0 +1,117 @@
+#include "sched/sched_audit.hpp"
+
+#include <string>
+
+#include "sched/service.hpp"
+
+namespace bacp::sched {
+
+namespace {
+
+void violation(audit::AuditReport& report, std::string field, std::string expected,
+               std::string actual, std::uint64_t tenant_or_slot = audit::kNoIndex) {
+  audit::Violation entry;
+  entry.structure = audit::Structure::Sched;
+  entry.object = "service";
+  entry.field = std::move(field);
+  entry.set = tenant_or_slot;  // tenant id / slot index in the set coordinate
+  entry.expected = std::move(expected);
+  entry.actual = std::move(actual);
+  report.violations.push_back(std::move(entry));
+}
+
+}  // namespace
+
+void ServiceAuditor::run(const Service& service, audit::AuditReport& report) {
+  const auto& system = service.system_;
+  const CoreId num_cores = service.config_.system.geometry.num_cores;
+
+  ++report.checks;
+  if (service.slot_tenant_.size() != num_cores) {
+    violation(report, "slot_table_shape", std::to_string(num_cores) + " slots",
+              std::to_string(service.slot_tenant_.size()) + " slots");
+    return;  // nothing below can index safely
+  }
+
+  // Tenant side of the bijection: each live tenant's slot is in range,
+  // names it back, runs its workload, and is simulator-active.
+  for (const auto& [id, tenant] : service.tenants_) {
+    ++report.checks;
+    if (id != tenant.id) {
+      violation(report, "tenant_key", "key == tenant.id",
+                std::to_string(id) + " != " + std::to_string(tenant.id), id);
+      continue;
+    }
+    ++report.checks;
+    if (tenant.slot >= num_cores) {
+      violation(report, "tenant_slot_range", "slot < " + std::to_string(num_cores),
+                std::to_string(tenant.slot), id);
+      continue;
+    }
+    ++report.checks;
+    if (service.slot_tenant_[tenant.slot] != id) {
+      violation(report, "slot_ownership",
+                "slot " + std::to_string(tenant.slot) + " owned by tenant " +
+                    std::to_string(id),
+                "slot names tenant " + std::to_string(service.slot_tenant_[tenant.slot]),
+                id);
+    }
+    ++report.checks;
+    if (!system.core_active(tenant.slot)) {
+      violation(report, "tenant_active", "live tenant's slot active in the simulator",
+                "slot " + std::to_string(tenant.slot) + " inactive", id);
+    }
+    ++report.checks;
+    if (system.bound_workload(tenant.slot) != tenant.workload) {
+      violation(report, "workload_binding",
+                "slot executes workload " + std::to_string(tenant.workload),
+                "slot bound to workload " +
+                    std::to_string(system.bound_workload(tenant.slot)),
+                id);
+    }
+    ++report.checks;
+    const WayCount installed = system.current_allocation().ways_per_core.at(tenant.slot);
+    if (tenant.ways != installed) {
+      violation(report, "allocation_agreement",
+                "tenant grant == installed " + std::to_string(installed) + " ways",
+                std::to_string(tenant.ways) + " ways recorded", id);
+    }
+  }
+
+  // Slot side: every occupied slot names a live tenant that points back;
+  // every free slot is simulator-inactive (no orphaned activity after an
+  // eviction).
+  for (CoreId slot = 0; slot < num_cores; ++slot) {
+    const std::uint64_t owner = service.slot_tenant_[slot];
+    if (owner == kNoTenant) {
+      ++report.checks;
+      if (system.core_active(slot)) {
+        violation(report, "orphaned_active_slot", "free slot inactive in the simulator",
+                  "slot " + std::to_string(slot) + " still active", slot);
+      }
+      continue;
+    }
+    ++report.checks;
+    const auto it = service.tenants_.find(owner);
+    if (it == service.tenants_.end()) {
+      violation(report, "orphaned_slot_owner",
+                "slot owner is a live tenant",
+                "slot " + std::to_string(slot) + " names evicted tenant " +
+                    std::to_string(owner),
+                slot);
+    } else if (it->second.slot != slot) {
+      ++report.checks;
+      violation(report, "slot_ownership",
+                "tenant " + std::to_string(owner) + " claims slot " + std::to_string(slot),
+                "tenant claims slot " + std::to_string(it->second.slot), slot);
+    }
+  }
+}
+
+audit::AuditReport audit_sched(const Service& service) {
+  audit::AuditReport report;
+  ServiceAuditor::run(service, report);
+  return report;
+}
+
+}  // namespace bacp::sched

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "audit/audit.hpp"
+
+namespace bacp::sched {
+
+class Service;
+
+/// Structural audit of the scheduler's ownership model against the wrapped
+/// system (Structure::Sched violations):
+///   - tenant table <-> slot table bijection: every live tenant occupies
+///     exactly the slot that names it, every occupied slot names a live
+///     tenant, ids and slots are unique and in range;
+///   - no orphaned activity: a slot is simulator-active iff a live tenant
+///     owns it (an evicted tenant must leave nothing running);
+///   - binding agreement: each tenant's workload is what the simulator
+///     actually executes on its slot;
+///   - allocation agreement: each tenant's recorded way grant matches the
+///     installed partition for its slot (no stale or orphaned grants).
+/// Violations are data (the kill-tests assert on structure/field); the
+/// BACP_AUDIT checkpoint aborts on the first one.
+audit::AuditReport audit_sched(const Service& service);
+
+/// Friend-key auditor: Service grants access to its tenant and slot tables
+/// so the audit reads raw state without widening the public API.
+class ServiceAuditor {
+ public:
+  static void run(const Service& service, audit::AuditReport& report);
+};
+
+}  // namespace bacp::sched

@@ -104,36 +104,6 @@ obs::Json SystemResults::to_json() const {
   return json;
 }
 
-SystemResults::Legacy SystemResults::legacy() const {
-  Legacy legacy;
-  for (const auto& core : cores_) {
-    Legacy::Core flat;
-    flat.instructions = core.instructions();
-    flat.cycles = core.cycles();
-    flat.cpi = core.cpi();
-    flat.l2_hits = core.l2_hits();
-    flat.l2_misses = core.l2_misses();
-    flat.allocated_ways = core.allocated_ways();
-    flat.workload = core.workload();
-    legacy.cores.push_back(std::move(flat));
-  }
-  legacy.l2_accesses = l2_accesses();
-  legacy.live_l2_accesses = live_l2_accesses();
-  legacy.l2_misses = l2_misses();
-  legacy.l2_miss_ratio = l2_miss_ratio();
-  legacy.mean_cpi = mean_cpi();
-  legacy.epochs = epochs();
-  legacy.promotions = promotions();
-  legacy.demotions = demotions();
-  legacy.offview_hits = offview_hits();
-  legacy.directory_lookups = directory_lookups();
-  legacy.dram_reads = dram_reads();
-  legacy.dram_writebacks = dram_writebacks();
-  legacy.noc_queue_cycles = noc_queue_cycles();
-  legacy.inclusion_recalls = inclusion_recalls();
-  return legacy;
-}
-
 System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
     : config_(config),
       mix_(mix),
@@ -195,6 +165,8 @@ System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
   snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
   last_epoch_instructions_.assign(config_.geometry.num_cores, 0.0);
   decayed_instructions_.assign(config_.geometry.num_cores, 0.0);
+  active_.assign(config_.geometry.num_cores, 1);
+  bound_workloads_ = mix_.workload_indices;
   apply_policy_plan();
   next_epoch_ = config_.epoch_cycles;
   reset_epoch_tracking();
@@ -219,9 +191,11 @@ void System::apply_policy_plan() {
       break;
     }
     case PolicyKind::EqualPartition:
-    case PolicyKind::BankAware: {
+    case PolicyKind::BankAware:
+    case PolicyKind::External: {
       // Bank-aware starts from the equal static plan; the first epoch's
-      // profiles then drive the first dynamic reassignment.
+      // profiles then drive the first dynamic reassignment. External also
+      // starts equal — the driver's first install_partition() replaces it.
       const auto plan = partition::equal_partition(config_.geometry);
       l2_->apply_assignment(plan.assignment);
       allocation_ = plan.allocation;
@@ -412,17 +386,19 @@ void System::execute(std::uint64_t instructions_per_core) {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
   // Equal instruction slices (the paper's methodology): each core's access
   // quota follows its APKI, so per-policy total miss counts weight each
-  // workload by its real memory intensity.
+  // workload by its real memory intensity. Quotas follow the *currently
+  // bound* workload (reset_core() may have replaced the construction mix).
+  // Inactive slots get no quota and never enter the queue.
   const auto& suite = trace::spec2000_suite();
-  std::vector<std::uint64_t> remaining(config_.geometry.num_cores);
+  std::vector<std::uint64_t> remaining(config_.geometry.num_cores, 0);
+  std::uint32_t unfinished = 0;
   for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
-    const double apki = suite.at(mix_.workload_indices[core]).l2_apki;
+    if (active_[core] == 0) continue;
+    const double apki = suite.at(bound_workloads_[core]).l2_apki;
     remaining[core] = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(static_cast<double>(instructions_per_core) *
                                       apki / 1000.0));
-  }
-  std::uint32_t unfinished = config_.geometry.num_cores;
-  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    ++unfinished;
     queue.push({timers_[core]->peek_issue(), core});
   }
 
@@ -492,16 +468,138 @@ void System::warm_up(std::uint64_t instructions_per_core) {
   clear_all_stats();
 }
 
-snapshot::SystemSnapshot System::save_state() const {
+void System::step_epochs(std::uint64_t epochs) {
+  struct QueueEntry {
+    Cycle issue_at;
+    CoreId core;
+    bool operator>(const QueueEntry& other) const { return issue_at > other.issue_at; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    if (active_[core] != 0) queue.push({timers_[core]->peek_issue(), core});
+  }
+  // No quotas and no end-of-run drain: the in-flight windows carry across
+  // calls, so stepping one epoch at a time is the same trajectory as
+  // stepping them all at once.
+  std::uint64_t fired = 0;
+  while (fired < epochs) {
+    if (queue.empty() || queue.top().issue_at >= next_epoch_) {
+      run_epoch_boundary();
+      next_epoch_ += config_.epoch_cycles;
+      ++fired;
+      continue;
+    }
+    const auto entry = queue.top();
+    queue.pop();
+    const Cycle issue_time = timers_[entry.core]->advance_to_issue();
+    const Cycle done_at = serve_access(entry.core, issue_time);
+    timers_[entry.core]->record_completion(done_at);
+    queue.push({timers_[entry.core]->peek_issue(), entry.core});
+  }
+}
+
+void System::reset_core(CoreId core, std::string_view workload_name,
+                        std::uint64_t stream_salt) {
+  BACP_ASSERT(core < config_.geometry.num_cores, "core out of range");
+  const std::size_t workload = trace::spec2000_index(workload_name);
+  const auto& model = trace::spec2000_suite().at(workload);
+
+  // Coherent L1 flush: the departing tenant's private lines leave through
+  // the same directory/L2/DRAM path a capacity eviction takes, so MOESI
+  // state and dirty data stay consistent. The drain is stamped at the
+  // slot's local clock — it happened before the new tenant's first access.
+  const Cycle drain_time = timers_[core]->time();
+  for (const auto& line : l1_[core].resident_lines()) {
+    const auto action = directory_.on_l1_evict(line.block, core, line.dirty);
+    if (line.dirty || action.writeback_below) {
+      if (!l2_->writeback_update(line.block)) dram_.writeback(drain_time);
+    }
+    l1_[core].invalidate(line.block);
+  }
+
+  // The newcomer's profile, reuse structure and timing replace the old
+  // tenant's; the salt decorrelates its streams from every other instance
+  // of the same workload in the session.
+  profilers_[core]->clear();
+  trace::GeneratorConfig generator_config;
+  generator_config.num_sets = config_.sets_per_bank;
+  generator_config.max_depth = config_.geometry.total_ways();
+  generator_config.core = core;
+  generators_[core] = std::make_unique<trace::SyntheticTraceGenerator>(
+      model, generator_config, config_.seed ^ stream_salt);
+
+  core::CoreTimerConfig timer_config;
+  timer_config.base_cpi = model.base_cpi;
+  timer_config.instructions_per_l2_access = 1000.0 / model.l2_apki;
+  timer_config.mlp_window = std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(std::lround(model.mlp)), 1,
+      config_.mshr.entries_per_core);
+  timer_config.gap_jitter = config_.gap_jitter;
+  timer_config.seed = (config_.seed ^ 0x5175ULL) ^ stream_salt;
+  timer_config.core = core;
+  timers_[core]->rebind(timer_config);
+
+  // Join at current global time (an idle slot's clock may be far behind),
+  // and start the slot's measurement and profile windows here.
+  Cycle now = 0;
+  for (const auto& timer : timers_) now = std::max(now, timer->time());
+  timers_[core]->fast_forward(now);
+  timers_[core]->mark();
+  last_epoch_instructions_[core] = timers_[core]->instructions();
+  decayed_instructions_[core] = 0.0;
+  bound_workloads_[core] = workload;
+  audit_checkpoint("reset_core");
+}
+
+void System::set_core_active(CoreId core, bool active) {
+  BACP_ASSERT(core < config_.geometry.num_cores, "core out of range");
+  active_[core] = active ? 1 : 0;
+}
+
+std::uint32_t System::num_active_cores() const {
+  std::uint32_t count = 0;
+  for (const std::uint8_t flag : active_) count += flag;
+  return count;
+}
+
+void System::install_partition(const partition::Allocation& allocation,
+                               const partition::BankAssignment& assignment) {
+  BACP_ASSERT(config_.policy == PolicyKind::External,
+              "install_partition is the PolicyKind::External driver surface");
+  assignment.validate_against(config_.geometry, allocation);
+  l2_->apply_assignment(assignment);
+  allocation_ = allocation;
+  allocation_history_.push_back(allocation);
+  audit_checkpoint("install_partition");
+}
+
+void System::reset_measurement() { clear_all_stats(); }
+
+std::vector<System::CoreSample> System::sample_cores() const {
+  std::vector<CoreSample> samples(config_.geometry.num_cores);
+  const auto& l2_stats = l2_->stats();
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    CoreSample& sample = samples[core];
+    sample.instructions = timers_[core]->instructions_since_mark();
+    sample.cycles = timers_[core]->cycles_since_mark();
+    sample.l2_hits = l2_stats.hits[core];
+    sample.l2_misses = l2_stats.misses[core];
+    sample.ways = allocation_.ways_per_core.at(core);
+    sample.active = active_[core] != 0;
+  }
+  return samples;
+}
+
+void System::save_into(snapshot::SnapshotBuilder& builder) const {
   // Snapshots are only meaningful at statistics-clean points (right after
-  // construction or warm_up()): epoch tracking, series handles and core
-  // snapshots are all in their reset state there, so restore can rebuild
-  // them deterministically instead of serializing registry internals.
+  // construction, warm_up() or reset_measurement()): epoch tracking, series
+  // handles and core snapshots are all in their reset state there, so
+  // restore can rebuild them deterministically instead of serializing
+  // registry internals.
   BACP_ASSERT(epochs_ == 0, "save_state requires a statistics-clean system");
   for (const auto& core_snapshot : snapshots_) {
     BACP_ASSERT(!core_snapshot.taken, "save_state requires a statistics-clean system");
   }
-  snapshot::SnapshotBuilder builder(config_digest(config_, mix_));
   {
     auto writer = builder.begin_section(snapshot::SectionId::SystemMeta);
     writer.scalars(std::span<const std::size_t>(mix_.workload_indices));
@@ -517,6 +615,8 @@ snapshot::SystemSnapshot System::save_state() const {
     writer.u64(decayed_instructions_.size());
     for (const double value : decayed_instructions_) writer.f64(value);
     writer.u64(next_epoch_);
+    writer.scalars(std::span<const std::uint8_t>(active_));
+    writer.scalars(std::span<const std::size_t>(bound_workloads_));
   }
   {
     auto writer = builder.begin_section(snapshot::SectionId::Noc);
@@ -550,6 +650,11 @@ snapshot::SystemSnapshot System::save_state() const {
     auto writer = builder.begin_section(snapshot::SectionId::Timers);
     for (const auto& timer : timers_) timer->save_state(writer);
   }
+}
+
+snapshot::SystemSnapshot System::save_state() const {
+  snapshot::SnapshotBuilder builder(config_digest(config_, mix_));
+  save_into(builder);
   return builder.finish();
 }
 
@@ -588,10 +693,7 @@ void System::restore_components(const snapshot::SnapshotView& view) {
   }
 }
 
-void System::restore_state(const snapshot::SystemSnapshot& snapshot) {
-  const snapshot::SnapshotView view(snapshot);
-  BACP_ASSERT(view.config_digest() == config_digest(config_, mix_),
-              "snapshot belongs to a different (config, mix)");
+void System::restore_from(const snapshot::SnapshotView& view) {
   restore_components(view);
   auto reader = view.section(snapshot::SectionId::SystemMeta);
   const auto mix_indices = reader.scalars<std::size_t>();
@@ -611,6 +713,18 @@ void System::restore_state(const snapshot::SystemSnapshot& snapshot) {
               "snapshot array length mismatch");
   for (double& value : decayed_instructions_) value = reader.f64();
   next_epoch_ = reader.u64();
+  reader.scalars_into(std::span<std::uint8_t>(active_));
+  reader.scalars_into(std::span<std::size_t>(bound_workloads_));
+  // Timer/generator *workload* parameters are not serialized — the embedder
+  // must have replayed reset_core() for every slot whose binding moved off
+  // the construction mix, or the restored clocks would run under the wrong
+  // gap model. Generators re-resolve their model by name on restore, so the
+  // check pins the timers.
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    const auto& model = trace::spec2000_suite().at(bound_workloads_[core]);
+    BACP_ASSERT(timers_[core]->config().base_cpi == model.base_cpi,
+                "restore_from: core binding not replayed before restore");
+  }
   // The saving system was statistics-clean (save_state asserts it), so the
   // derived tracking state rebuilds deterministically from component state —
   // exactly what clear_all_stats() established on the saving side.
@@ -618,6 +732,13 @@ void System::restore_state(const snapshot::SystemSnapshot& snapshot) {
   epochs_ = 0;
   reset_epoch_tracking();
   audit_checkpoint("restore_state");
+}
+
+void System::restore_state(const snapshot::SystemSnapshot& snapshot) {
+  const snapshot::SnapshotView view(snapshot);
+  BACP_ASSERT(view.config_digest() == config_digest(config_, mix_),
+              "snapshot belongs to a different (config, mix)");
+  restore_from(view);
 }
 
 void System::adopt_warm_state(const snapshot::SystemSnapshot& snapshot) {
@@ -676,7 +797,7 @@ SystemResults System::results() const {
           .set_l2_misses(l2_stats.misses[core]);
     }
     core_result.set_allocated_ways(allocation_.ways_per_core.at(core));
-    core_result.set_workload(suite.at(mix_.workload_indices[core]).name);
+    core_result.set_workload(suite.at(bound_workloads_[core]).name);
     cpis.push_back(core_result.cpi());
     hits_total += core_result.l2_hits();
     misses_total += core_result.l2_misses();

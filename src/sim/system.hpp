@@ -122,37 +122,6 @@ class SystemResults {
   /// {"schema": 1, "metrics": ..., "cores": [...], "epoch_series": ...}.
   obs::Json to_json() const;
 
-  /// Flat POD mirror of the pre-registry results structs, kept for one
-  /// release so out-of-tree callers can migrate field reads mechanically.
-  /// New code should use the typed accessors.
-  struct Legacy {
-    struct Core {
-      double instructions = 0.0;
-      double cycles = 0.0;
-      double cpi = 0.0;
-      std::uint64_t l2_hits = 0;
-      std::uint64_t l2_misses = 0;
-      WayCount allocated_ways = 0;
-      std::string workload;
-    };
-    std::vector<Core> cores;
-    std::uint64_t l2_accesses = 0;
-    std::uint64_t live_l2_accesses = 0;
-    std::uint64_t l2_misses = 0;
-    double l2_miss_ratio = 0.0;
-    double mean_cpi = 0.0;
-    std::uint64_t epochs = 0;
-    std::uint64_t promotions = 0;
-    std::uint64_t demotions = 0;
-    std::uint64_t offview_hits = 0;
-    std::uint64_t directory_lookups = 0;
-    std::uint64_t dram_reads = 0;
-    std::uint64_t dram_writebacks = 0;
-    std::uint64_t noc_queue_cycles = 0;
-    std::uint64_t inclusion_recalls = 0;
-  };
-  Legacy legacy() const;
-
  private:
   std::vector<CoreResult> cores_;
   obs::Registry metrics_;
@@ -179,13 +148,69 @@ class System {
   /// May be called repeatedly; statistics accumulate across calls.
   void run(std::uint64_t instructions_per_core);
 
+  /// Session-style stepping (the sched::Service run surface): advances the
+  /// simulation until `epochs` epoch boundaries have fired, with no
+  /// per-core instruction quotas — every active core keeps executing until
+  /// the last boundary. With no active cores the epoch clock still
+  /// advances (boundaries fire over an idle machine). Statistics
+  /// accumulate exactly as under run().
+  void step_epochs(std::uint64_t epochs);
+
   /// Program phase change on one core: the generator's reuse structure and
   /// write mix switch to `workload_name` (timing parameters and the mix
   /// labels keep the original workload — the phase changes *what the
   /// program does with memory*, which is what the MSA profiler must chase).
   void switch_workload(CoreId core, std::string_view workload_name);
 
+  /// Tenant admission primitive: rebinds core slot `core` to a fresh
+  /// instance of `workload_name` — coherently flushes the slot's L1 (dirty
+  /// data drains through the directory and L2, exactly as evictions do),
+  /// clears the slot's MSA profile, replaces the trace generator and the
+  /// timer's workload parameters with streams seeded by `stream_salt`, and
+  /// zeroes the slot's per-instruction profile window. Global time never
+  /// rewinds; L2 contents are left to be displaced naturally (a newcomer
+  /// starts cold, its predecessor's lines age out under the new plan).
+  void reset_core(CoreId core, std::string_view workload_name,
+                  std::uint64_t stream_salt);
+
+  /// Idle-slot control: an inactive core is not scheduled by run() or
+  /// step_epochs() — it issues no accesses and its clock freezes — but its
+  /// caches stay in place and stay coherent. Cores start active.
+  void set_core_active(CoreId core, bool active);
+  bool core_active(CoreId core) const { return active_.at(core) != 0; }
+  std::uint32_t num_active_cores() const;
+
+  /// Installs an externally computed partitioning plan (PolicyKind::External
+  /// drivers). The assignment is validated against the allocation, applied
+  /// to the L2, and recorded in allocation_history().
+  void install_partition(const partition::Allocation& allocation,
+                         const partition::BankAssignment& assignment);
+
+  /// Clears all statistics and re-arms the measurement window at the
+  /// current point (what warm_up() does after its run). Simulation
+  /// trajectory is unaffected: only counters, marks and the per-epoch
+  /// series reset. Public so session-style drivers can harvest per-epoch
+  /// deltas and keep the system at a statistics-clean point, where
+  /// save_state() is legal.
+  void reset_measurement();
+
+  /// The workload currently bound to `core` (index into spec2000_suite());
+  /// follows reset_core(), unlike the construction mix.
+  std::size_t bound_workload(CoreId core) const { return bound_workloads_.at(core); }
+
   SystemResults results() const;
+
+  /// Cheap per-core counters for per-epoch harvesting (no registry or
+  /// string work): cumulative since the last statistics reset.
+  struct CoreSample {
+    double instructions = 0.0;
+    double cycles = 0.0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    WayCount ways = 0;
+    bool active = false;
+  };
+  std::vector<CoreSample> sample_cores() const;
 
   const partition::Allocation& current_allocation() const { return allocation_; }
 
@@ -231,6 +256,17 @@ class System {
   /// re-arms the epoch clock. Results differ from a cold per-variant warm-up
   /// by design — this is the opt-in --shared-warmup mode.
   void adopt_warm_state(const snapshot::SystemSnapshot& snapshot);
+
+  /// Composable halves of save_state()/restore_state() for embedders
+  /// (sched::Service) that wrap the system sections in a larger snapshot:
+  /// save_into() appends sections SystemMeta..Timers to `builder` (same
+  /// statistics-clean precondition as save_state()); restore_from() rebuilds
+  /// the components from `view` without checking the stamp — the embedder
+  /// owns the digest, and must have rebound every core (reset_core) to the
+  /// binding live at save time, since generator/timer configs are restored
+  /// by replay, not serialized.
+  void save_into(snapshot::SnapshotBuilder& builder) const;
+  void restore_from(const snapshot::SnapshotView& view);
 
  private:
   /// Per-core statistics frozen at quota completion (cores run on past
@@ -303,6 +339,12 @@ class System {
   partition::Allocation allocation_;
   std::vector<partition::Allocation> allocation_history_;
   std::vector<CoreSnapshot> snapshots_;
+  // Session-layer slot state: scheduling eligibility per core (u8, not
+  // bool, so it serializes through the flat codec unchanged) and the
+  // workload index each slot currently executes (reset_core() moves it off
+  // the construction mix).
+  std::vector<std::uint8_t> active_;
+  std::vector<std::size_t> bound_workloads_;
   // Per-instruction normalization state for epoch profiles (see
   // run_epoch_boundary): total instructions at the last boundary, and an
   // instruction window decayed with the histogram's half-life.

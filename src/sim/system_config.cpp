@@ -12,6 +12,7 @@ const char* to_string(PolicyKind kind) {
     case PolicyKind::NoPartition: return "No-partitions";
     case PolicyKind::EqualPartition: return "Equal-partitions";
     case PolicyKind::BankAware: return "Bank-aware";
+    case PolicyKind::External: return "External";
   }
   return "?";
 }

@@ -13,11 +13,15 @@
 namespace bacp::sim {
 
 /// The three partitioning schemes of the paper's detailed evaluation
-/// (Section IV-B, Figs. 8 and 9).
+/// (Section IV-B, Figs. 8 and 9), plus `External` for session-style
+/// drivers (bacp::sched) that compute plans above the simulator and
+/// install them via System::install_partition() — no epoch boundary ever
+/// repartitions on its own under External.
 enum class PolicyKind {
   NoPartition,     ///< one shared LRU pool
   EqualPartition,  ///< static private 2 MB per core
   BankAware,       ///< dynamic MSA-driven Bank-aware partitioning
+  External,        ///< plans installed by the caller (sched::Service)
 };
 
 const char* to_string(PolicyKind kind);

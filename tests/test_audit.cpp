@@ -14,7 +14,10 @@
 #include "noc/noc.hpp"
 #include "nuca/dnuca_cache.hpp"
 #include "partition/static_policies.hpp"
+#include "sched/sched_audit.hpp"
+#include "sched/service.hpp"
 #include "sim/system.hpp"
+#include "trace/mix.hpp"
 #include "trace/spec2000.hpp"
 
 // Mutation kill-tests: each test plants exactly one corruption through a
@@ -672,6 +675,114 @@ TEST(AuditReportTest, MergeAccumulatesChecksAndViolations) {
   EXPECT_EQ(a.checks, 12u);
   EXPECT_EQ(a.violations.size(), 3u);
   EXPECT_FALSE(a.ok());
+}
+
+}  // namespace
+}  // namespace bacp::audit
+
+namespace bacp::sched {
+/// Test-only backdoor into Service internals (friend of the class).
+struct ServiceTestPeer {
+  static std::vector<std::uint64_t>& slot_tenant(Service& service) {
+    return service.slot_tenant_;
+  }
+  static CoreId& slot(Service& service, std::uint64_t id) {
+    return service.tenants_.at(id).slot;
+  }
+  static WayCount& ways(Service& service, std::uint64_t id) {
+    return service.tenants_.at(id).ways;
+  }
+  static std::size_t& workload(Service& service, std::uint64_t id) {
+    return service.tenants_.at(id).workload;
+  }
+  static void set_slot_active(Service& service, CoreId slot, bool active) {
+    service.system_.set_core_active(slot, active);
+  }
+  static void drop_tenant(Service& service, std::uint64_t id) {
+    service.tenants_.erase(id);
+  }
+};
+}  // namespace bacp::sched
+
+namespace bacp::audit {
+namespace {
+
+using sched::Service;
+using sched::ServiceTestPeer;
+
+/// Two live tenants on slots 0 and 1, a couple of epochs of history.
+Service small_service() {
+  sched::ServiceConfig config;
+  config.system.epoch_cycles = 10'000;
+  config.system.seed = 13;
+  config.finalize();
+  Service service(config, trace::mix_from_names({"gzip", "mesa", "eon", "crafty",
+                                                 "perlbmk", "gap", "vortex", "bzip2"}));
+  service.admit({1, "mcf"});
+  service.admit({2, "swim"});
+  service.step(2);
+  return service;
+}
+
+TEST(AuditSched, CleanServicePassesAndCountsChecks) {
+  const Service service = small_service();
+  const AuditReport report = sched::audit_sched(service);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(AuditSched, KillsOrphanedActiveSlotAfterEviction) {
+  Service service = small_service();
+  service.evict(2);
+  // Resurrect the freed slot's activity behind the scheduler's back — the
+  // exact "orphaned allocation after evict" failure the audit exists for.
+  ServiceTestPeer::set_slot_active(service, 1, true);
+  require_violation(sched::audit_sched(service), Structure::Sched,
+                    "orphaned_active_slot");
+}
+
+TEST(AuditSched, KillsDeactivatedLiveTenant) {
+  Service service = small_service();
+  ServiceTestPeer::set_slot_active(service, 0, false);
+  require_violation(sched::audit_sched(service), Structure::Sched, "tenant_active");
+}
+
+TEST(AuditSched, KillsSlotTableDesync) {
+  Service service = small_service();
+  ServiceTestPeer::slot_tenant(service)[0] = 2;  // both slots now claim tenant 2
+  require_violation(sched::audit_sched(service), Structure::Sched, "slot_ownership");
+}
+
+TEST(AuditSched, KillsTenantPointingAtForeignSlot) {
+  Service service = small_service();
+  ServiceTestPeer::slot(service, 1) = 5;  // a free slot tenant 1 does not own
+  require_violation(sched::audit_sched(service), Structure::Sched, "slot_ownership");
+}
+
+TEST(AuditSched, KillsOutOfRangeSlot) {
+  Service service = small_service();
+  ServiceTestPeer::slot(service, 1) = 64;
+  require_violation(sched::audit_sched(service), Structure::Sched, "tenant_slot_range");
+}
+
+TEST(AuditSched, KillsStaleSlotOwner) {
+  Service service = small_service();
+  ServiceTestPeer::drop_tenant(service, 2);  // slot 1 now names a ghost
+  require_violation(sched::audit_sched(service), Structure::Sched,
+                    "orphaned_slot_owner");
+}
+
+TEST(AuditSched, KillsAllocationDrift) {
+  Service service = small_service();
+  ServiceTestPeer::ways(service, 1) += 1;
+  require_violation(sched::audit_sched(service), Structure::Sched,
+                    "allocation_agreement");
+}
+
+TEST(AuditSched, KillsWorkloadRebindingBehindTheScheduler) {
+  Service service = small_service();
+  ServiceTestPeer::workload(service, 1) += 1;
+  require_violation(sched::audit_sched(service), Structure::Sched, "workload_binding");
 }
 
 }  // namespace

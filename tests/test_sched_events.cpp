@@ -1,0 +1,152 @@
+#include "sched/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+// The churn event stream is an ingestion surface: every malformed line must
+// fail with a positioned "line N: ..." error, never a silently dropped or
+// repaired event. The generator side must be a pure function of its config
+// and structurally admissible (never over-admits, never evicts a stranger).
+
+namespace bacp::sched {
+namespace {
+
+TEST(SchedEvents, ParsesWellFormedStream) {
+  const auto result = parse_events(
+      "# fleet warm-up\n"
+      "\n"
+      "0 admit 1 gzip\n"
+      "0 admit 2 mcf   # same-epoch ties keep file order\n"
+      "10 evict 1\n"
+      "10 admit 3 swim\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.events.size(), 4u);
+  EXPECT_EQ(result.events[0].epoch, 0u);
+  EXPECT_EQ(result.events[0].kind, EventKind::Admit);
+  EXPECT_EQ(result.events[0].tenant, 1u);
+  EXPECT_EQ(result.events[0].workload, "gzip");
+  EXPECT_EQ(result.events[2].kind, EventKind::Evict);
+  EXPECT_EQ(result.events[2].tenant, 1u);
+  EXPECT_EQ(result.events[2].workload, "");
+  EXPECT_EQ(result.events[3].epoch, 10u);
+}
+
+TEST(SchedEvents, FormatRoundTrips) {
+  const std::string text = "0 admit 7 gzip\n5 evict 7\n5 admit 8 art\n";
+  const auto parsed = parse_events(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(format_events(parsed.events), text);
+}
+
+TEST(SchedEvents, RejectsMalformedEpoch) {
+  const auto result = parse_events("10k admit 1 gzip\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 1"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("bad epoch '10k'"), std::string::npos) << result.error;
+}
+
+TEST(SchedEvents, RejectsMalformedTenantId) {
+  const auto result = parse_events("0 admit 1 gzip\n3 evict -2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("bad tenant id '-2'"), std::string::npos) << result.error;
+}
+
+TEST(SchedEvents, RejectsUnknownEventKind) {
+  const auto result = parse_events("0 spawn 1 gzip\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unknown event kind 'spawn'"), std::string::npos)
+      << result.error;
+}
+
+TEST(SchedEvents, RejectsUnknownWorkload) {
+  const auto result = parse_events("0 admit 1 notabenchmark\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unknown workload 'notabenchmark'"), std::string::npos)
+      << result.error;
+}
+
+TEST(SchedEvents, RejectsWrongArity) {
+  const auto missing = parse_events("0 admit 1\n");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error.find("line 1"), std::string::npos) << missing.error;
+
+  const auto extra = parse_events("0 evict 1 gzip\n");
+  ASSERT_FALSE(extra.ok());
+  EXPECT_NE(extra.error.find("evict takes exactly"), std::string::npos) << extra.error;
+
+  const auto bare = parse_events("7\n");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_NE(bare.error.find("line 1"), std::string::npos) << bare.error;
+}
+
+TEST(SchedEvents, RejectsEpochRegression) {
+  const auto result = parse_events("5 admit 1 gzip\n4 evict 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("regresses"), std::string::npos) << result.error;
+}
+
+TEST(SchedEvents, MissingFileReportsThroughErrorChannel) {
+  const auto result = parse_events_file("/nonexistent/churn.events");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot read"), std::string::npos) << result.error;
+}
+
+TEST(SchedEvents, GeneratorIsDeterministic) {
+  ChurnConfig config;
+  config.epochs = 400;
+  config.seed = 7;
+  const auto first = generate_churn(config);
+  const auto second = generate_churn(config);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].epoch, second[i].epoch);
+    EXPECT_EQ(first[i].kind, second[i].kind);
+    EXPECT_EQ(first[i].tenant, second[i].tenant);
+    EXPECT_EQ(first[i].workload, second[i].workload);
+  }
+  EXPECT_FALSE(first.empty());
+
+  ChurnConfig reseeded = config;
+  reseeded.seed = 8;
+  EXPECT_NE(format_events(generate_churn(reseeded)), format_events(first));
+}
+
+TEST(SchedEvents, GeneratorRoundTripsThroughParser) {
+  ChurnConfig config;
+  config.epochs = 300;
+  const auto events = generate_churn(config);
+  const auto reparsed = parse_events(format_events(events));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(reparsed.events.size(), events.size());
+}
+
+TEST(SchedEvents, GeneratorNeverOverAdmitsOrEvictsStrangers) {
+  ChurnConfig config;
+  config.epochs = 1000;
+  config.num_slots = 4;
+  config.arrival_rate = 3.0;  // well above capacity: forces balking
+  config.min_residency = 2;
+  config.max_residency = 9;
+  const auto events = generate_churn(config);
+
+  std::vector<std::uint64_t> live;
+  for (const Event& event : events) {
+    if (event.kind == EventKind::Admit) {
+      for (const std::uint64_t id : live) ASSERT_NE(id, event.tenant);
+      live.push_back(event.tenant);
+      ASSERT_LE(live.size(), config.num_slots) << "over-admitted at epoch " << event.epoch;
+      EXPECT_FALSE(event.workload.empty());
+    } else {
+      const auto it = std::find(live.begin(), live.end(), event.tenant);
+      ASSERT_NE(it, live.end()) << "evicted unknown tenant " << event.tenant;
+      live.erase(it);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bacp::sched

@@ -195,20 +195,6 @@ TEST(System, DramAndNocStatsAreWired) {
   EXPECT_NE(results.metrics().find_counter("noc.migration_transfers"), nullptr);
 }
 
-TEST(System, LegacyViewMirrorsAccessors) {
-  System system(fast_config(PolicyKind::EqualPartition), capacity_diverse_mix());
-  system.warm_up(100'000);
-  system.run(200'000);
-  const auto results = system.results();
-  const auto legacy = results.legacy();
-  ASSERT_EQ(legacy.cores.size(), results.cores().size());
-  EXPECT_EQ(legacy.l2_misses, results.l2_misses());
-  EXPECT_EQ(legacy.epochs, results.epochs());
-  EXPECT_DOUBLE_EQ(legacy.mean_cpi, results.mean_cpi());
-  EXPECT_EQ(legacy.cores[0].workload, results.cores()[0].workload());
-  EXPECT_EQ(legacy.cores[0].l2_misses, results.cores()[0].l2_misses());
-}
-
 TEST(System, InclusionRecallsHappenUnderPressure) {
   // At full scale the L2 is so much larger than the L1s that evicted lines
   // have long left the L1; shrink the L2 so evictions catch live L1 copies
