@@ -60,6 +60,7 @@ benches=(
   bench_ablation_profiler_accuracy
   bench_micro_components
   bench_perf_throughput
+  bench_sched_churn
 )
 
 failed=0

@@ -21,6 +21,7 @@ const char* to_string(Structure structure) {
     case Structure::Cross: return "cross";
     case Structure::Snapshot: return "snapshot";
     case Structure::Sched: return "sched";
+    case Structure::Shard: return "shard";
   }
   return "?";
 }

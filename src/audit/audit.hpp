@@ -33,6 +33,7 @@ enum class Structure : std::uint8_t {
   Cross,      ///< cross-structure agreement (inclusion, directory vs. L1s)
   Snapshot,   ///< snapshot buffer framing (header, section table, checksums)
   Sched,      ///< sched::Service tenant table vs. system slot/allocation state
+  Shard,      ///< Monte-Carlo shard set legality (coverage, ownership, digests)
 };
 const char* to_string(Structure structure);
 

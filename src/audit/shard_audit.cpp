@@ -1,0 +1,142 @@
+#include "audit/shard_audit.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bacp::audit {
+
+namespace {
+
+void violation(AuditReport& report, std::string field, std::string expected,
+               std::string actual, std::uint64_t shard = kNoIndex) {
+  Violation entry;
+  entry.structure = Structure::Shard;
+  entry.object = "shard_set";
+  entry.field = std::move(field);
+  entry.set = shard;  // shard id in the set coordinate
+  entry.expected = std::move(expected);
+  entry.actual = std::move(actual);
+  report.violations.push_back(std::move(entry));
+}
+
+}  // namespace
+
+AuditReport audit_shard_merge(std::span<const ShardMergeInput> shards) {
+  AuditReport report;
+
+  ++report.checks;
+  if (shards.empty()) {
+    violation(report, "shard_count", "at least one shard artifact", "none");
+    return report;
+  }
+
+  // Shape agreement: every artifact must describe the same sharded sweep.
+  const ShardMergeInput& first = shards.front();
+  ++report.checks;
+  if (first.shards == 0) {
+    violation(report, "shards_field", "shards > 0", "0", first.shard_id);
+    return report;
+  }
+  for (const ShardMergeInput& shard : shards) {
+    ++report.checks;
+    if (shard.shards != first.shards) {
+      violation(report, "shards_agreement", std::to_string(first.shards) + " shards",
+                std::to_string(shard.shards) + " shards", shard.shard_id);
+    }
+    ++report.checks;
+    if (shard.trials != first.trials) {
+      violation(report, "trials_agreement", std::to_string(first.trials) + " trials",
+                std::to_string(shard.trials) + " trials", shard.shard_id);
+    }
+    ++report.checks;
+    if (shard.config_digest != first.config_digest) {
+      violation(report, "config_digest",
+                "digest " + std::to_string(first.config_digest),
+                "digest " + std::to_string(shard.config_digest), shard.shard_id);
+    }
+  }
+  if (!report.ok()) return report;  // ids/coverage below assume one shape
+
+  // Every shard id in [0, shards) exactly once — no slice missing, none
+  // merged twice.
+  ++report.checks;
+  if (shards.size() != first.shards) {
+    violation(report, "shard_set_size", std::to_string(first.shards) + " artifacts",
+              std::to_string(shards.size()) + " artifacts");
+  }
+  std::vector<std::uint32_t> seen(first.shards, 0);
+  for (const ShardMergeInput& shard : shards) {
+    ++report.checks;
+    if (shard.shard_id >= first.shards) {
+      violation(report, "shard_id_range", "shard id < " + std::to_string(first.shards),
+                std::to_string(shard.shard_id), shard.shard_id);
+      continue;
+    }
+    ++report.checks;
+    if (++seen[shard.shard_id] > 1) {
+      violation(report, "shard_id_unique", "each shard id once",
+                "shard id " + std::to_string(shard.shard_id) + " appears " +
+                    std::to_string(seen[shard.shard_id]) + " times",
+                shard.shard_id);
+    }
+  }
+  if (!report.ok()) return report;
+
+  // Ownership and coverage: trial t belongs to shard t % shards and to no
+  // other (so no trial's mix can be double-counted), indices are strictly
+  // ascending within a shard, and together the shards carry every trial of
+  // the unsharded sweep exactly once.
+  std::uint64_t covered = 0;
+  for (const ShardMergeInput& shard : shards) {
+    std::uint64_t previous = 0;
+    bool have_previous = false;
+    for (const std::uint64_t trial : shard.trial_indices) {
+      ++report.checks;
+      if (trial >= first.trials) {
+        violation(report, "trial_range", "trial < " + std::to_string(first.trials),
+                  "trial " + std::to_string(trial), shard.shard_id);
+        continue;
+      }
+      ++report.checks;
+      if (trial % first.shards != shard.shard_id) {
+        violation(report, "trial_ownership",
+                  "trial % " + std::to_string(first.shards) + " == " +
+                      std::to_string(shard.shard_id),
+                  "trial " + std::to_string(trial) + " owned by shard " +
+                      std::to_string(trial % first.shards),
+                  shard.shard_id);
+      }
+      ++report.checks;
+      if (have_previous && trial <= previous) {
+        violation(report, "trial_order", "strictly ascending trial indices",
+                  std::to_string(trial) + " after " + std::to_string(previous),
+                  shard.shard_id);
+      }
+      previous = trial;
+      have_previous = true;
+    }
+    // Per-shard completeness: shard k owns ceil((trials - k) / shards)
+    // trials; duplicates are excluded by the ascending check above.
+    const std::uint64_t owned =
+        first.trials > shard.shard_id
+            ? (first.trials - shard.shard_id + first.shards - 1) / first.shards
+            : 0;
+    ++report.checks;
+    if (shard.trial_indices.size() != owned) {
+      violation(report, "shard_coverage",
+                std::to_string(owned) + " owned trials carried",
+                std::to_string(shard.trial_indices.size()) + " carried",
+                shard.shard_id);
+    }
+    covered += shard.trial_indices.size();
+  }
+  ++report.checks;
+  if (report.ok() && covered != first.trials) {
+    violation(report, "total_coverage", std::to_string(first.trials) + " trials covered",
+              std::to_string(covered) + " covered");
+  }
+
+  return report;
+}
+
+}  // namespace bacp::audit

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "audit/audit.hpp"
+
+namespace bacp::audit {
+
+/// What one Monte-Carlo shard artifact claims about itself, stripped to the
+/// facts the merge-legality audit needs. The audit layer stays independent
+/// of the harness: harness::shard_io builds these from parsed artifacts and
+/// the auditor never sees file formats or trial payloads.
+struct ShardMergeInput {
+  std::uint32_t shards = 0;    ///< shard count the run was split into
+  std::uint32_t shard_id = 0;  ///< this shard's position in [0, shards)
+  std::uint64_t trials = 0;    ///< total trials of the *unsharded* sweep
+  std::uint64_t config_digest = 0;  ///< sweep-config fingerprint
+  std::vector<std::uint64_t> trial_indices;  ///< trials this shard carries
+};
+
+/// Merge-legality audit over a set of shard artifacts: the shards agree on
+/// the sweep shape (shards / trials / config digest); every shard id in
+/// [0, shards) appears exactly once; each carried trial index is in range,
+/// owned by its shard (trial % shards == shard_id, so no mix can be
+/// double-counted), strictly ascending within the shard, and the union
+/// covers every trial of the unsharded sweep exactly once. Violations are
+/// data, not aborts — the merge step decides to refuse.
+AuditReport audit_shard_merge(std::span<const ShardMergeInput> shards);
+
+}  // namespace bacp::audit

@@ -120,10 +120,17 @@ std::optional<LookupResult> SetAssocCache::find(BlockAddress block) const {
   const std::uint64_t valid = meta_[set].valid;
   if (valid == 0) return std::nullopt;
   const BlockAddress* tags = tags_.data() + line_index(set, 0);
-  for (WayIndex way = 0; way < config_.ways; ++way) {
-    if (tags[way] == block && ((valid >> way) & 1) != 0) {
-      return LookupResult{true, way};
-    }
+  // Vectorized first-match scan over the contiguous tag column. A matching
+  // tag in an *invalid* way (stale bytes left by invalidate) must not stop
+  // the search — resume past it, exactly as the scalar way loop would.
+  WayIndex way = 0;
+  while (way < config_.ways) {
+    const std::uint32_t found =
+        common::simd::find_first_equal_u64(tags + way, config_.ways - way, block);
+    if (found == common::simd::kLaneNotFound) break;
+    way = static_cast<WayIndex>(way + found);
+    if (((valid >> way) & 1) != 0) return LookupResult{true, way};
+    ++way;
   }
   return std::nullopt;
 }
@@ -154,6 +161,11 @@ FillResult SetAssocCache::fill(BlockAddress block, CoreId core, bool dirty) {
   const std::uint64_t invalid_owned = owned & ~meta_[set].valid;
   if (invalid_owned != 0) {
     victim = static_cast<WayIndex>(std::countr_zero(invalid_owned));
+  } else if (std::has_single_bit(owned)) {
+    // A one-way partition (the equal-partition default) has exactly one
+    // candidate — the recency walk below would only rediscover it through
+    // a chain of dependent link loads.
+    victim = static_cast<WayIndex>(std::countr_zero(owned));
   } else {
     const std::uint8_t* links = links_.data() + link_index(set, 0);
     for (WayIndex way = meta_[set].tail; way != kNil;
@@ -247,6 +259,24 @@ std::optional<Line> SetAssocCache::lru_line_for_core(BlockAddress block, CoreId 
     if (((owned >> way) & 1) != 0 && ((valid >> way) & 1) != 0) {
       return line_at(set, way);
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockAddress> SetAssocCache::peek_victim(BlockAddress block,
+                                                       CoreId core) const {
+  // Mirrors fill()'s selection: an invalid owned way means no eviction;
+  // otherwise the LRU-most owned way's current occupant is the victim.
+  const std::uint32_t set = set_index(block);
+  const std::uint64_t owned = owned_ways_[core];
+  if (owned == 0 || (owned & ~meta_[set].valid) != 0) return std::nullopt;
+  if (std::has_single_bit(owned)) {
+    return tags_[line_index(set, static_cast<WayIndex>(std::countr_zero(owned)))];
+  }
+  const std::uint8_t* links = links_.data() + link_index(set, 0);
+  for (WayIndex way = meta_[set].tail; way != kNil;
+       way = links[std::size_t{way} * 2]) {
+    if (((owned >> way) & 1) != 0) return tags_[line_index(set, way)];
   }
   return std::nullopt;
 }

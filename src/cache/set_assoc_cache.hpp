@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace bacp::audit {
@@ -122,6 +123,13 @@ class SetAssocCache {
   /// invalid.
   std::optional<Line> lru_line_for_core(BlockAddress block, CoreId core) const;
 
+  /// Mutation-free preview of the block a fill(block, core, ...) would
+  /// evict right now: empty when the core owns an invalid way (no eviction)
+  /// or owns no ways at all. Prefetch-planning hint for the batched
+  /// pipeline — any mutation between peek and fill can change the real
+  /// victim, costing only a wasted prefetch.
+  std::optional<BlockAddress> peek_victim(BlockAddress block, CoreId core) const;
+
   /// Replaces the per-way core masks. Resident lines are untouched: after a
   /// repartition, stale data in reassigned ways is displaced naturally by
   /// the new owner's fills (paper Section III-B).
@@ -150,6 +158,29 @@ class SetAssocCache {
 
   std::uint32_t set_index(BlockAddress block) const {
     return static_cast<std::uint32_t>(block & (config_.num_sets - 1));
+  }
+
+  /// True iff `block` is valid in this bank at exactly `way` — one valid-bit
+  /// plus one tag compare, no recency effects. The batched pipeline's replay
+  /// certifies a probe-stage hit verdict with this: a block resides in at
+  /// most one bank, so a matching valid tag *is* the residency, and the
+  /// replay can skip re-probing the residency index. Any intra-batch
+  /// displacement (eviction, migration) fails the check and the lane falls
+  /// back to the full lookup.
+  bool holds_at(BlockAddress block, WayIndex way) const {
+    const std::uint32_t set = set_index(block);
+    return ((meta_[set].valid >> way) & 1u) != 0 &&
+           tags_[line_index(set, way)] == block;
+  }
+
+  /// Read-prefetches the set metadata, tag column and recency links for
+  /// `block`'s set. The batched pipeline issues these one batch ahead of
+  /// the authoritative scalar replay so the per-set lines are warm.
+  void prefetch_set(BlockAddress block) const {
+    const std::uint32_t set = set_index(block);
+    common::simd::prefetch_read(&meta_[set]);
+    common::simd::prefetch_read(tags_.data() + line_index(set, 0));
+    common::simd::prefetch_read(links_.data() + link_index(set, 0));
   }
 
  private:

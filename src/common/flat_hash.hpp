@@ -3,10 +3,13 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/huge_alloc.hpp"
+#include "common/simd.hpp"
 
 namespace bacp::common {
 
@@ -50,12 +53,29 @@ class FlatHash64 {
     return slot == kNotFound ? nullptr : &slots_[slot].value;
   }
 
+  /// Issues a read prefetch for `key`'s probe line. The batched access
+  /// pipeline resolves probe addresses a whole batch ahead of the lookups,
+  /// so the table's (cold, multi-MB) slot array misses overlap instead of
+  /// serializing — the mutating find() that follows still decides.
+  void prefetch(Key key) const { simd::prefetch_read(&slots_[ideal_slot(key)]); }
+
+  /// Batched lookup: out[i] = find(keys[i]) for each of the `count` keys.
+  /// Same probe sequence and results as scalar find(); when the slot layout
+  /// is SIMD-eligible (16-byte slots), the probe runs four slots per step.
+  /// Pointers obey the same invalidation rule as find().
+  void find_batch(const Key* keys, std::uint32_t count, Value** out) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t slot = find_slot(keys[i]);
+      out[i] = slot == kNotFound ? nullptr : &slots_[slot].value;
+    }
+  }
+
   /// Returns the value for `key`, default-constructing it if absent (the
   /// `operator[]` idiom).
   Value& find_or_emplace(Key key) {
-    if (Value* existing = find(key)) return *existing;
-    grow_if_needed();
-    const std::size_t slot = insert_position(key);
+    auto [slot, matched] = probe_run(key);
+    if (matched) return slots_[slot].value;
+    if (grow_if_needed()) slot = insert_position(key);
     slots_[slot].key = key;
     slots_[slot].value = Value{};
     slots_[slot].occupied = true;
@@ -64,12 +84,12 @@ class FlatHash64 {
   }
 
   void insert_or_assign(Key key, Value value) {
-    if (Value* existing = find(key)) {
-      *existing = std::move(value);
+    auto [slot, matched] = probe_run(key);
+    if (matched) {
+      slots_[slot].value = std::move(value);
       return;
     }
-    grow_if_needed();
-    const std::size_t slot = insert_position(key);
+    if (grow_if_needed()) slot = insert_position(key);
     slots_[slot].key = key;
     slots_[slot].value = std::move(value);
     slots_[slot].occupied = true;
@@ -124,18 +144,47 @@ class FlatHash64 {
   static constexpr std::size_t kMaxLoadNum = 7;
   static constexpr std::size_t kMaxLoadDen = 8;
 
+  // The SIMD group probe reads raw slot bytes under the probe_group16
+  // layout contract (16-byte slots, key at 0, occupancy byte at 12); any
+  // Value that packs differently transparently keeps the scalar probe.
+  static constexpr bool kGroupProbeEligible =
+      std::is_standard_layout_v<Slot> && std::is_trivially_copyable_v<Value> &&
+      sizeof(Slot) == simd::detail::kGroupSlotBytes &&
+      offsetof(Slot, key) == 0 &&
+      offsetof(Slot, occupied) == simd::detail::kGroupOccupiedOffset;
+
   std::size_t ideal_slot(Key key) const {
     // Fibonacci multiplicative hash; the high bits select the slot.
     return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
   }
 
-  std::size_t find_slot(Key key) const {
+  /// One probe walk that serves every operation: returns key's slot with
+  /// matched == true, or — key absent — the empty slot that ended the run
+  /// (exactly where insert_position() would land the key) with matched ==
+  /// false. In the SIMD tiers one dispatched call probes the entire run
+  /// four slots per step — tier check and call overhead paid once per
+  /// lookup, not per group (a 7/8-load table keeps runs short, so per-group
+  /// dispatch used to cost more than the vector compare saved).
+  std::pair<std::size_t, bool> probe_run(Key key) const {
     std::size_t slot = ideal_slot(key);
+    if constexpr (kGroupProbeEligible) {
+      if (simd::active_tier() == simd::Tier::Avx2) {
+        const std::uint64_t run = simd::detail::probe_run16_avx2(
+            reinterpret_cast<const unsigned char*>(slots_.data()), mask_, slot, key);
+        return {static_cast<std::size_t>(run >> 1),
+                (run & simd::detail::kRunMatch) != 0};
+      }
+    }
     while (slots_[slot].occupied) {
-      if (slots_[slot].key == key) return slot;
+      if (slots_[slot].key == key) return {slot, true};
       slot = (slot + 1) & mask_;
     }
-    return kNotFound;
+    return {slot, false};
+  }
+
+  std::size_t find_slot(Key key) const {
+    const auto [slot, matched] = probe_run(key);
+    return matched ? slot : kNotFound;
   }
 
   std::size_t insert_position(Key key) const {
@@ -144,15 +193,18 @@ class FlatHash64 {
     return slot;
   }
 
-  void grow_if_needed() {
+  /// Returns true when a rehash happened (probe-run slots are stale then).
+  bool grow_if_needed() {
     if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
       rehash(capacity() * 2);
+      return true;
     }
+    return false;
   }
 
   void rehash(std::size_t new_capacity) {
     BACP_ASSERT(std::has_single_bit(new_capacity), "capacity must be a power of two");
-    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<Slot, HugePageAlloc<Slot>> old_slots = std::move(slots_);
     slots_.assign(new_capacity, Slot{});
     mask_ = new_capacity - 1;
     shift_ = 64 - static_cast<std::uint32_t>(std::countr_zero(new_capacity));
@@ -163,7 +215,10 @@ class FlatHash64 {
     }
   }
 
-  std::vector<Slot> slots_;
+  // Hugepage-advised storage: the table is the large random-access
+  // structure on the access path, and TLB-resident probes are what let the
+  // pipeline's prefetches issue at all (see HugePageAlloc).
+  std::vector<Slot, HugePageAlloc<Slot>> slots_;
   std::size_t mask_ = 0;
   std::uint32_t shift_ = 64;
   std::size_t size_ = 0;

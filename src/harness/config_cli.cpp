@@ -31,6 +31,13 @@ double read_double(const common::ArgParser& parser, const EnvFlag& knob, double 
   return parser.get_double_or_fail(knob.flag, backed);
 }
 
+std::string read_string(const common::ArgParser& parser, const EnvFlag& knob,
+                        const std::string& fallback) {
+  const std::string backed =
+      knob.env[0] != '\0' ? common::env_string(knob.env, fallback) : fallback;
+  return parser.get(knob.flag, backed);
+}
+
 std::size_t read_threads(const common::ArgParser& parser, std::size_t fallback) {
   return static_cast<std::size_t>(read_u64(parser, kThreadsKnob, fallback));
 }

@@ -34,6 +34,8 @@ std::pair<std::string, std::string> bool_flag(const char* flag, const char* help
 std::uint64_t read_u64(const common::ArgParser& parser, const EnvFlag& knob,
                        std::uint64_t fallback);
 double read_double(const common::ArgParser& parser, const EnvFlag& knob, double fallback);
+std::string read_string(const common::ArgParser& parser, const EnvFlag& knob,
+                        const std::string& fallback);
 
 /// The repo-wide scale knobs. Binaries that take one of these MUST take it
 /// through the shared definition; the names and env vars are part of the
@@ -48,6 +50,15 @@ inline constexpr EnvFlag kTrialsKnob{"trials", "BACP_MC_TRIALS", "Monte-Carlo tr
 inline constexpr EnvFlag kMcSeedKnob{"seed", "BACP_MC_SEED", "Monte-Carlo seed"};
 inline constexpr EnvFlag kThreadsKnob{"threads", "BACP_THREADS",
                                       "worker threads, 0 = hardware"};
+inline constexpr EnvFlag kBatchKnob{"batch-size", "BACP_BATCH",
+                                    "access pipeline batch size, 0 = built-in default"};
+inline constexpr EnvFlag kShardsKnob{"shards", "BACP_MC_SHARDS",
+                                     "Monte-Carlo process shard count"};
+inline constexpr EnvFlag kShardIdKnob{"shard-id", "BACP_MC_SHARD_ID",
+                                      "this process's shard index in [0, shards)"};
+inline constexpr EnvFlag kSnapshotBankKnob{
+    "snapshot-bank", "BACP_SNAPSHOT_BANK",
+    "directory for file-backed warm-state snapshots, empty = in-memory only"};
 
 /// The shared `--threads` / BACP_THREADS knob. Every sweep in the repo is
 /// deterministic for any worker count, so this is purely a speed dial.

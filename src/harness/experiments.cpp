@@ -95,6 +95,7 @@ sim::SystemResults run_policy(sim::PolicyKind policy, const trace::WorkloadMix& 
   system_config.finalize();
 
   sim::System system(system_config, mix);
+  if (config.batch_size != 0) system.set_batch_size(config.batch_size);
   warm_system(system, mix, config.warmup_instructions, cache, config.shared_warmup);
   {
     const auto timer = obs::global_phase_timers().scope("simulate");
@@ -125,6 +126,7 @@ SetComparison run_set_comparison(const std::string& label, const trace::Workload
   // Three independent simulations over the same reference streams (the
   // seed, not shared state, ties them together) — fan them out.
   SnapshotCache cache;
+  if (!config.snapshot_bank.empty()) cache.set_file_bank(config.snapshot_bank);
   SnapshotCache* cache_ptr = config.snapshot_reuse ? &cache : nullptr;
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(kComparisonPolicies.size(), [&](std::size_t policy) {
@@ -147,6 +149,7 @@ std::vector<SetComparison> run_detailed_sweep(std::span<const ExperimentSet> set
   // One flat set x policy task list: with per-set fan-out a fast set's
   // workers would idle while the slowest policy run of that set finishes.
   SnapshotCache cache;
+  if (!config.snapshot_bank.empty()) cache.set_file_bank(config.snapshot_bank);
   SnapshotCache* cache_ptr = config.snapshot_reuse ? &cache : nullptr;
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(sets.size() * kComparisonPolicies.size(), [&](std::size_t task) {

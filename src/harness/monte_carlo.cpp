@@ -23,6 +23,8 @@ std::vector<std::pair<std::string, std::string>> MonteCarloConfig::cli_flags() {
       value_flag(kTrialsKnob),
       value_flag(kMcSeedKnob),
       value_flag(kThreadsKnob),
+      value_flag(kShardsKnob),
+      value_flag(kShardIdKnob),
   };
 }
 
@@ -31,6 +33,9 @@ MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
   config.trials = static_cast<std::size_t>(read_u64(parser, kTrialsKnob, config.trials));
   config.seed = read_u64(parser, kMcSeedKnob, config.seed);
   config.num_threads = read_threads(parser, config.num_threads);
+  config.shards = static_cast<std::uint32_t>(read_u64(parser, kShardsKnob, config.shards));
+  config.shard_id =
+      static_cast<std::uint32_t>(read_u64(parser, kShardIdKnob, config.shard_id));
   return config;
 }
 
@@ -69,6 +74,8 @@ std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
 
 MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
   BACP_ASSERT(config.trials > 0, "need at least one trial");
+  BACP_ASSERT(config.shards > 0, "need at least one shard");
+  BACP_ASSERT(config.shard_id < config.shards, "shard id outside [0, shards)");
   config.geometry.validate();
   const auto& suite = trace::spec2000_suite();
   const WayCount even_share =
@@ -77,10 +84,19 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
   MonteCarloSummary summary;
   summary.trials.resize(config.trials);
 
+  // Owned slice: trial = shard_id, shard_id + shards, ... Trial RNG streams
+  // are seeded by the *global* trial index, so shard k evaluates exactly the
+  // mixes the unsharded sweep would assign to those slots.
+  const std::size_t owned =
+      config.trials > config.shard_id
+          ? (config.trials - config.shard_id + config.shards - 1) / config.shards
+          : 0;
+
   const auto timer = obs::global_phase_timers().scope("monte_carlo");
   const auto bank = suite_curve_bank(config.curve_depth);
   common::ThreadPool pool(config.num_threads);
-  pool.parallel_for(config.trials, [&](std::size_t trial) {
+  pool.parallel_for(owned, [&](std::size_t index) {
+    const std::size_t trial = config.shard_id + index * config.shards;
     // Per-trial RNG stream: identical mixes regardless of thread count.
     common::Rng rng(config.seed, trial);
     TrialResult result;
@@ -102,10 +118,16 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
     summary.trials[trial] = std::move(result);
   });
 
+  // A shard carries holes by design; only a complete sweep finalizes here.
+  if (config.shards == 1) finalize_monte_carlo(summary);
+  return summary;
+}
+
+void finalize_monte_carlo(MonteCarloSummary& summary) {
   std::vector<double> unrestricted_ratios;
   std::vector<double> bank_ratios;
-  unrestricted_ratios.reserve(config.trials);
-  bank_ratios.reserve(config.trials);
+  unrestricted_ratios.reserve(summary.trials.size());
+  bank_ratios.reserve(summary.trials.size());
   for (const auto& trial : summary.trials) {
     BACP_ASSERT(trial.fixed_share_misses > 0.0, "degenerate mix with zero misses");
     unrestricted_ratios.push_back(trial.unrestricted_ratio());
@@ -113,7 +135,6 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
   }
   summary.mean_unrestricted_ratio = common::arithmetic_mean(unrestricted_ratios);
   summary.mean_bank_aware_ratio = common::arithmetic_mean(bank_ratios);
-  return summary;
 }
 
 obs::Report monte_carlo_report(const MonteCarloConfig& config,

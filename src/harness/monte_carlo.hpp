@@ -22,6 +22,11 @@ struct MonteCarloConfig {
   partition::CmpGeometry geometry;
   WayCount curve_depth = 128;
   std::size_t num_threads = 0;  ///< 0 = hardware concurrency
+  /// Process sharding: trial t is owned by shard t % shards, so a sweep
+  /// splits across machines without coordination. shards == 1 is the
+  /// ordinary single-process sweep.
+  std::uint32_t shards = 1;
+  std::uint32_t shard_id = 0;
 
   MonteCarloConfig& with_trials(std::size_t value) {
     trials = value;
@@ -41,6 +46,14 @@ struct MonteCarloConfig {
   }
   MonteCarloConfig& with_num_threads(std::size_t value) {
     num_threads = value;
+    return *this;
+  }
+  MonteCarloConfig& with_shards(std::uint32_t value) {
+    shards = value;
+    return *this;
+  }
+  MonteCarloConfig& with_shard_id(std::uint32_t value) {
+    shard_id = value;
     return *this;
   }
 
@@ -73,8 +86,19 @@ struct MonteCarloSummary {
 };
 
 /// Runs the sweep across a thread pool. Deterministic for a fixed seed
-/// regardless of thread count (per-trial RNG streams).
+/// regardless of thread count (per-trial RNG streams). With config.shards
+/// > 1 only the owned slice (trial % shards == shard_id) is evaluated:
+/// unowned entries of the returned summary stay default-initialized and the
+/// headline means stay zero — shard_io's merge reassembles the full trial
+/// vector from every shard's artifact and finalizes the combined summary,
+/// so the merged report is byte-identical to an unsharded run.
 MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config);
+
+/// Computes the headline mean ratios from a *complete* trial vector (every
+/// slot evaluated). Shared by the unsharded path and the shard merge; the
+/// zero-miss assert fires on any unevaluated slot, so a summary with holes
+/// cannot be finalized by accident.
+void finalize_monte_carlo(MonteCarloSummary& summary);
 
 /// The canonical Fig. 7 result artifact: headline mean ratios, the outlier
 /// count (mixes where bank-aware lost to the fixed split), a ratio

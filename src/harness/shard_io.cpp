@@ -1,0 +1,246 @@
+#include "harness/shard_io.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "audit/shard_audit.hpp"
+#include "common/assert.hpp"
+
+namespace bacp::harness {
+
+namespace {
+
+constexpr const char* kMagicLine = "bacp_shard_v1";
+
+/// FNV-1a fold of one 64-bit scalar, the repo's digest hash family.
+std::uint64_t fold(std::uint64_t hash, std::uint64_t value) {
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xFF;
+    hash *= 0x00000100000001B3ull;
+  }
+  return hash;
+}
+
+/// Reads one "key=value" line and returns the value; aborts if the line is
+/// missing or carries a different key.
+std::string expect_field(std::istream& in, const char* key) {
+  std::string line;
+  BACP_ASSERT(static_cast<bool>(std::getline(in, line)), "shard artifact truncated");
+  const std::size_t eq = line.find('=');
+  BACP_ASSERT(eq != std::string::npos, "shard artifact line is not key=value");
+  BACP_ASSERT(line.substr(0, eq) == key, "shard artifact field out of order");
+  return line.substr(eq + 1);
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  BACP_ASSERT(!text.empty(), "empty integer in shard artifact");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    BACP_ASSERT(c >= '0' && c <= '9', "malformed integer in shard artifact");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::uint64_t parse_hex64(const std::string& text) {
+  BACP_ASSERT(!text.empty(), "empty hex field in shard artifact");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      BACP_ASSERT(false, "malformed hex field in shard artifact");
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer);
+}
+
+/// Doubles cross the artifact as bit patterns: decimal text would round and
+/// the merged report would drift from the unsharded one.
+std::string double_bits(double value) {
+  return hex64(std::bit_cast<std::uint64_t>(value));
+}
+
+double bits_double(const std::string& text) {
+  return std::bit_cast<double>(parse_hex64(text));
+}
+
+}  // namespace
+
+std::uint64_t monte_carlo_digest(const MonteCarloConfig& config) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;  // FNV offset basis
+  hash = fold(hash, config.trials);
+  hash = fold(hash, config.seed);
+  hash = fold(hash, config.curve_depth);
+  hash = fold(hash, config.geometry.num_cores);
+  hash = fold(hash, config.geometry.num_banks);
+  hash = fold(hash, config.geometry.ways_per_bank);
+  return hash;
+}
+
+ShardArtifact make_shard_artifact(const MonteCarloConfig& config,
+                                  const MonteCarloSummary& summary) {
+  BACP_ASSERT(summary.trials.size() == config.trials,
+              "summary does not match the config's trial count");
+  ShardArtifact artifact;
+  artifact.shards = config.shards;
+  artifact.shard_id = config.shard_id;
+  artifact.trials = config.trials;
+  artifact.seed = config.seed;
+  artifact.curve_depth = config.curve_depth;
+  artifact.config_digest = monte_carlo_digest(config);
+  for (std::uint64_t trial = config.shard_id; trial < config.trials;
+       trial += config.shards) {
+    artifact.owned.push_back({trial, summary.trials[trial]});
+  }
+  return artifact;
+}
+
+void write_shard_artifact(const ShardArtifact& artifact, std::ostream& out) {
+  out << kMagicLine << '\n';
+  out << "shards=" << artifact.shards << '\n';
+  out << "shard_id=" << artifact.shard_id << '\n';
+  out << "trials=" << artifact.trials << '\n';
+  out << "seed=" << artifact.seed << '\n';
+  out << "curve_depth=" << artifact.curve_depth << '\n';
+  out << "config_digest=" << hex64(artifact.config_digest) << '\n';
+  out << "owned=" << artifact.owned.size() << '\n';
+  for (const auto& entry : artifact.owned) {
+    out << "trial=" << entry.trial << " mix=";
+    for (std::size_t i = 0; i < entry.result.mix.workload_indices.size(); ++i) {
+      if (i != 0) out << ',';
+      out << entry.result.mix.workload_indices[i];
+    }
+    out << " fixed=" << double_bits(entry.result.fixed_share_misses)
+        << " unrestricted=" << double_bits(entry.result.unrestricted_misses)
+        << " bank=" << double_bits(entry.result.bank_aware_misses) << '\n';
+  }
+}
+
+ShardArtifact read_shard_artifact(std::istream& in) {
+  std::string line;
+  BACP_ASSERT(static_cast<bool>(std::getline(in, line)), "empty shard artifact");
+  BACP_ASSERT(line == kMagicLine, "not a bacp shard artifact");
+
+  ShardArtifact artifact;
+  artifact.shards = static_cast<std::uint32_t>(parse_u64(expect_field(in, "shards")));
+  artifact.shard_id =
+      static_cast<std::uint32_t>(parse_u64(expect_field(in, "shard_id")));
+  artifact.trials = parse_u64(expect_field(in, "trials"));
+  artifact.seed = parse_u64(expect_field(in, "seed"));
+  artifact.curve_depth = parse_u64(expect_field(in, "curve_depth"));
+  artifact.config_digest = parse_hex64(expect_field(in, "config_digest"));
+  const std::uint64_t owned = parse_u64(expect_field(in, "owned"));
+
+  artifact.owned.reserve(owned);
+  for (std::uint64_t i = 0; i < owned; ++i) {
+    BACP_ASSERT(static_cast<bool>(std::getline(in, line)), "shard artifact truncated");
+    std::istringstream row(line);
+    std::string token;
+    ShardArtifact::OwnedTrial entry;
+
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("trial="),
+                "shard trial row missing trial field");
+    entry.trial = parse_u64(token.substr(6));
+
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("mix="),
+                "shard trial row missing mix field");
+    std::string indices = token.substr(4);
+    std::size_t start = 0;
+    while (start <= indices.size() && !indices.empty()) {
+      const std::size_t comma = indices.find(',', start);
+      const std::size_t end = comma == std::string::npos ? indices.size() : comma;
+      entry.result.mix.workload_indices.push_back(
+          static_cast<std::size_t>(parse_u64(indices.substr(start, end - start))));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("fixed="),
+                "shard trial row missing fixed field");
+    entry.result.fixed_share_misses = bits_double(token.substr(6));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("unrestricted="),
+                "shard trial row missing unrestricted field");
+    entry.result.unrestricted_misses = bits_double(token.substr(13));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("bank="),
+                "shard trial row missing bank field");
+    entry.result.bank_aware_misses = bits_double(token.substr(5));
+
+    artifact.owned.push_back(std::move(entry));
+  }
+  return artifact;
+}
+
+void save_shard_artifact(const ShardArtifact& artifact, const std::string& path) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    BACP_ASSERT(out.is_open(), "cannot open shard artifact temp file for writing");
+    write_shard_artifact(artifact, out);
+    out.flush();
+    BACP_ASSERT(out.good(), "short write while saving shard artifact");
+  }
+  BACP_ASSERT(std::rename(temp.c_str(), path.c_str()) == 0,
+              "cannot publish shard artifact (rename failed)");
+}
+
+ShardArtifact load_shard_artifact(const std::string& path) {
+  std::ifstream in(path);
+  BACP_ASSERT(in.is_open(), "cannot open shard artifact for reading");
+  return read_shard_artifact(in);
+}
+
+ShardMergeResult merge_shard_artifacts(std::span<const ShardArtifact> artifacts) {
+  ShardMergeResult result;
+
+  // Merge-legality first: shape agreement, shard-set completeness, per-trial
+  // ownership/coverage. The auditor works from claims only — it never sees
+  // the trial payloads — so a passing audit certifies the index structure,
+  // and the reassembly below cannot double-count or drop a mix.
+  std::vector<audit::ShardMergeInput> claims;
+  claims.reserve(artifacts.size());
+  for (const ShardArtifact& artifact : artifacts) {
+    audit::ShardMergeInput claim;
+    claim.shards = artifact.shards;
+    claim.shard_id = artifact.shard_id;
+    claim.trials = artifact.trials;
+    claim.config_digest = artifact.config_digest;
+    claim.trial_indices.reserve(artifact.owned.size());
+    for (const auto& entry : artifact.owned) claim.trial_indices.push_back(entry.trial);
+    claims.push_back(std::move(claim));
+  }
+  result.audit = audit::audit_shard_merge(claims);
+  if (!result.audit.ok()) return result;
+
+  const ShardArtifact& first = artifacts.front();
+  result.config.trials = first.trials;
+  result.config.seed = first.seed;
+  result.config.curve_depth = static_cast<WayCount>(first.curve_depth);
+
+  result.summary.trials.resize(first.trials);
+  for (const ShardArtifact& artifact : artifacts) {
+    for (const auto& entry : artifact.owned) {
+      result.summary.trials[entry.trial] = entry.result;
+    }
+  }
+  finalize_monte_carlo(result.summary);
+  return result;
+}
+
+}  // namespace bacp::harness

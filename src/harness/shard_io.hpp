@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "harness/monte_carlo.hpp"
+
+namespace bacp::harness {
+
+/// One Monte-Carlo shard's result slice as a self-describing artifact: the
+/// sweep shape it was cut from (so a merge can refuse mismatched slices),
+/// plus every owned trial's mix and projected miss counts. Doubles travel
+/// as IEEE-754 bit patterns, never as decimal text, so a merged summary is
+/// bit-for-bit the summary the unsharded sweep computes.
+struct ShardArtifact {
+  std::uint32_t shards = 1;
+  std::uint32_t shard_id = 0;
+  std::uint64_t trials = 0;       ///< total trials of the unsharded sweep
+  std::uint64_t seed = 0;
+  std::uint64_t curve_depth = 0;
+  std::uint64_t config_digest = 0;
+
+  struct OwnedTrial {
+    std::uint64_t trial = 0;  ///< global trial index
+    TrialResult result;
+  };
+  std::vector<OwnedTrial> owned;  ///< ascending by trial
+};
+
+/// Fingerprint of everything that determines a sweep's results: trials,
+/// seed, curve depth and geometry — but not shards/shard_id (all slices of
+/// one sweep must agree) and not num_threads (a pure speed dial).
+std::uint64_t monte_carlo_digest(const MonteCarloConfig& config);
+
+/// Packs a shard run's owned slice (the non-default entries of `summary`)
+/// into an artifact. Works for shards == 1 too: the artifact then carries
+/// the whole sweep.
+ShardArtifact make_shard_artifact(const MonteCarloConfig& config,
+                                  const MonteCarloSummary& summary);
+
+/// Text round-trip. The format is line-oriented `key=value` with one
+/// `trial=` row per owned trial; read_shard_artifact aborts on any
+/// malformed or truncated input (artifacts are machine-written).
+void write_shard_artifact(const ShardArtifact& artifact, std::ostream& out);
+ShardArtifact read_shard_artifact(std::istream& in);
+
+/// File round-trip. Saving goes through a temp file plus atomic rename so a
+/// concurrent reader (another shard merging early) never sees a torn
+/// artifact. The conventional name for a slice is `shard-<id>.shard`.
+void save_shard_artifact(const ShardArtifact& artifact, const std::string& path);
+ShardArtifact load_shard_artifact(const std::string& path);
+
+/// Outcome of merging shard artifacts back into one sweep. `audit` records
+/// the merge-legality verdict (audit::audit_shard_merge); on any violation
+/// the summary is left empty and must not be used.
+struct ShardMergeResult {
+  audit::AuditReport audit;
+  MonteCarloConfig config;     ///< sweep-shape echo (geometry left default)
+  MonteCarloSummary summary;   ///< finalized, byte-identical to unsharded
+};
+
+/// Validates the artifact set with audit_shard_merge, then reassembles the
+/// full trial vector and finalizes it. The merged summary and the report
+/// built from it are byte-identical to a single-process run of the same
+/// sweep.
+ShardMergeResult merge_shard_artifacts(std::span<const ShardArtifact> artifacts);
+
+}  // namespace bacp::harness

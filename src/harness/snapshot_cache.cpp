@@ -1,8 +1,11 @@
 #include "harness/snapshot_cache.hpp"
 
+#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <utility>
 
+#include "audit/snapshot_audit.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/config_cli.hpp"
 #include "obs/phase_timer.hpp"
@@ -31,12 +34,70 @@ SnapshotCache::SnapshotPtr SnapshotCache::get_or_warm(std::uint64_t key,
     // Warm outside the lock: other keys proceed concurrently, and waiters
     // on this key block on the future, not the mutex.
     try {
-      owned->set_value(std::make_shared<const snapshot::SystemSnapshot>(warm()));
+      if (SnapshotPtr banked = try_load(key)) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++file_hits_;
+        }
+        owned->set_value(std::move(banked));
+      } else {
+        auto snapshot = std::make_shared<const snapshot::SystemSnapshot>(warm());
+        if (!bank_directory_.empty()) store(key, *snapshot);
+        owned->set_value(std::move(snapshot));
+      }
     } catch (...) {
       owned->set_exception(std::current_exception());
     }
   }
   return future.get();
+}
+
+void SnapshotCache::set_file_bank(std::string directory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bank_directory_ = std::move(directory);
+}
+
+std::string SnapshotCache::bank_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.snap",
+                static_cast<unsigned long long>(key));
+  return bank_directory_ + "/" + name;
+}
+
+SnapshotCache::SnapshotPtr SnapshotCache::try_load(std::uint64_t key) const {
+  if (bank_directory_.empty()) return nullptr;
+  std::ifstream in(bank_path(key), std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return nullptr;
+  const std::streamsize size = in.tellg();
+  if (size <= 0) return nullptr;
+  auto snapshot = std::make_shared<snapshot::SystemSnapshot>();
+  snapshot->bytes.resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (!in.read(reinterpret_cast<char*>(snapshot->bytes.data()), size)) return nullptr;
+  // The bank is advisory: a snapshot that fails the structural audit
+  // (truncation, bit rot, a stale format) is simply ignored and the warm-up
+  // runs — wrong bytes must never leak into a simulation.
+  if (!audit::audit_snapshot(*snapshot).ok()) return nullptr;
+  return snapshot;
+}
+
+void SnapshotCache::store(std::uint64_t key,
+                          const snapshot::SystemSnapshot& snapshot) const {
+  const std::string path = bank_path(key);
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return;  // unwritable bank: cache miss, not an error
+    out.write(reinterpret_cast<const char*>(snapshot.bytes.data()),
+              static_cast<std::streamsize>(snapshot.bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(temp.c_str());
+      return;
+    }
+  }
+  // Atomic publish: concurrent readers see the old bank or the whole file.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) std::remove(temp.c_str());
 }
 
 std::uint64_t SnapshotCache::hits() const {
@@ -49,9 +110,16 @@ std::uint64_t SnapshotCache::misses() const {
   return misses_;
 }
 
+std::uint64_t SnapshotCache::file_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return file_hits_;
+}
+
 std::vector<std::pair<std::string, std::string>> VariantSweepOptions::cli_flags() {
   return {
       value_flag(kThreadsKnob),
+      value_flag(kBatchKnob),
+      value_flag(kSnapshotBankKnob),
       bool_flag("no-snapshot-reuse", "warm every run cold instead of forking snapshots"),
       bool_flag("shared-warmup", "one policy-neutral warm-up per mix (changes results)"),
   };
@@ -60,8 +128,11 @@ std::vector<std::pair<std::string, std::string>> VariantSweepOptions::cli_flags(
 VariantSweepOptions VariantSweepOptions::from_args(const common::ArgParser& parser) {
   VariantSweepOptions options;
   options.num_threads = read_threads(parser, options.num_threads);
+  options.batch_size =
+      static_cast<std::uint32_t>(read_u64(parser, kBatchKnob, options.batch_size));
   options.snapshot_reuse = !parser.get_bool_or_fail("no-snapshot-reuse", false);
   options.shared_warmup = parser.get_bool_or_fail("shared-warmup", false);
+  options.snapshot_bank = read_string(parser, kSnapshotBankKnob, options.snapshot_bank);
   return options;
 }
 
@@ -111,11 +182,13 @@ void run_variant_sweep(std::span<const SweepVariant> variants,
                        const trace::WorkloadMix& mix, const VariantSweepOptions& options,
                        const std::function<void(sim::System&, std::size_t)>& body) {
   SnapshotCache cache;
+  if (!options.snapshot_bank.empty()) cache.set_file_bank(options.snapshot_bank);
   SnapshotCache* cache_ptr = options.snapshot_reuse ? &cache : nullptr;
   common::ThreadPool pool(options.num_threads);
   pool.parallel_for(variants.size(), [&](std::size_t index) {
     const SweepVariant& variant = variants[index];
     sim::System system(variant.config, mix);
+    if (options.batch_size != 0) system.set_batch_size(options.batch_size);
     warm_system(system, mix, variant.warmup_instructions, cache_ptr,
                 options.shared_warmup);
     body(system, index);

@@ -34,14 +34,33 @@ class SnapshotCache {
   /// warming redundantly.
   SnapshotPtr get_or_warm(std::uint64_t key, const WarmFn& warm);
 
+  /// File-backed mode: snapshots persist in `directory` as `<16-hex-key>.snap`
+  /// (the raw snapshot buffer, mmap-ably flat). A first caller whose key is
+  /// on disk loads and audit-validates the file instead of warming; a failed
+  /// validation discards the file's bytes and rewarms (the bank is a pure
+  /// cache — a corrupt entry can cost time, never correctness). Freshly
+  /// warmed snapshots are published via temp file + atomic rename, so
+  /// concurrent shard processes sharing one bank never read a torn file.
+  /// Empty string disables (the default, in-memory only).
+  void set_file_bank(std::string directory);
+  const std::string& file_bank() const { return bank_directory_; }
+
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t file_hits() const;
 
  private:
+  std::string bank_path(std::uint64_t key) const;
+  /// Disk probe for `key`: loaded-and-validated snapshot or nullptr.
+  SnapshotPtr try_load(std::uint64_t key) const;
+  void store(std::uint64_t key, const snapshot::SystemSnapshot& snapshot) const;
+
   mutable std::mutex mutex_;
   std::map<std::uint64_t, std::shared_future<SnapshotPtr>> entries_;
+  std::string bank_directory_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t file_hits_ = 0;
 };
 
 /// Cache key for a warm-up: warm state is a pure function of the config
@@ -79,9 +98,24 @@ struct VariantSweepOptions {
   /// Opt-in: share one canonical warm-up across all variants of a mix
   /// (changes results by design — see warm_system()).
   bool shared_warmup = false;
+  /// Access-pipeline batch size applied to every variant's System
+  /// (0 = keep the System's own BACP_BATCH/default). Pure speed dial:
+  /// batching replays scalar, so results are identical for any value.
+  std::uint32_t batch_size = 0;
+  /// Directory for file-backed warm snapshots shared across processes
+  /// (SnapshotCache::set_file_bank); empty = in-memory reuse only.
+  std::string snapshot_bank;
 
   VariantSweepOptions& with_num_threads(std::size_t value) {
     num_threads = value;
+    return *this;
+  }
+  VariantSweepOptions& with_batch_size(std::uint32_t value) {
+    batch_size = value;
+    return *this;
+  }
+  VariantSweepOptions& with_snapshot_bank(std::string value) {
+    snapshot_bank = std::move(value);
     return *this;
   }
   VariantSweepOptions& with_snapshot_reuse(bool value) {
@@ -93,11 +127,11 @@ struct VariantSweepOptions {
     return *this;
   }
 
-  /// The shared sweep-execution flags (--threads, --no-snapshot-reuse,
-  /// --shared-warmup); every sweep binary takes exactly these three, and
-  /// the config structs that embed sweep knobs (DetailedRunConfig,
-  /// sched::ServiceConfig drivers) forward here instead of re-declaring
-  /// them. Pair with from_args().
+  /// The shared sweep-execution flags (--threads, --batch-size,
+  /// --no-snapshot-reuse, --shared-warmup); every sweep binary takes
+  /// exactly these, and the config structs that embed sweep knobs
+  /// (DetailedRunConfig, sched::ServiceConfig drivers) forward here
+  /// instead of re-declaring them. Pair with from_args().
   static std::vector<std::pair<std::string, std::string>> cli_flags();
 
   /// Standard precedence: explicit flag, then BACP_THREADS, then defaults.

@@ -12,6 +12,7 @@
 #endif
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 #include "common/stats.hpp"
 #include "partition/bank_aware.hpp"
 #include "partition/static_policies.hpp"
@@ -161,6 +162,13 @@ System::System(const SystemConfig& config, const trace::WorkloadMix& mix)
     timer_config.core = core;
     timers_.push_back(std::make_unique<core::CoreTimer>(timer_config));
   }
+
+  streams_.resize(config_.geometry.num_cores);
+  // Batch depth is a speed dial, never a behavior knob (see
+  // set_batch_size); the env default reaches every driver, including ones
+  // that build systems internally.
+  set_batch_size(static_cast<std::uint32_t>(
+      common::env_u64("BACP_BATCH", kDefaultBatchSize)));
 
   snapshots_.assign(config_.geometry.num_cores, CoreSnapshot{});
   last_epoch_instructions_.assign(config_.geometry.num_cores, 0.0);
@@ -321,8 +329,46 @@ void System::reset_epoch_tracking() {
   epoch_baseline_.noc_queue_cycles = noc_.stats().total_queue_cycles;
 }
 
+void System::set_batch_size(std::uint32_t batch) {
+  batch_size_ = std::clamp<std::uint32_t>(batch, 1, trace::AccessBatch::kMaxSize);
+}
+
+trace::MemoryAccess System::next_access(CoreId core) {
+  CoreStream& stream = streams_[core];
+  if (stream.cursor >= stream.batch.size) {
+    generators_[core]->next_batch(stream.batch, batch_size_);
+    stream.cursor = 0;
+    // Front-half lookahead over the fresh batch: the L2 residency probes
+    // walk a multi-megabyte table, so a handful of prefetches here turns
+    // the upcoming dependent misses into overlapped ones.
+    const std::uint32_t lookahead = std::min<std::uint32_t>(8, stream.batch.size);
+    for (std::uint32_t i = 0; i < lookahead; ++i) {
+      l2_->prefetch(stream.batch.accesses[i].block);
+    }
+  }
+  const trace::MemoryAccess access = stream.batch.accesses[stream.cursor++];
+  if (stream.cursor < stream.batch.size) {
+    const BlockAddress upcoming = stream.batch.accesses[stream.cursor].block;
+    l1_[core].prefetch_set(upcoming);
+    l2_->prefetch(upcoming);
+  }
+  return access;
+}
+
+void System::flush_stream(CoreId core) {
+  CoreStream& stream = streams_[core];
+  if (stream.batch.size == 0) return;
+  generators_[core]->truncate_batch(stream.cursor);
+  stream.batch.size = 0;
+  stream.cursor = 0;
+}
+
+void System::flush_streams() {
+  for (CoreId core = 0; core < streams_.size(); ++core) flush_stream(core);
+}
+
 Cycle System::serve_access(CoreId core, Cycle issue_time) {
-  const auto access = generators_[core]->next();
+  const auto access = next_access(core);
 
   // L1 lookup. The synthetic stream is the L2-intent stream, so L1 hits are
   // rare residual locality; their cost is the L1 latency only.
@@ -430,6 +476,9 @@ void System::execute(std::uint64_t instructions_per_core) {
     }
     if (unfinished > 0) queue.push({timers_[entry.core]->peek_issue(), entry.core});
   }
+  // Rewind unconsumed batch suffixes before handing control back: outside
+  // execute, generators are always in their exact scalar state.
+  flush_streams();
   for (auto& timer : timers_) timer->drain();
   audit_checkpoint("end of run");
 }
@@ -460,6 +509,7 @@ void System::clear_all_stats() {
 
 void System::switch_workload(CoreId core, std::string_view workload_name) {
   BACP_ASSERT(core < generators_.size(), "core out of range");
+  flush_stream(core);  // defensive: a model switch must see scalar state
   generators_[core]->switch_model(trace::spec2000_by_name(workload_name));
 }
 
@@ -496,6 +546,7 @@ void System::step_epochs(std::uint64_t epochs) {
     timers_[entry.core]->record_completion(done_at);
     queue.push({timers_[entry.core]->peek_issue(), entry.core});
   }
+  flush_streams();
 }
 
 void System::reset_core(CoreId core, std::string_view workload_name,
@@ -520,6 +571,7 @@ void System::reset_core(CoreId core, std::string_view workload_name,
   // The newcomer's profile, reuse structure and timing replace the old
   // tenant's; the salt decorrelates its streams from every other instance
   // of the same workload in the session.
+  flush_stream(core);  // defensive: drop any buffered departing-tenant accesses
   profilers_[core]->clear();
   trace::GeneratorConfig generator_config;
   generator_config.num_sets = config_.sets_per_bank;

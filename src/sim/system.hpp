@@ -144,6 +144,20 @@ class System {
   /// memory-intensive cores contribute proportionally more L2 traffic.
   void warm_up(std::uint64_t instructions_per_core);
 
+  /// Default trace batch depth (see set_batch_size); chosen by the
+  /// bench_perf_throughput batch sweep.
+  static constexpr std::uint32_t kDefaultBatchSize = 64;
+
+  /// Sets how many accesses each core's generator produces per refill of
+  /// its batched stream buffer (clamped to [1, AccessBatch::kMaxSize]).
+  /// Purely a performance knob — unconsumed buffers are rewound at every
+  /// run boundary, so the simulated trajectory, statistics and snapshots
+  /// are bit-identical across batch sizes. Not serialized and not part of
+  /// the config digest, like thread counts. BACP_BATCH overrides the
+  /// construction default.
+  void set_batch_size(std::uint32_t batch);
+  std::uint32_t batch_size() const { return batch_size_; }
+
   /// Measurement run over `instructions_per_core` instructions per core.
   /// May be called repeatedly; statistics accumulate across calls.
   void run(std::uint64_t instructions_per_core);
@@ -309,7 +323,20 @@ class System {
     std::uint64_t noc_queue_cycles = 0;
   };
 
+  /// One core's buffered slice of its generator stream. Batches exist only
+  /// within execute()/step_epochs(): flush_streams() rewinds every
+  /// unconsumed suffix before control returns, so snapshots, workload
+  /// switches and core resets always see generators in their exact scalar
+  /// state.
+  struct CoreStream {
+    trace::AccessBatch batch;
+    std::uint32_t cursor = 0;
+  };
+
   void execute(std::uint64_t instructions_per_core);
+  trace::MemoryAccess next_access(CoreId core);
+  void flush_stream(CoreId core);
+  void flush_streams();
   /// Full structural audit of every component (builds configured with
   /// -DBACP_AUDIT=ON only; a no-op otherwise). Aborts with the audit
   /// report on the first violation: simulating onward from corrupted
@@ -333,6 +360,8 @@ class System {
   std::unique_ptr<nuca::DnucaCache> l2_;
   std::vector<cache::SetAssocCache> l1_;
   std::vector<std::unique_ptr<trace::SyntheticTraceGenerator>> generators_;
+  std::vector<CoreStream> streams_;
+  std::uint32_t batch_size_ = kDefaultBatchSize;
   std::vector<std::unique_ptr<msa::StackProfiler>> profilers_;
   std::vector<std::unique_ptr<core::CoreTimer>> timers_;
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "common/types.hpp"
 
 namespace bacp::trace {
@@ -11,6 +14,18 @@ struct MemoryAccess {
   BlockAddress block = 0;
   CoreId core = 0;
   bool is_write = false;
+};
+
+/// A fixed-capacity run of consecutive accesses from one stream — the unit
+/// the batched pipeline operates on. Produced by
+/// SyntheticTraceGenerator::next_batch() and consumed front-to-back; the
+/// generator can rewind an unconsumed suffix (truncate_batch), so batching
+/// is invisible to simulated state. Sized so a full batch of blocks (2 KiB)
+/// plus the derived per-lane columns stays L1-resident.
+struct AccessBatch {
+  static constexpr std::uint32_t kMaxSize = 256;
+  std::array<MemoryAccess, kMaxSize> accesses{};
+  std::uint32_t size = 0;
 };
 
 }  // namespace bacp::trace

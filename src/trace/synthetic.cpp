@@ -28,6 +28,7 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(const WorkloadModel& model,
   recency_sizes_.assign(config_.num_sets, 0);
   const auto weights = model.stack_distance_weights(config_.max_depth);
   depth_sampler_ = common::DiscreteSampler(weights);
+  undo_log_.reserve(AccessBatch::kMaxSize);
 }
 
 BlockAddress SyntheticTraceGenerator::fresh_block(std::uint32_t set) {
@@ -42,13 +43,15 @@ BlockAddress SyntheticTraceGenerator::fresh_block(std::uint32_t set) {
 }
 
 void SyntheticTraceGenerator::switch_model(const WorkloadModel& model) {
+  BACP_DASSERT(!live_batch_, "switch_model with an outstanding batch");
   model.validate();
   model_ = &model;
   depth_sampler_ =
       common::DiscreteSampler(model.stack_distance_weights(config_.max_depth));
 }
 
-MemoryAccess SyntheticTraceGenerator::next() {
+template <bool Record>
+MemoryAccess SyntheticTraceGenerator::produce() {
   const auto set = static_cast<std::uint32_t>(rng_.next_below(config_.num_sets));
   BlockAddress* ring = recency_entries_.data() + std::size_t{set} * ring_capacity_;
   std::uint32_t& head = recency_heads_[set];
@@ -61,6 +64,10 @@ MemoryAccess SyntheticTraceGenerator::next() {
   if (depth_bin >= config_.max_depth || depth_bin >= size) {
     // Fresh block enters at MRU by retreating the head one slot; once the
     // list is full the LRU tail falls out of the live window implicitly.
+    if constexpr (Record) {
+      undo_log_.push_back(
+          UndoRecord{set, kUndoFresh, size, ring[(head - 1) & ring_mask_]});
+    }
     block = fresh_block(set);
     head = (head - 1) & ring_mask_;
     ring[head] = block;
@@ -69,6 +76,7 @@ MemoryAccess SyntheticTraceGenerator::next() {
     // Re-touch at depth_bin: slide the depth_bin entries above it down one
     // slot and reinsert at MRU. One memmove when the stretch does not wrap.
     const std::uint32_t depth = static_cast<std::uint32_t>(depth_bin);
+    if constexpr (Record) undo_log_.push_back(UndoRecord{set, depth, 0, 0});
     block = ring[(head + depth) & ring_mask_];
     if (head + depth < ring_capacity_) {
       std::memmove(ring + head + 1, ring + head, depth * sizeof(BlockAddress));
@@ -87,7 +95,66 @@ MemoryAccess SyntheticTraceGenerator::next() {
   return access;
 }
 
+MemoryAccess SyntheticTraceGenerator::next() {
+  BACP_DASSERT(!live_batch_, "scalar next() with an outstanding batch");
+  return produce<false>();
+}
+
+void SyntheticTraceGenerator::next_batch(AccessBatch& batch, std::uint32_t n) {
+  BACP_DASSERT(n >= 1 && n <= AccessBatch::kMaxSize, "batch size out of range");
+  // Calling again while a batch is live means the caller fully consumed the
+  // previous batch; its undo log is dead weight and is discarded here.
+  undo_log_.clear();
+  batch_rng_state_ = rng_.state();
+  batch_start_block_id_ = next_block_id_;
+  live_batch_ = true;
+  for (std::uint32_t i = 0; i < n; ++i) batch.accesses[i] = produce<true>();
+  batch.size = n;
+}
+
+void SyntheticTraceGenerator::undo(const UndoRecord& record) {
+  BlockAddress* ring =
+      recency_entries_.data() + std::size_t{record.set} * ring_capacity_;
+  std::uint32_t& head = recency_heads_[record.set];
+  if (record.depth == kUndoFresh) {
+    // Inverse of a fresh insert: restore the slot's prior bytes (dead-slot
+    // bytes included, keeping snapshots of rewound state byte-identical),
+    // re-advance the head and restore the live count.
+    ring[head] = record.overwritten;
+    head = (head + 1) & ring_mask_;
+    recency_sizes_[record.set] = record.old_size;
+  } else {
+    // Inverse rotation of a depth-d re-touch: the MRU slot's block returns
+    // to depth d and the d entries above it slide back up one slot.
+    const std::uint32_t depth = record.depth;
+    const BlockAddress block = ring[head];
+    if (head + depth < ring_capacity_) {
+      std::memmove(ring + head, ring + head + 1, depth * sizeof(BlockAddress));
+    } else {
+      for (std::uint32_t i = 1; i <= depth; ++i) {
+        ring[(head + i - 1) & ring_mask_] = ring[(head + i) & ring_mask_];
+      }
+    }
+    ring[(head + depth) & ring_mask_] = block;
+  }
+}
+
+void SyntheticTraceGenerator::truncate_batch(std::uint32_t consumed) {
+  BACP_ASSERT(live_batch_, "truncate_batch without an outstanding batch");
+  BACP_DASSERT(consumed <= undo_log_.size(), "consumed more than the batch held");
+  // Rewind to the exact pre-batch state (rings, RNG, block counter), then
+  // replay the consumed prefix scalar — landing precisely where `consumed`
+  // next() calls would have.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) undo(*it);
+  rng_.set_state(batch_rng_state_);
+  next_block_id_ = batch_start_block_id_;
+  undo_log_.clear();
+  live_batch_ = false;
+  for (std::uint32_t i = 0; i < consumed; ++i) (void)produce<false>();
+}
+
 void SyntheticTraceGenerator::save_state(snapshot::Writer& writer) const {
+  BACP_DASSERT(!live_batch_, "save_state with an outstanding batch");
   writer.u32(config_.num_sets);
   writer.u32(config_.max_depth);
   writer.u32(config_.core);
@@ -102,6 +169,7 @@ void SyntheticTraceGenerator::save_state(snapshot::Writer& writer) const {
 }
 
 void SyntheticTraceGenerator::restore_state(snapshot::Reader& reader) {
+  BACP_DASSERT(!live_batch_, "restore_state with an outstanding batch");
   BACP_ASSERT(reader.u32() == config_.num_sets, "snapshot num_sets mismatch");
   BACP_ASSERT(reader.u32() == config_.max_depth, "snapshot max_depth mismatch");
   BACP_ASSERT(reader.u32() == config_.core, "snapshot core id mismatch");

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -41,7 +42,27 @@ class SyntheticTraceGenerator {
                           std::uint64_t seed);
 
   /// Next access in the stream. Never fails; streams are unbounded.
+  /// Must not be called while a next_batch() is outstanding (see
+  /// truncate_batch).
   MemoryAccess next();
+
+  /// Fills `batch` with the next `n` accesses (n in [1, kMaxSize]),
+  /// advancing generator state exactly as n scalar next() calls would. An
+  /// undo log is recorded so the unconsumed suffix can be rewound; until
+  /// the batch is either fully consumed (the next next_batch() call) or
+  /// truncated, next()/switch_model()/save_state() are off limits.
+  void next_batch(AccessBatch& batch, std::uint32_t n);
+
+  /// Rewinds the most recent next_batch() so generator state becomes
+  /// exactly what `consumed` scalar next() calls from the batch's start
+  /// would have produced — byte-identical rings, RNG state and block
+  /// counter. The caller flushes unconsumed buffered accesses this way
+  /// before any snapshot, model switch or scalar consumption, so batching
+  /// never leaks into simulated state. No-op valid only once per batch.
+  void truncate_batch(std::uint32_t consumed);
+
+  /// True while a next_batch() has not yet been completed or truncated.
+  bool batch_outstanding() const { return live_batch_; }
 
   /// Switches the workload's reuse structure mid-stream (a program phase
   /// change): the stack-distance distribution and write mix follow the new
@@ -63,7 +84,23 @@ class SyntheticTraceGenerator {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  /// Undo record for one batched access, applied in reverse order by
+  /// truncate_batch. A fresh insert (depth == kUndoFresh) restores the
+  /// head slot's prior bytes — including dead-slot bytes, so snapshots of
+  /// a rewound generator stay byte-identical — while a re-touch at depth d
+  /// runs the inverse rotation.
+  struct UndoRecord {
+    std::uint32_t set = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t old_size = 0;
+    BlockAddress overwritten = 0;
+  };
+  static constexpr std::uint32_t kUndoFresh = 0xFFFFFFFFu;
+
   BlockAddress fresh_block(std::uint32_t set);
+  template <bool Record>
+  MemoryAccess produce();
+  void undo(const UndoRecord& record);
 
   const WorkloadModel* model_;  // non-owning; registry outlives generators
   GeneratorConfig config_;
@@ -80,6 +117,13 @@ class SyntheticTraceGenerator {
   std::uint32_t ring_capacity_ = 0;  ///< bit_ceil(max_depth)
   std::uint32_t ring_mask_ = 0;
   std::uint64_t next_block_id_ = 0;
+  // Batch rewind bookkeeping: the RNG/block-counter state at the last
+  // next_batch() plus one undo record per produced access (capacity
+  // reserved up front, so steady-state batching never allocates).
+  std::vector<UndoRecord> undo_log_;
+  std::array<std::uint64_t, 4> batch_rng_state_{};
+  std::uint64_t batch_start_block_id_ = 0;
+  bool live_batch_ = false;
 };
 
 }  // namespace bacp::trace

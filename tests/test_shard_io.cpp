@@ -1,0 +1,270 @@
+// Process-sharded Monte-Carlo: shard artifacts round-trip losslessly, a
+// merged shard set reproduces the unsharded sweep bit-for-bit, and the
+// merge refuses illegal sets. Plus the file-backed SnapshotCache bank the
+// shard processes share: persisted snapshots warm later runs, corrupt bank
+// entries are rejected and rewarmed, never trusted.
+
+#include "harness/shard_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/monte_carlo.hpp"
+#include "harness/snapshot_cache.hpp"
+#include "obs/report.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace bacp::harness {
+namespace {
+
+MonteCarloConfig small_config() {
+  MonteCarloConfig config;
+  config.trials = 50;
+  config.seed = 77;
+  config.num_threads = 2;
+  return config;
+}
+
+/// Bitwise double equality: the shard contract is bit-identity, not
+/// within-epsilon agreement.
+void expect_bits_equal(double a, double b, const char* what, std::size_t index) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << " at trial " << index;
+}
+
+TEST(ShardIo, ArtifactRoundTripsThroughText) {
+  auto config = small_config();
+  config.shards = 3;
+  config.shard_id = 1;
+  const auto summary = run_monte_carlo(config);
+  const auto artifact = make_shard_artifact(config, summary);
+  ASSERT_EQ(artifact.owned.size(), 17u);  // ceil((50 - 1) / 3)
+
+  std::stringstream stream;
+  write_shard_artifact(artifact, stream);
+  const auto loaded = read_shard_artifact(stream);
+
+  EXPECT_EQ(loaded.shards, artifact.shards);
+  EXPECT_EQ(loaded.shard_id, artifact.shard_id);
+  EXPECT_EQ(loaded.trials, artifact.trials);
+  EXPECT_EQ(loaded.seed, artifact.seed);
+  EXPECT_EQ(loaded.curve_depth, artifact.curve_depth);
+  EXPECT_EQ(loaded.config_digest, artifact.config_digest);
+  ASSERT_EQ(loaded.owned.size(), artifact.owned.size());
+  for (std::size_t i = 0; i < artifact.owned.size(); ++i) {
+    EXPECT_EQ(loaded.owned[i].trial, artifact.owned[i].trial);
+    EXPECT_EQ(loaded.owned[i].result.mix.workload_indices,
+              artifact.owned[i].result.mix.workload_indices);
+    expect_bits_equal(loaded.owned[i].result.fixed_share_misses,
+                      artifact.owned[i].result.fixed_share_misses, "fixed", i);
+    expect_bits_equal(loaded.owned[i].result.unrestricted_misses,
+                      artifact.owned[i].result.unrestricted_misses, "unrestricted", i);
+    expect_bits_equal(loaded.owned[i].result.bank_aware_misses,
+                      artifact.owned[i].result.bank_aware_misses, "bank", i);
+  }
+}
+
+TEST(ShardIo, ShardRunsEvaluateOnlyOwnedTrials) {
+  auto config = small_config();
+  config.shards = 4;
+  config.shard_id = 2;
+  const auto summary = run_monte_carlo(config);
+  ASSERT_EQ(summary.trials.size(), config.trials);
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    if (trial % 4 == 2) {
+      EXPECT_GT(summary.trials[trial].fixed_share_misses, 0.0) << "trial " << trial;
+    } else {
+      EXPECT_EQ(summary.trials[trial].fixed_share_misses, 0.0) << "trial " << trial;
+    }
+  }
+  // A shard never finalizes: the means belong to the merged sweep.
+  EXPECT_EQ(summary.mean_unrestricted_ratio, 0.0);
+}
+
+TEST(ShardIo, MergedShardsReproduceUnshardedSweepBitForBit) {
+  const auto unsharded_config = small_config();
+  const auto unsharded = run_monte_carlo(unsharded_config);
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    auto config = small_config();
+    config.shards = 4;
+    config.shard_id = k;
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  const auto merged = merge_shard_artifacts(artifacts);
+  ASSERT_TRUE(merged.audit.ok()) << merged.audit.to_string();
+
+  ASSERT_EQ(merged.summary.trials.size(), unsharded.trials.size());
+  for (std::size_t i = 0; i < unsharded.trials.size(); ++i) {
+    EXPECT_EQ(merged.summary.trials[i].mix.workload_indices,
+              unsharded.trials[i].mix.workload_indices);
+    expect_bits_equal(merged.summary.trials[i].fixed_share_misses,
+                      unsharded.trials[i].fixed_share_misses, "fixed", i);
+    expect_bits_equal(merged.summary.trials[i].unrestricted_misses,
+                      unsharded.trials[i].unrestricted_misses, "unrestricted", i);
+    expect_bits_equal(merged.summary.trials[i].bank_aware_misses,
+                      unsharded.trials[i].bank_aware_misses, "bank", i);
+  }
+  expect_bits_equal(merged.summary.mean_unrestricted_ratio,
+                    unsharded.mean_unrestricted_ratio, "mean_unrestricted", 0);
+  expect_bits_equal(merged.summary.mean_bank_aware_ratio,
+                    unsharded.mean_bank_aware_ratio, "mean_bank_aware", 0);
+
+  // And the emitted artifact is byte-identical, meta included.
+  const auto unsharded_report = monte_carlo_report(unsharded_config, unsharded);
+  const auto merged_report = monte_carlo_report(merged.config, merged.summary);
+  EXPECT_EQ(unsharded_report.to_json(), merged_report.to_json());
+}
+
+TEST(ShardIo, MergeRefusesIncompleteSet) {
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    auto config = small_config();
+    config.shards = 4;  // four-way split, but only three slices show up
+    config.shard_id = k;
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  const auto merged = merge_shard_artifacts(artifacts);
+  EXPECT_FALSE(merged.audit.ok());
+  EXPECT_TRUE(merged.summary.trials.empty());
+}
+
+TEST(ShardIo, MergeRefusesMismatchedSweeps) {
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    auto config = small_config();
+    config.shards = 2;
+    config.shard_id = k;
+    if (k == 1) config.seed = 78;  // different sweep, same shape
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  const auto merged = merge_shard_artifacts(artifacts);
+  EXPECT_FALSE(merged.audit.ok());
+}
+
+TEST(ShardIo, DigestSeparatesSweepParameters) {
+  const auto base = small_config();
+  EXPECT_EQ(monte_carlo_digest(base), monte_carlo_digest(base));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_seed(base.seed + 1)));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_trials(base.trials + 1)));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_curve_depth(64)));
+  // Sharding is not part of the digest: all slices of one sweep agree.
+  EXPECT_EQ(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_shards(8).with_shard_id(3)));
+}
+
+TEST(ShardIo, SaveLoadRoundTripsThroughDisk) {
+  auto config = small_config();
+  config.shards = 2;
+  config.shard_id = 0;
+  const auto artifact = make_shard_artifact(config, run_monte_carlo(config));
+  const std::string path = testing::TempDir() + "/bacp-shard-roundtrip.shard";
+  save_shard_artifact(artifact, path);
+  const auto loaded = load_shard_artifact(path);
+  EXPECT_EQ(loaded.owned.size(), artifact.owned.size());
+  EXPECT_EQ(loaded.config_digest, artifact.config_digest);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// File-backed SnapshotCache bank
+// ---------------------------------------------------------------------------
+
+snapshot::SystemSnapshot tiny_snapshot() {
+  // A minimal structurally-valid snapshot: header + empty section table.
+  snapshot::SnapshotBuilder builder(/*config_digest=*/0x5EED);
+  return builder.finish();
+}
+
+TEST(SnapshotFileBank, PersistsAndReloadsAcrossCacheInstances) {
+  const std::string dir = testing::TempDir() + "/bacp-snapbank-reload";
+  std::filesystem::create_directories(dir);
+  int warmed = 0;
+  const auto warm = [&] {
+    ++warmed;
+    return tiny_snapshot();
+  };
+
+  {
+    SnapshotCache cache;
+    cache.set_file_bank(dir);
+    cache.get_or_warm(0xABCD, warm);
+    EXPECT_EQ(warmed, 1);
+    EXPECT_EQ(cache.file_hits(), 0u);
+  }
+  {
+    // A fresh process (new cache instance) finds the banked snapshot and
+    // never runs the warm-up.
+    SnapshotCache cache;
+    cache.set_file_bank(dir);
+    const auto snapshot = cache.get_or_warm(0xABCD, warm);
+    EXPECT_EQ(warmed, 1);
+    EXPECT_EQ(cache.file_hits(), 1u);
+    EXPECT_EQ(snapshot->bytes, tiny_snapshot().bytes);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFileBank, RejectsCorruptBankEntryAndRewarms) {
+  const std::string dir = testing::TempDir() + "/bacp-snapbank-corrupt";
+  std::filesystem::create_directories(dir);
+  {
+    SnapshotCache cache;
+    cache.set_file_bank(dir);
+    cache.get_or_warm(0x1234, [] { return tiny_snapshot(); });
+  }
+  // Flip one byte of the banked file: the audit must reject it and the next
+  // cache must fall back to warming.
+  std::string path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    path = entry.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(0);
+    file.put('X');  // clobbers the magic
+  }
+  int warmed = 0;
+  SnapshotCache cache;
+  cache.set_file_bank(dir);
+  cache.get_or_warm(0x1234, [&] {
+    ++warmed;
+    return tiny_snapshot();
+  });
+  EXPECT_EQ(warmed, 1);
+  EXPECT_EQ(cache.file_hits(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotFileBank, UnwritableBankDegradesToInMemory) {
+  SnapshotCache cache;
+  cache.set_file_bank("/nonexistent-bacp-bank-dir/nested");
+  int warmed = 0;
+  const auto snapshot = cache.get_or_warm(0x77, [&] {
+    ++warmed;
+    return tiny_snapshot();
+  });
+  EXPECT_EQ(warmed, 1);
+  EXPECT_FALSE(snapshot->bytes.empty());
+  // Second get on the same key still hits in memory.
+  cache.get_or_warm(0x77, [&] {
+    ++warmed;
+    return tiny_snapshot();
+  });
+  EXPECT_EQ(warmed, 1);
+}
+
+}  // namespace
+}  // namespace bacp::harness
