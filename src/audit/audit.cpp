@@ -22,6 +22,7 @@ const char* to_string(Structure structure) {
     case Structure::Snapshot: return "snapshot";
     case Structure::Sched: return "sched";
     case Structure::Shard: return "shard";
+    case Structure::Sampling: return "sampling";
   }
   return "?";
 }

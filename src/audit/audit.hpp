@@ -34,6 +34,7 @@ enum class Structure : std::uint8_t {
   Snapshot,   ///< snapshot buffer framing (header, section table, checksums)
   Sched,      ///< sched::Service tenant table vs. system slot/allocation state
   Shard,      ///< Monte-Carlo shard set legality (coverage, ownership, digests)
+  Sampling,   ///< interval-sampling plan legality (medoids, assignment, weights)
 };
 const char* to_string(Structure structure);
 

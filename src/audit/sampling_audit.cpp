@@ -1,0 +1,131 @@
+#include "audit/sampling_audit.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bacp::audit {
+
+namespace {
+
+void violation(AuditReport& report, std::string field, std::string expected,
+               std::string actual, std::uint64_t slot = kNoIndex) {
+  Violation entry;
+  entry.structure = Structure::Sampling;
+  entry.object = "sampling_plan";
+  entry.field = std::move(field);
+  entry.set = slot;  // medoid slot (or interval index) in the set coordinate
+  entry.expected = std::move(expected);
+  entry.actual = std::move(actual);
+  report.violations.push_back(std::move(entry));
+}
+
+}  // namespace
+
+AuditReport audit_sampling_plan(const SamplingPlanInput& plan) {
+  AuditReport report;
+
+  // Shape first: a plan with no population or no representatives cannot be
+  // checked further, and k > num_intervals means clustering produced more
+  // clusters than points.
+  ++report.checks;
+  if (plan.num_intervals == 0) {
+    violation(report, "interval_count", "at least one interval", "0");
+    return report;
+  }
+  ++report.checks;
+  if (plan.k == 0 || plan.k > plan.num_intervals) {
+    violation(report, "k_range", "0 < k <= " + std::to_string(plan.num_intervals),
+              std::to_string(plan.k));
+    return report;
+  }
+  ++report.checks;
+  if (plan.medoids.size() != plan.k) {
+    violation(report, "medoid_set_size", std::to_string(plan.k) + " medoids",
+              std::to_string(plan.medoids.size()) + " medoids");
+    return report;
+  }
+
+  // Medoids: every representative is a real interval, and the list is
+  // strictly ascending — which both fixes the simulation order (the engine
+  // fast-forwards between medoids in index order) and excludes duplicates.
+  for (std::size_t slot = 0; slot < plan.medoids.size(); ++slot) {
+    ++report.checks;
+    if (plan.medoids[slot] >= plan.num_intervals) {
+      violation(report, "medoid_range",
+                "medoid < " + std::to_string(plan.num_intervals),
+                "medoid " + std::to_string(plan.medoids[slot]), slot);
+    }
+    ++report.checks;
+    if (slot > 0 && plan.medoids[slot] <= plan.medoids[slot - 1]) {
+      violation(report, "medoid_order", "strictly ascending medoid indices",
+                std::to_string(plan.medoids[slot]) + " after " +
+                    std::to_string(plan.medoids[slot - 1]),
+                slot);
+    }
+  }
+  if (!report.ok()) return report;
+
+  // Assignment: every interval maps to an existing medoid slot, and each
+  // medoid represents itself (a medoid belonging to another cluster would
+  // mean the clustering's own representative is not its nearest medoid).
+  ++report.checks;
+  if (plan.assignment.size() != plan.num_intervals) {
+    violation(report, "assignment_size",
+              std::to_string(plan.num_intervals) + " assigned intervals",
+              std::to_string(plan.assignment.size()) + " assigned");
+    return report;
+  }
+  for (std::uint32_t interval = 0; interval < plan.num_intervals; ++interval) {
+    ++report.checks;
+    if (plan.assignment[interval] >= plan.k) {
+      violation(report, "assignment_range", "slot < " + std::to_string(plan.k),
+                "interval " + std::to_string(interval) + " assigned slot " +
+                    std::to_string(plan.assignment[interval]),
+                interval);
+    }
+  }
+  if (!report.ok()) return report;
+  for (std::size_t slot = 0; slot < plan.medoids.size(); ++slot) {
+    ++report.checks;
+    if (plan.assignment[plan.medoids[slot]] != slot) {
+      violation(report, "medoid_self_assignment",
+                "medoid " + std::to_string(plan.medoids[slot]) + " assigned slot " +
+                    std::to_string(slot),
+                "assigned slot " +
+                    std::to_string(plan.assignment[plan.medoids[slot]]),
+                slot);
+    }
+  }
+
+  // Weights: slot w carries exactly its assignment population, and the
+  // populations cover the whole run — the extrapolation is a partition of
+  // the intervals, so no phase is dropped or double-counted.
+  ++report.checks;
+  if (plan.weights.size() != plan.k) {
+    violation(report, "weight_set_size", std::to_string(plan.k) + " weights",
+              std::to_string(plan.weights.size()) + " weights");
+    return report;
+  }
+  std::vector<std::uint64_t> population(plan.k, 0);
+  for (const std::uint32_t slot : plan.assignment) ++population[slot];
+  std::uint64_t total = 0;
+  for (std::size_t slot = 0; slot < plan.weights.size(); ++slot) {
+    ++report.checks;
+    if (plan.weights[slot] != population[slot]) {
+      violation(report, "weight_match",
+                "weight " + std::to_string(population[slot]) + " (cluster population)",
+                "weight " + std::to_string(plan.weights[slot]), slot);
+    }
+    total += plan.weights[slot];
+  }
+  ++report.checks;
+  if (report.ok() && total != plan.num_intervals) {
+    violation(report, "weight_coverage",
+              std::to_string(plan.num_intervals) + " intervals covered",
+              std::to_string(total) + " covered");
+  }
+
+  return report;
+}
+
+}  // namespace bacp::audit

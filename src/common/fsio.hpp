@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+namespace bacp::common {
+
+/// Atomically publishes `temp_path` at `final_path`: a reader concurrently
+/// opening `final_path` sees either the previous file or the complete new
+/// one, never a torn write. The fast path is rename(2). When the two paths
+/// live on different filesystems (EXDEV — e.g. the temp was staged in a
+/// tmpfs TMPDIR while the destination is a disk-backed snapshot bank), the
+/// bytes are copied into a process-unique sibling temp *in the destination
+/// directory*, fsync'd, and renamed from there, so the final hop is always
+/// same-filesystem and stays atomic.
+///
+/// On success the temp file is gone (renamed or copied-then-removed). On
+/// failure the temp file is removed and false is returned; the caller
+/// decides whether that is fatal (shard artifacts) or a tolerable cache
+/// miss (snapshot banks).
+bool publish_file_atomic(const std::string& temp_path, const std::string& final_path);
+
+/// The EXDEV fallback half of publish_file_atomic, exposed so tests can
+/// exercise the copy path directly on hosts where every mount is one
+/// filesystem: copies `temp_path` into a sibling temp of `final_path`,
+/// fsyncs, renames, and removes `temp_path`. Returns false (cleaning up
+/// both temps) on any failure.
+bool publish_file_by_copy(const std::string& temp_path, const std::string& final_path);
+
+/// Staging directory for temp files that will be published into
+/// `destination_directory`: honors TMPDIR when set and non-empty (the
+/// conventional fast scratch filesystem), otherwise stages next to the
+/// destination. publish_file_atomic() absorbs the cross-filesystem rename
+/// this can produce.
+std::string staging_directory(const std::string& destination_directory);
+
+}  // namespace bacp::common

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -57,14 +59,68 @@ class StreamingStats {
 };
 
 /// Geometric mean of strictly positive values; the paper reports GM columns
-/// in Figs. 8 and 9.
+/// in Figs. 8 and 9. Aborts on non-positive input — aggregation paths that
+/// can legitimately see zeros (zero-miss sampled intervals) must use
+/// guarded_geometric_mean instead.
 double geometric_mean(std::span<const double> values);
+
+/// Outcome of a guarded geometric mean: the mean over the guarded inputs
+/// plus a structured account of what the guard had to do, so callers can
+/// surface a warning instead of silently laundering degenerate data.
+struct GuardedGeomean {
+  double value = 0.0;      ///< geomean with non-positive inputs clamped
+  std::size_t count = 0;   ///< inputs considered
+  std::size_t clamped = 0; ///< non-positive inputs clamped up to epsilon
+
+  bool clean() const { return clamped == 0; }
+  /// "" when clean; otherwise one line naming the clamp count and epsilon.
+  std::string warning(double epsilon) const;
+};
+
+/// Geometric mean that survives non-positive values: every value <= 0 is
+/// clamped up to `epsilon` (keeping the population size honest — a zero
+/// still drags the mean down hard) and counted in the result instead of
+/// aborting the run. An empty range still aborts: that is a caller bug,
+/// not a data property.
+GuardedGeomean guarded_geometric_mean(std::span<const double> values,
+                                      double epsilon = 1e-12);
 
 /// Arithmetic mean.
 double arithmetic_mean(std::span<const double> values);
 
-/// p-th percentile (0..100) by linear interpolation on a sorted copy.
+/// p-th percentile (0..100) by linear interpolation between order
+/// statistics (the numpy/R-7 definition): rank = p/100 * (n-1), value =
+/// sorted[floor] + frac * (sorted[floor+1] - sorted[floor]). Symmetric at
+/// the endpoints (p=0 -> min, p=100 -> max) and unbiased on small samples.
+/// Sorts a copy; use percentile_sorted when taking many percentiles of one
+/// sample.
 double percentile(std::span<const double> values, double p);
+
+/// percentile() over data the caller has already sorted ascending (no copy,
+/// no re-sort). Aborts in debug builds if the span is not sorted.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Population-weighted mean with a normal-approximation confidence
+/// interval, the extrapolation primitive of the sampled-interval estimator:
+/// `values[i]` measured on a stratum carrying `weights[i]` population
+/// members. The standard error uses the reliability-weights form of the
+/// weighted sample variance, so scaling all weights by a constant changes
+/// nothing.
+struct WeightedMeanCi {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double ci_half = 0.0;  ///< z * std_error
+  double weight_total = 0.0;
+
+  double ci_low() const { return mean - ci_half; }
+  double ci_high() const { return mean + ci_half; }
+};
+
+/// Aborts on empty input, mismatched spans, or non-positive total weight.
+/// With a single stratum (or all weight on one value) the standard error is
+/// 0 — the caller sees a degenerate interval, not a fabricated one.
+WeightedMeanCi weighted_mean_ci(std::span<const double> values,
+                                std::span<const double> weights, double z = 1.96);
 
 /// Safe ratio: returns `fallback` when the denominator is zero.
 inline double ratio(double numerator, double denominator, double fallback = 0.0) {

@@ -59,6 +59,18 @@ inline constexpr EnvFlag kShardIdKnob{"shard-id", "BACP_MC_SHARD_ID",
 inline constexpr EnvFlag kSnapshotBankKnob{
     "snapshot-bank", "BACP_SNAPSHOT_BANK",
     "directory for file-backed warm-state snapshots, empty = in-memory only"};
+inline constexpr EnvFlag kSampledKnob{
+    "sampled", "BACP_MC_SAMPLED",
+    "detailed intervals simulated per sampled Monte-Carlo trial, 0 = analytic only"};
+inline constexpr EnvFlag kSampledIntervalsKnob{
+    "sampled-intervals", "BACP_MC_SAMPLED_INTERVALS",
+    "intervals a sampled trial's run is cut into"};
+inline constexpr EnvFlag kSampledIntervalInstrKnob{
+    "sampled-interval-instr", "BACP_MC_SAMPLED_INTERVAL_INSTR",
+    "instructions per core per sampled interval"};
+inline constexpr EnvFlag kSampledWarmupKnob{
+    "sampled-warmup", "BACP_MC_SAMPLED_WARMUP",
+    "detailed warm-up instructions before a sampled trial's first interval"};
 
 /// The shared `--threads` / BACP_THREADS knob. Every sweep in the repo is
 /// deterministic for any worker count, so this is purely a speed dial.

@@ -4,16 +4,20 @@
 #include <numeric>
 #include <span>
 
+#include <memory>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/config_cli.hpp"
+#include "harness/snapshot_cache.hpp"
 #include "msa/miss_curve.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "partition/bank_aware.hpp"
 #include "partition/unrestricted.hpp"
+#include "sampling/sampled_run.hpp"
 #include "trace/spec2000.hpp"
 
 namespace bacp::harness {
@@ -25,6 +29,10 @@ std::vector<std::pair<std::string, std::string>> MonteCarloConfig::cli_flags() {
       value_flag(kThreadsKnob),
       value_flag(kShardsKnob),
       value_flag(kShardIdKnob),
+      value_flag(kSampledKnob),
+      value_flag(kSampledIntervalsKnob),
+      value_flag(kSampledIntervalInstrKnob),
+      value_flag(kSampledWarmupKnob),
   };
 }
 
@@ -36,6 +44,13 @@ MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
   config.shards = static_cast<std::uint32_t>(read_u64(parser, kShardsKnob, config.shards));
   config.shard_id =
       static_cast<std::uint32_t>(read_u64(parser, kShardIdKnob, config.shard_id));
+  config.sampled_k =
+      static_cast<std::uint32_t>(read_u64(parser, kSampledKnob, config.sampled_k));
+  config.sampled_intervals = static_cast<std::uint32_t>(
+      read_u64(parser, kSampledIntervalsKnob, config.sampled_intervals));
+  config.sampled_interval_instructions = read_u64(parser, kSampledIntervalInstrKnob,
+                                                  config.sampled_interval_instructions);
+  config.sampled_warmup = read_u64(parser, kSampledWarmupKnob, config.sampled_warmup);
   return config;
 }
 
@@ -70,6 +85,21 @@ std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
   return curves;
 }
 
+/// sampling::SnapshotStore over the harness SnapshotCache: the sampled
+/// engine's boundary states are memoized process-wide (and, with a file
+/// bank, machine-wide) with the same future-based single-warm discipline
+/// warm-state sweeps use.
+class CacheSnapshotStore final : public sampling::SnapshotStore {
+ public:
+  explicit CacheSnapshotStore(SnapshotCache& cache) : cache_(&cache) {}
+  SnapshotPtr get_or_warm(std::uint64_t key, const WarmFn& warm) override {
+    return cache_->get_or_warm(key, warm);
+  }
+
+ private:
+  SnapshotCache* cache_;
+};
+
 }  // namespace
 
 MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
@@ -94,6 +124,33 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
 
   const auto timer = obs::global_phase_timers().scope("monte_carlo");
   const auto bank = suite_curve_bank(config.curve_depth);
+
+  // Sampled-mode shared state: one interval-profile bank and one warm-state
+  // cache serve every trial — both are thread-safe memoizations of
+  // deterministic functions, so sharing them across ThreadPool workers (and
+  // reusing nothing across shard processes) cannot perturb any trial's
+  // bytes. The sim seed is the sweep seed: profiles, snapshot keys and
+  // trial mixes all hang off the one number the artifact records.
+  sim::SystemConfig sampled_config;
+  std::unique_ptr<sampling::IntervalProfileBank> profile_bank;
+  SnapshotCache snapshot_cache;
+  std::unique_ptr<CacheSnapshotStore> snapshot_store;
+  sampling::SampledRunConfig sampled_run;
+  if (config.sampled_k > 0) {
+    sampled_config = sampling::sampled_system_config(
+        config.geometry, config.seed, config.sampled_interval_instructions);
+    sampled_run.k = config.sampled_k;
+    sampled_run.num_intervals = config.sampled_intervals;
+    sampled_run.interval_instructions = config.sampled_interval_instructions;
+    sampled_run.warmup_instructions = config.sampled_warmup;
+    sampling::IntervalProfileConfig intervals;
+    intervals.num_intervals = config.sampled_intervals;
+    intervals.interval_instructions = config.sampled_interval_instructions;
+    profile_bank =
+        std::make_unique<sampling::IntervalProfileBank>(sampled_config, intervals);
+    snapshot_store = std::make_unique<CacheSnapshotStore>(snapshot_cache);
+  }
+
   common::ThreadPool pool(config.num_threads);
   pool.parallel_for(owned, [&](std::size_t index) {
     const std::size_t trial = config.shard_id + index * config.shards;
@@ -115,6 +172,17 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
     result.bank_aware_misses = partition::projected_total_misses(
         curves, bank_aware.allocation.ways_per_core);
 
+    if (config.sampled_k > 0) {
+      const sampling::SampledEstimate estimate =
+          sampling::run_sampled_mix(sampled_config, result.mix, sampled_run,
+                                    profile_bank.get(), snapshot_store.get());
+      result.sampled.evaluated = true;
+      result.sampled.miss_ratio = estimate.miss_ratio;
+      result.sampled.miss_ratio_ci_half = estimate.miss_ratio_ci_half;
+      result.sampled.cpi = estimate.cpi;
+      result.sampled.cpi_ci_half = estimate.cpi_ci_half;
+    }
+
     summary.trials[trial] = std::move(result);
   });
 
@@ -128,13 +196,29 @@ void finalize_monte_carlo(MonteCarloSummary& summary) {
   std::vector<double> bank_ratios;
   unrestricted_ratios.reserve(summary.trials.size());
   bank_ratios.reserve(summary.trials.size());
+  const bool sampled =
+      !summary.trials.empty() && summary.trials.front().sampled.evaluated;
+  std::vector<double> sampled_ratios;
+  std::vector<double> sampled_cpis;
   for (const auto& trial : summary.trials) {
     BACP_ASSERT(trial.fixed_share_misses > 0.0, "degenerate mix with zero misses");
+    // All-or-nothing: a merge that mixed sampled and analytic-only shards
+    // would average incomparable quantities.
+    BACP_ASSERT(trial.sampled.evaluated == sampled,
+                "trial vector mixes sampled and unsampled entries");
     unrestricted_ratios.push_back(trial.unrestricted_ratio());
     bank_ratios.push_back(trial.bank_aware_ratio());
+    if (sampled) {
+      sampled_ratios.push_back(trial.sampled.miss_ratio);
+      sampled_cpis.push_back(trial.sampled.cpi);
+    }
   }
   summary.mean_unrestricted_ratio = common::arithmetic_mean(unrestricted_ratios);
   summary.mean_bank_aware_ratio = common::arithmetic_mean(bank_ratios);
+  if (sampled) {
+    summary.mean_sampled_miss_ratio = common::arithmetic_mean(sampled_ratios);
+    summary.mean_sampled_cpi = common::arithmetic_mean(sampled_cpis);
+  }
 }
 
 obs::Report monte_carlo_report(const MonteCarloConfig& config,
@@ -183,6 +267,25 @@ obs::Report monte_carlo_report(const MonteCarloConfig& config,
   report.metric("mean_bank_aware_ratio", summary.mean_bank_aware_ratio);
   report.metric("outliers", std::uint64_t{outliers});
   report.metric("trials", std::uint64_t{summary.trials.size()});
+
+  // Sampled-sweep block: present iff the sweep ran the detailed sampled
+  // engine, so analytic-only reports stay byte-identical to before.
+  if (config.sampled_k > 0) {
+    report.meta("sampled", std::to_string(config.sampled_k));
+    report.meta("sampled_intervals", std::to_string(config.sampled_intervals));
+    report.meta("sampled_interval_instr",
+                std::to_string(config.sampled_interval_instructions));
+    report.meta("sampled_warmup", std::to_string(config.sampled_warmup));
+    std::vector<double> sampled_ratios;
+    sampled_ratios.reserve(summary.trials.size());
+    for (const auto& trial : summary.trials) {
+      sampled_ratios.push_back(trial.sampled.miss_ratio);
+    }
+    report.metric("mean_sampled_miss_ratio", summary.mean_sampled_miss_ratio);
+    report.metric("mean_sampled_cpi", summary.mean_sampled_cpi);
+    report.metric("sampled_miss_ratio_p50", common::percentile(sampled_ratios, 50.0));
+    report.metric("sampled_miss_ratio_p95", common::percentile(sampled_ratios, 95.0));
+  }
   report.note("paper: mean Unrestricted ~0.70, mean Bank-aware ~0.73; "
               "outliers (>5pt worse than Unrestricted) few");
   report.attach("ratio_distributions", distributions.to_json());

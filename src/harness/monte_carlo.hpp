@@ -27,6 +27,15 @@ struct MonteCarloConfig {
   /// ordinary single-process sweep.
   std::uint32_t shards = 1;
   std::uint32_t shard_id = 0;
+  /// Sampled-interval simulation (bacp::sampling): when > 0, every trial's
+  /// mix is additionally run through the detailed simulator over
+  /// `sampled_k` k-medoid-selected representative intervals and the full
+  /// run is extrapolated with population weights and CIs. The analytic
+  /// projection columns are computed either way; 0 = analytic only.
+  std::uint32_t sampled_k = 0;
+  std::uint32_t sampled_intervals = 96;
+  std::uint64_t sampled_interval_instructions = 50'000;
+  std::uint64_t sampled_warmup = 500'000;
 
   MonteCarloConfig& with_trials(std::size_t value) {
     trials = value;
@@ -56,6 +65,22 @@ struct MonteCarloConfig {
     shard_id = value;
     return *this;
   }
+  MonteCarloConfig& with_sampled_k(std::uint32_t value) {
+    sampled_k = value;
+    return *this;
+  }
+  MonteCarloConfig& with_sampled_intervals(std::uint32_t value) {
+    sampled_intervals = value;
+    return *this;
+  }
+  MonteCarloConfig& with_sampled_interval_instructions(std::uint64_t value) {
+    sampled_interval_instructions = value;
+    return *this;
+  }
+  MonteCarloConfig& with_sampled_warmup(std::uint64_t value) {
+    sampled_warmup = value;
+    return *this;
+  }
 
   /// The standard sweep flags (--trials, --seed, --threads) for binaries
   /// that run the Monte-Carlo evaluation; pair with from_args().
@@ -75,6 +100,18 @@ struct TrialResult {
   double unrestricted_misses = 0.0;  ///< UCP-style, no banking restrictions
   double bank_aware_misses = 0.0;    ///< the paper's scheme
 
+  /// Sampled-interval detailed-simulation extrapolation for this mix
+  /// (sampled_k > 0 sweeps only); `evaluated` distinguishes "sampling off"
+  /// from a genuine zero estimate so merges cannot silently mix modes.
+  struct SampledTrial {
+    bool evaluated = false;
+    double miss_ratio = 0.0;
+    double miss_ratio_ci_half = 0.0;
+    double cpi = 0.0;
+    double cpi_ci_half = 0.0;
+  };
+  SampledTrial sampled;
+
   double unrestricted_ratio() const { return unrestricted_misses / fixed_share_misses; }
   double bank_aware_ratio() const { return bank_aware_misses / fixed_share_misses; }
 };
@@ -83,6 +120,9 @@ struct MonteCarloSummary {
   std::vector<TrialResult> trials;
   double mean_unrestricted_ratio = 0.0;  ///< paper: ~0.70 (30% reduction)
   double mean_bank_aware_ratio = 0.0;    ///< paper: ~0.73 (27% reduction)
+  /// Sampled-sweep headline means; stay zero when sampling is off.
+  double mean_sampled_miss_ratio = 0.0;
+  double mean_sampled_cpi = 0.0;
 };
 
 /// Runs the sweep across a thread pool. Deterministic for a fixed seed

@@ -10,12 +10,13 @@
 
 #include "audit/shard_audit.hpp"
 #include "common/assert.hpp"
+#include "common/fsio.hpp"
 
 namespace bacp::harness {
 
 namespace {
 
-constexpr const char* kMagicLine = "bacp_shard_v1";
+constexpr const char* kMagicLine = "bacp_shard_v2";
 
 /// FNV-1a fold of one 64-bit scalar, the repo's digest hash family.
 std::uint64_t fold(std::uint64_t hash, std::uint64_t value) {
@@ -91,6 +92,10 @@ std::uint64_t monte_carlo_digest(const MonteCarloConfig& config) {
   hash = fold(hash, config.geometry.num_cores);
   hash = fold(hash, config.geometry.num_banks);
   hash = fold(hash, config.geometry.ways_per_bank);
+  hash = fold(hash, config.sampled_k);
+  hash = fold(hash, config.sampled_intervals);
+  hash = fold(hash, config.sampled_interval_instructions);
+  hash = fold(hash, config.sampled_warmup);
   return hash;
 }
 
@@ -104,6 +109,10 @@ ShardArtifact make_shard_artifact(const MonteCarloConfig& config,
   artifact.trials = config.trials;
   artifact.seed = config.seed;
   artifact.curve_depth = config.curve_depth;
+  artifact.sampled_k = config.sampled_k;
+  artifact.sampled_intervals = config.sampled_intervals;
+  artifact.sampled_interval_instructions = config.sampled_interval_instructions;
+  artifact.sampled_warmup = config.sampled_warmup;
   artifact.config_digest = monte_carlo_digest(config);
   for (std::uint64_t trial = config.shard_id; trial < config.trials;
        trial += config.shards) {
@@ -119,6 +128,10 @@ void write_shard_artifact(const ShardArtifact& artifact, std::ostream& out) {
   out << "trials=" << artifact.trials << '\n';
   out << "seed=" << artifact.seed << '\n';
   out << "curve_depth=" << artifact.curve_depth << '\n';
+  out << "sampled=" << artifact.sampled_k << '\n';
+  out << "sampled_intervals=" << artifact.sampled_intervals << '\n';
+  out << "sampled_interval_instr=" << artifact.sampled_interval_instructions << '\n';
+  out << "sampled_warmup=" << artifact.sampled_warmup << '\n';
   out << "config_digest=" << hex64(artifact.config_digest) << '\n';
   out << "owned=" << artifact.owned.size() << '\n';
   for (const auto& entry : artifact.owned) {
@@ -129,7 +142,11 @@ void write_shard_artifact(const ShardArtifact& artifact, std::ostream& out) {
     }
     out << " fixed=" << double_bits(entry.result.fixed_share_misses)
         << " unrestricted=" << double_bits(entry.result.unrestricted_misses)
-        << " bank=" << double_bits(entry.result.bank_aware_misses) << '\n';
+        << " bank=" << double_bits(entry.result.bank_aware_misses)
+        << " smr=" << double_bits(entry.result.sampled.miss_ratio)
+        << " sci=" << double_bits(entry.result.sampled.miss_ratio_ci_half)
+        << " scpi=" << double_bits(entry.result.sampled.cpi)
+        << " scci=" << double_bits(entry.result.sampled.cpi_ci_half) << '\n';
   }
 }
 
@@ -145,6 +162,13 @@ ShardArtifact read_shard_artifact(std::istream& in) {
   artifact.trials = parse_u64(expect_field(in, "trials"));
   artifact.seed = parse_u64(expect_field(in, "seed"));
   artifact.curve_depth = parse_u64(expect_field(in, "curve_depth"));
+  artifact.sampled_k =
+      static_cast<std::uint32_t>(parse_u64(expect_field(in, "sampled")));
+  artifact.sampled_intervals =
+      static_cast<std::uint32_t>(parse_u64(expect_field(in, "sampled_intervals")));
+  artifact.sampled_interval_instructions =
+      parse_u64(expect_field(in, "sampled_interval_instr"));
+  artifact.sampled_warmup = parse_u64(expect_field(in, "sampled_warmup"));
   artifact.config_digest = parse_hex64(expect_field(in, "config_digest"));
   const std::uint64_t owned = parse_u64(expect_field(in, "owned"));
 
@@ -181,6 +205,20 @@ ShardArtifact read_shard_artifact(std::istream& in) {
     BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("bank="),
                 "shard trial row missing bank field");
     entry.result.bank_aware_misses = bits_double(token.substr(5));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("smr="),
+                "shard trial row missing sampled miss-ratio field");
+    entry.result.sampled.miss_ratio = bits_double(token.substr(4));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("sci="),
+                "shard trial row missing sampled miss-ratio CI field");
+    entry.result.sampled.miss_ratio_ci_half = bits_double(token.substr(4));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("scpi="),
+                "shard trial row missing sampled CPI field");
+    entry.result.sampled.cpi = bits_double(token.substr(5));
+    BACP_ASSERT(static_cast<bool>(row >> token) && token.starts_with("scci="),
+                "shard trial row missing sampled CPI CI field");
+    entry.result.sampled.cpi_ci_half = bits_double(token.substr(5));
+    // Evaluation mode is a sweep-level fact, carried by the header.
+    entry.result.sampled.evaluated = artifact.sampled_k > 0;
 
     artifact.owned.push_back(std::move(entry));
   }
@@ -188,7 +226,10 @@ ShardArtifact read_shard_artifact(std::istream& in) {
 }
 
 void save_shard_artifact(const ShardArtifact& artifact, const std::string& path) {
-  const std::string temp = path + ".tmp";
+  // Process-unique sibling temp: shard processes may share the output
+  // directory, and publish_file_atomic handles a TMPDIR-relocated staging
+  // file landing on a different filesystem (EXDEV copy fallback).
+  const std::string temp = path + ".tmp." + std::to_string(artifact.shard_id);
   {
     std::ofstream out(temp, std::ios::trunc);
     BACP_ASSERT(out.is_open(), "cannot open shard artifact temp file for writing");
@@ -196,7 +237,7 @@ void save_shard_artifact(const ShardArtifact& artifact, const std::string& path)
     out.flush();
     BACP_ASSERT(out.good(), "short write while saving shard artifact");
   }
-  BACP_ASSERT(std::rename(temp.c_str(), path.c_str()) == 0,
+  BACP_ASSERT(common::publish_file_atomic(temp, path),
               "cannot publish shard artifact (rename failed)");
 }
 
@@ -232,6 +273,10 @@ ShardMergeResult merge_shard_artifacts(std::span<const ShardArtifact> artifacts)
   result.config.trials = first.trials;
   result.config.seed = first.seed;
   result.config.curve_depth = static_cast<WayCount>(first.curve_depth);
+  result.config.sampled_k = first.sampled_k;
+  result.config.sampled_intervals = first.sampled_intervals;
+  result.config.sampled_interval_instructions = first.sampled_interval_instructions;
+  result.config.sampled_warmup = first.sampled_warmup;
 
   result.summary.trials.resize(first.trials);
   for (const ShardArtifact& artifact : artifacts) {

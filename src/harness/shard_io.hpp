@@ -22,6 +22,14 @@ struct ShardArtifact {
   std::uint64_t trials = 0;       ///< total trials of the unsharded sweep
   std::uint64_t seed = 0;
   std::uint64_t curve_depth = 0;
+  /// Sampled-interval sweep shape (all zero-able; sampled_k == 0 means the
+  /// sweep was analytic-only and the per-trial sampled columns carry
+  /// default zeros). Folded into the digest, so shards of a sampled sweep
+  /// can never merge with analytic shards of the same seed.
+  std::uint32_t sampled_k = 0;
+  std::uint32_t sampled_intervals = 0;
+  std::uint64_t sampled_interval_instructions = 0;
+  std::uint64_t sampled_warmup = 0;
   std::uint64_t config_digest = 0;
 
   struct OwnedTrial {

@@ -1,11 +1,14 @@
 #include "harness/snapshot_cache.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <utility>
 
 #include "audit/snapshot_audit.hpp"
+#include "common/fsio.hpp"
 #include "common/thread_pool.hpp"
 #include "harness/config_cli.hpp"
 #include "obs/phase_timer.hpp"
@@ -84,10 +87,19 @@ SnapshotCache::SnapshotPtr SnapshotCache::try_load(std::uint64_t key) const {
 void SnapshotCache::store(std::uint64_t key,
                           const snapshot::SystemSnapshot& snapshot) const {
   const std::string path = bank_path(key);
-  const std::string temp = path + ".tmp";
+  // Stage in TMPDIR when set (typically the fastest scratch filesystem),
+  // with a process-unique name so concurrent shard processes sharing one
+  // bank never collide on the staging file. TMPDIR may be a different
+  // filesystem than the bank — publish_file_atomic absorbs the EXDEV
+  // rename by falling back to copy+fsync+rename inside the bank directory.
+  char name[48];
+  std::snprintf(name, sizeof(name), "/%016llx.stage.%lld",
+                static_cast<unsigned long long>(key),
+                static_cast<long long>(::getpid()));
+  const std::string temp = common::staging_directory(bank_directory_) + name;
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return;  // unwritable bank: cache miss, not an error
+    if (!out.is_open()) return;  // unwritable staging: cache miss, not an error
     out.write(reinterpret_cast<const char*>(snapshot.bytes.data()),
               static_cast<std::streamsize>(snapshot.bytes.size()));
     out.flush();
@@ -97,7 +109,9 @@ void SnapshotCache::store(std::uint64_t key,
     }
   }
   // Atomic publish: concurrent readers see the old bank or the whole file.
-  if (std::rename(temp.c_str(), path.c_str()) != 0) std::remove(temp.c_str());
+  // Failure (unwritable bank, full disk) degrades to an in-memory-only
+  // entry; publish_file_atomic has already removed the staging file.
+  common::publish_file_atomic(temp, path);
 }
 
 std::uint64_t SnapshotCache::hits() const {

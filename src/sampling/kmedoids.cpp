@@ -1,0 +1,183 @@
+#include "sampling/kmedoids.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace bacp::sampling {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+/// A SWAP must beat the incumbent by more than fp noise to be applied,
+/// or two symmetric configurations could flip-flop forever.
+constexpr double kImprovementEpsilon = 1e-12;
+
+/// Squared Euclidean distance: monotone in the true metric, one multiply
+/// per dimension, and summed in fixed index order (determinism).
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMedoidsResult kmedoids(std::span<const std::vector<double>> points, std::uint32_t k) {
+  const std::size_t n = points.size();
+  BACP_ASSERT(n > 0, "kmedoids requires at least one point");
+  BACP_ASSERT(k >= 1 && k <= n, "kmedoids requires 1 <= k <= point count");
+  for (const auto& point : points) {
+    BACP_ASSERT(point.size() == points.front().size(),
+                "kmedoids points must share one dimension");
+  }
+
+  // Dense distance matrix: every phase below reads it O(n) times per
+  // candidate, and n is an interval count (tens), not a trace length.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = squared_distance(points[i], points[j]);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  const auto d = [&](std::size_t i, std::size_t j) { return dist[i * n + j]; };
+
+  // BUILD: seed with the 1-medoid optimum, then greedily add the point
+  // with the largest cost reduction. Strict comparisons + ascending scans
+  // break every tie toward the lowest index.
+  std::vector<std::uint32_t> medoids;
+  std::vector<std::uint8_t> is_medoid(n, 0);
+  std::vector<double> nearest(n, kInfinity);
+  {
+    std::size_t best = 0;
+    double best_cost = kInfinity;
+    for (std::size_t candidate = 0; candidate < n; ++candidate) {
+      double cost = 0.0;
+      for (std::size_t j = 0; j < n; ++j) cost += d(candidate, j);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = candidate;
+      }
+    }
+    medoids.push_back(static_cast<std::uint32_t>(best));
+    is_medoid[best] = 1;
+    for (std::size_t j = 0; j < n; ++j) nearest[j] = d(best, j);
+  }
+  while (medoids.size() < k) {
+    std::size_t best = n;
+    double best_gain = -kInfinity;
+    for (std::size_t candidate = 0; candidate < n; ++candidate) {
+      if (is_medoid[candidate] != 0) continue;
+      double gain = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double closer = nearest[j] - d(candidate, j);
+        if (closer > 0.0) gain += closer;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = candidate;
+      }
+    }
+    medoids.push_back(static_cast<std::uint32_t>(best));
+    is_medoid[best] = 1;
+    for (std::size_t j = 0; j < n; ++j) nearest[j] = std::min(nearest[j], d(best, j));
+  }
+
+  // SWAP: apply the single best (medoid, non-medoid) exchange until no
+  // exchange improves the cost beyond fp noise. Per-point nearest/second
+  // distances make each candidate evaluation O(n).
+  std::vector<std::uint32_t> nearest_slot(n, 0);
+  std::vector<double> second(n, kInfinity);
+  const auto refresh = [&] {
+    for (std::size_t j = 0; j < n; ++j) {
+      nearest[j] = kInfinity;
+      second[j] = kInfinity;
+      for (std::size_t slot = 0; slot < medoids.size(); ++slot) {
+        const double dj = d(medoids[slot], j);
+        if (dj < nearest[j]) {
+          second[j] = nearest[j];
+          nearest[j] = dj;
+          nearest_slot[j] = static_cast<std::uint32_t>(slot);
+        } else if (dj < second[j]) {
+          second[j] = dj;
+        }
+      }
+    }
+  };
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    refresh();
+    std::size_t best_slot = 0;
+    std::size_t best_candidate = n;
+    double best_delta = -kImprovementEpsilon;
+    for (std::size_t slot = 0; slot < medoids.size(); ++slot) {
+      for (std::size_t candidate = 0; candidate < n; ++candidate) {
+        if (is_medoid[candidate] != 0) continue;
+        double delta = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double dj = d(candidate, j);
+          if (nearest_slot[j] == slot) {
+            // Losing its medoid: falls to the swapped-in candidate or its
+            // second-nearest survivor, whichever is closer.
+            delta += std::min(dj, second[j]) - nearest[j];
+          } else if (dj < nearest[j]) {
+            delta += dj - nearest[j];
+          }
+        }
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_slot = slot;
+          best_candidate = candidate;
+        }
+      }
+    }
+    if (best_candidate < n) {
+      is_medoid[medoids[best_slot]] = 0;
+      medoids[best_slot] = static_cast<std::uint32_t>(best_candidate);
+      is_medoid[best_candidate] = 1;
+      improved = true;
+    }
+  }
+
+  // Canonical form: medoids ascending (slot order == simulation order),
+  // each point assigned to its nearest medoid with ties to the lowest
+  // slot — except a medoid always represents itself, even when duplicate
+  // feature vectors put two medoids at distance zero from each other.
+  std::sort(medoids.begin(), medoids.end());
+  KMedoidsResult result;
+  result.medoids = std::move(medoids);
+  result.assignment.resize(n);
+  result.weights.assign(result.medoids.size(), 0);
+  std::vector<std::uint32_t> own_slot(n, static_cast<std::uint32_t>(n));
+  for (std::size_t s = 0; s < result.medoids.size(); ++s) {
+    own_slot[result.medoids[s]] = static_cast<std::uint32_t>(s);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint32_t slot = own_slot[j];
+    double best = 0.0;
+    if (slot == static_cast<std::uint32_t>(n)) {
+      slot = 0;
+      best = kInfinity;
+      for (std::size_t s = 0; s < result.medoids.size(); ++s) {
+        const double dj = d(result.medoids[s], j);
+        if (dj < best) {
+          best = dj;
+          slot = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+    result.assignment[j] = slot;
+    ++result.weights[slot];
+    result.total_cost += best;
+  }
+  return result;
+}
+
+}  // namespace bacp::sampling

@@ -162,6 +162,19 @@ class System {
   /// May be called repeatedly; statistics accumulate across calls.
   void run(std::uint64_t instructions_per_core);
 
+  /// Functional warming (SMARTS-style): advances every active core by
+  /// `instructions_per_core` instructions exercising the *state* machinery
+  /// in full — generator streams, L1/L2/directory transitions, MSA
+  /// profiles, epoch-boundary repartitions — under a flat timing model (no
+  /// MLP window, no issue queue, no gap jitter; core RNG streams are not
+  /// consumed). Caches and profiles land where a detailed run would put
+  /// them up to timing-induced reorderings; clocks advance approximately.
+  /// Deterministic: identical state in, identical state out. Statistics
+  /// accumulate as under run() — fast-forwarded spans must be excluded
+  /// from measurement with reset_measurement(), which also re-establishes
+  /// the statistics-clean point save_state() requires.
+  void fast_forward(std::uint64_t instructions_per_core);
+
   /// Session-style stepping (the sched::Service run surface): advances the
   /// simulation until `epochs` epoch boundaries have fired, with no
   /// per-core instruction quotas — every active core keeps executing until

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/sampling_audit.hpp"
 #include "audit/shard_audit.hpp"
 #include "audit/snapshot_audit.hpp"
 #include "audit/system_audit.hpp"
@@ -875,6 +876,97 @@ TEST(AuditShardMerge, KillsDroppedTrial) {
   auto shards = clean_shard_set();
   shards[1].trial_indices.pop_back();  // shard 1 silently lost trial 7
   require_violation(audit_shard_merge(shards), Structure::Shard, "shard_coverage");
+}
+
+// ---------------------------------------------------------------------------
+// Sampling-plan legality
+// ---------------------------------------------------------------------------
+
+/// A clean plan: 6 intervals, medoids {1, 4}, intervals 0-2 in slot 0 and
+/// 3-5 in slot 1.
+SamplingPlanInput clean_sampling_plan() {
+  SamplingPlanInput plan;
+  plan.num_intervals = 6;
+  plan.k = 2;
+  plan.medoids = {1, 4};
+  plan.assignment = {0, 0, 0, 1, 1, 1};
+  plan.weights = {3, 3};
+  return plan;
+}
+
+TEST(AuditSampling, CleanPlanPassesAndCountsChecks) {
+  const AuditReport report = audit_sampling_plan(clean_sampling_plan());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(AuditSampling, KillsEmptyPlan) {
+  auto plan = clean_sampling_plan();
+  plan.num_intervals = 0;
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "interval_count");
+}
+
+TEST(AuditSampling, KillsKBeyondIntervalCount) {
+  auto plan = clean_sampling_plan();
+  plan.k = 7;
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "k_range");
+}
+
+TEST(AuditSampling, KillsMedoidCountMismatch) {
+  auto plan = clean_sampling_plan();
+  plan.medoids.push_back(5);  // three medoids, k still 2
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "medoid_set_size");
+}
+
+TEST(AuditSampling, KillsOutOfRangeMedoid) {
+  auto plan = clean_sampling_plan();
+  plan.medoids[1] = 6;  // intervals are 0..5
+  const AuditReport report = audit_sampling_plan(plan);
+  const Violation& violation =
+      require_violation(report, Structure::Sampling, "medoid_range");
+  EXPECT_EQ(violation.set, 1u);
+}
+
+TEST(AuditSampling, KillsUnorderedMedoids) {
+  auto plan = clean_sampling_plan();
+  plan.medoids = {4, 1};
+  plan.assignment = {1, 1, 1, 0, 0, 0};
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "medoid_order");
+}
+
+TEST(AuditSampling, KillsAssignmentSizeMismatch) {
+  auto plan = clean_sampling_plan();
+  plan.assignment.pop_back();  // one interval left unassigned
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "assignment_size");
+}
+
+TEST(AuditSampling, KillsAssignmentToMissingSlot) {
+  auto plan = clean_sampling_plan();
+  plan.assignment[5] = 2;  // only slots 0 and 1 exist
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "assignment_range");
+}
+
+TEST(AuditSampling, KillsMedoidAssignedToForeignCluster) {
+  auto plan = clean_sampling_plan();
+  plan.assignment[4] = 0;  // medoid 4 defected to slot 0
+  plan.weights = {4, 2};   // keep weights honest so only the defect fires
+  require_violation(audit_sampling_plan(plan), Structure::Sampling,
+                    "medoid_self_assignment");
+}
+
+TEST(AuditSampling, KillsWeightCountMismatch) {
+  auto plan = clean_sampling_plan();
+  plan.weights.pop_back();
+  require_violation(audit_sampling_plan(plan), Structure::Sampling, "weight_set_size");
+}
+
+TEST(AuditSampling, KillsWeightPopulationMismatch) {
+  auto plan = clean_sampling_plan();
+  plan.weights = {2, 4};  // populations are 3 and 3
+  const AuditReport report = audit_sampling_plan(plan);
+  const Violation& violation =
+      require_violation(report, Structure::Sampling, "weight_match");
+  EXPECT_EQ(violation.set, 0u);
 }
 
 }  // namespace

@@ -91,6 +91,63 @@ TEST(MonteCarlo, ReportCarriesHeadlineMetrics) {
   EXPECT_DOUBLE_EQ(report.metric_value("trials"), 30.0);
 }
 
+MonteCarloConfig small_sampled(std::size_t threads) {
+  MonteCarloConfig config;
+  config.trials = 3;
+  config.seed = 4242;
+  config.num_threads = threads;
+  config.sampled_k = 2;
+  config.sampled_intervals = 6;
+  config.sampled_interval_instructions = 2'000;
+  config.sampled_warmup = 4'000;
+  return config;
+}
+
+TEST(MonteCarlo, SampledSweepFillsSampledColumns) {
+  const auto summary = run_monte_carlo(small_sampled(2));
+  ASSERT_EQ(summary.trials.size(), 3u);
+  for (const auto& trial : summary.trials) {
+    EXPECT_TRUE(trial.sampled.evaluated);
+    EXPECT_GT(trial.sampled.miss_ratio, 0.0);
+    EXPECT_LE(trial.sampled.miss_ratio, 1.0);
+    EXPECT_GT(trial.sampled.cpi, 0.0);
+  }
+  EXPECT_GT(summary.mean_sampled_miss_ratio, 0.0);
+  EXPECT_GT(summary.mean_sampled_cpi, 0.0);
+}
+
+TEST(MonteCarlo, AnalyticSweepLeavesSampledColumnsOff) {
+  const auto summary = run_monte_carlo(small(10));
+  for (const auto& trial : summary.trials) {
+    EXPECT_FALSE(trial.sampled.evaluated);
+  }
+  EXPECT_DOUBLE_EQ(summary.mean_sampled_miss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean_sampled_cpi, 0.0);
+}
+
+TEST(MonteCarlo, SampledReportIsByteIdenticalAcrossThreadCounts) {
+  // The sampled columns ride the same determinism contract as the analytic
+  // ones: snapshot-store sharing across pool workers must never leak into
+  // the artifact bytes.
+  const auto config_one = small_sampled(1);
+  const auto config_four = small_sampled(4);
+  const std::string one =
+      monte_carlo_report(config_one, run_monte_carlo(config_one)).to_json().dump(2);
+  const std::string four =
+      monte_carlo_report(config_four, run_monte_carlo(config_four)).to_json().dump(2);
+  EXPECT_EQ(one, four);
+}
+
+TEST(MonteCarlo, SampledReportCarriesSampledMetrics) {
+  const auto config = small_sampled(2);
+  const auto report = monte_carlo_report(config, run_monte_carlo(config));
+  EXPECT_GT(report.metric_value("mean_sampled_miss_ratio"), 0.0);
+  EXPECT_GT(report.metric_value("mean_sampled_cpi"), 0.0);
+  EXPECT_GT(report.metric_value("sampled_miss_ratio_p95"), 0.0);
+  EXPECT_GE(report.metric_value("sampled_miss_ratio_p95"),
+            report.metric_value("sampled_miss_ratio_p50"));
+}
+
 TEST(MonteCarloConfig, FluentSettersChain) {
   const auto config =
       MonteCarloConfig{}.with_trials(5).with_seed(11).with_num_threads(3).with_curve_depth(64);
@@ -108,6 +165,18 @@ TEST(MonteCarloConfig, FromArgsPrefersFlags) {
   EXPECT_EQ(config.trials, 7u);
   EXPECT_EQ(config.seed, 99u);
   EXPECT_EQ(config.num_threads, 2u);
+}
+
+TEST(MonteCarloConfig, FromArgsReadsSampledKnobs) {
+  common::ArgParser parser(MonteCarloConfig::cli_flags());
+  const char* argv[] = {"prog", "--sampled=3", "--sampled-intervals=16",
+                        "--sampled-interval-instr=10000", "--sampled-warmup=20000"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  const auto config = MonteCarloConfig::from_args(parser);
+  EXPECT_EQ(config.sampled_k, 3u);
+  EXPECT_EQ(config.sampled_intervals, 16u);
+  EXPECT_EQ(config.sampled_interval_instructions, 10'000u);
+  EXPECT_EQ(config.sampled_warmup, 20'000u);
 }
 
 TEST(MonteCarlo, DifferentSeedsGiveDifferentMixes) {

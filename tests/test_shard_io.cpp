@@ -164,6 +164,65 @@ TEST(ShardIo, DigestSeparatesSweepParameters) {
             monte_carlo_digest(MonteCarloConfig(base).with_shards(8).with_shard_id(3)));
 }
 
+TEST(ShardIo, NonDivisibleTrialCountMergesBitForBit) {
+  // 53 trials over 5 shards: shards own 11, 11, 11, 10, 10 trials. The
+  // per-trial RNG is keyed by the global trial index, never by the shard's
+  // local position, so the ragged split must still reassemble the exact
+  // unsharded stream.
+  auto base = small_config();
+  base.trials = 53;
+  const auto unsharded = run_monte_carlo(base);
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    auto config = base;
+    config.shards = 5;
+    config.shard_id = k;
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  EXPECT_EQ(artifacts[0].owned.size(), 11u);
+  EXPECT_EQ(artifacts[4].owned.size(), 10u);
+
+  const auto merged = merge_shard_artifacts(artifacts);
+  ASSERT_TRUE(merged.audit.ok()) << merged.audit.to_string();
+  ASSERT_EQ(merged.summary.trials.size(), unsharded.trials.size());
+  for (std::size_t i = 0; i < unsharded.trials.size(); ++i) {
+    EXPECT_EQ(merged.summary.trials[i].mix.workload_indices,
+              unsharded.trials[i].mix.workload_indices) << "trial " << i;
+    expect_bits_equal(merged.summary.trials[i].bank_aware_misses,
+                      unsharded.trials[i].bank_aware_misses, "bank", i);
+  }
+  const auto unsharded_report = monte_carlo_report(base, unsharded);
+  const auto merged_report = monte_carlo_report(merged.config, merged.summary);
+  EXPECT_EQ(unsharded_report.to_json(), merged_report.to_json());
+}
+
+TEST(ShardIo, FewerTrialsThanShardsMerges) {
+  // 3 trials over 5 shards: two shards own nothing and must still produce
+  // legal (empty) artifacts the merge accepts.
+  auto base = small_config();
+  base.trials = 3;
+  const auto unsharded = run_monte_carlo(base);
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    auto config = base;
+    config.shards = 5;
+    config.shard_id = k;
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  EXPECT_TRUE(artifacts[3].owned.empty());
+  EXPECT_TRUE(artifacts[4].owned.empty());
+
+  const auto merged = merge_shard_artifacts(artifacts);
+  ASSERT_TRUE(merged.audit.ok()) << merged.audit.to_string();
+  ASSERT_EQ(merged.summary.trials.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_bits_equal(merged.summary.trials[i].bank_aware_misses,
+                      unsharded.trials[i].bank_aware_misses, "bank", i);
+  }
+}
+
 TEST(ShardIo, SaveLoadRoundTripsThroughDisk) {
   auto config = small_config();
   config.shards = 2;
@@ -175,6 +234,116 @@ TEST(ShardIo, SaveLoadRoundTripsThroughDisk) {
   EXPECT_EQ(loaded.owned.size(), artifact.owned.size());
   EXPECT_EQ(loaded.config_digest, artifact.config_digest);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sampled-interval sweeps through the shard pipeline
+// ---------------------------------------------------------------------------
+
+MonteCarloConfig sampled_config() {
+  MonteCarloConfig config;
+  config.trials = 4;
+  config.seed = 91;
+  config.num_threads = 2;
+  config.sampled_k = 2;
+  config.sampled_intervals = 8;
+  config.sampled_interval_instructions = 2'000;
+  config.sampled_warmup = 4'000;
+  return config;
+}
+
+TEST(ShardIo, DigestSeparatesSampledParameters) {
+  const auto base = sampled_config();
+  EXPECT_EQ(monte_carlo_digest(base), monte_carlo_digest(base));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_sampled_k(0)));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_sampled_intervals(16)));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(
+                MonteCarloConfig(base).with_sampled_interval_instructions(4'000)));
+  EXPECT_NE(monte_carlo_digest(base),
+            monte_carlo_digest(MonteCarloConfig(base).with_sampled_warmup(8'000)));
+}
+
+TEST(ShardIo, SampledArtifactRoundTripsThroughText) {
+  auto config = sampled_config();
+  config.shards = 2;
+  config.shard_id = 1;
+  const auto artifact = make_shard_artifact(config, run_monte_carlo(config));
+  ASSERT_EQ(artifact.owned.size(), 2u);
+  EXPECT_EQ(artifact.sampled_k, 2u);
+
+  std::stringstream stream;
+  write_shard_artifact(artifact, stream);
+  const auto loaded = read_shard_artifact(stream);
+
+  EXPECT_EQ(loaded.sampled_k, artifact.sampled_k);
+  EXPECT_EQ(loaded.sampled_intervals, artifact.sampled_intervals);
+  EXPECT_EQ(loaded.sampled_interval_instructions,
+            artifact.sampled_interval_instructions);
+  EXPECT_EQ(loaded.sampled_warmup, artifact.sampled_warmup);
+  ASSERT_EQ(loaded.owned.size(), artifact.owned.size());
+  for (std::size_t i = 0; i < artifact.owned.size(); ++i) {
+    const auto& got = loaded.owned[i].result.sampled;
+    const auto& want = artifact.owned[i].result.sampled;
+    EXPECT_TRUE(got.evaluated);
+    expect_bits_equal(got.miss_ratio, want.miss_ratio, "sampled miss ratio", i);
+    expect_bits_equal(got.miss_ratio_ci_half, want.miss_ratio_ci_half,
+                      "sampled miss ratio ci", i);
+    expect_bits_equal(got.cpi, want.cpi, "sampled cpi", i);
+    expect_bits_equal(got.cpi_ci_half, want.cpi_ci_half, "sampled cpi ci", i);
+  }
+}
+
+TEST(ShardIo, SampledMergedShardsReproduceUnshardedSweepBitForBit) {
+  const auto base = sampled_config();
+  const auto unsharded = run_monte_carlo(base);
+  ASSERT_TRUE(unsharded.trials.front().sampled.evaluated);
+  EXPECT_GT(unsharded.mean_sampled_miss_ratio, 0.0);
+  EXPECT_GT(unsharded.mean_sampled_cpi, 0.0);
+
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint32_t k = 0; k < 2; ++k) {
+    auto config = base;
+    config.shards = 2;
+    config.shard_id = k;
+    artifacts.push_back(make_shard_artifact(config, run_monte_carlo(config)));
+  }
+  const auto merged = merge_shard_artifacts(artifacts);
+  ASSERT_TRUE(merged.audit.ok()) << merged.audit.to_string();
+
+  ASSERT_EQ(merged.summary.trials.size(), unsharded.trials.size());
+  for (std::size_t i = 0; i < unsharded.trials.size(); ++i) {
+    expect_bits_equal(merged.summary.trials[i].sampled.miss_ratio,
+                      unsharded.trials[i].sampled.miss_ratio, "sampled miss", i);
+    expect_bits_equal(merged.summary.trials[i].sampled.cpi,
+                      unsharded.trials[i].sampled.cpi, "sampled cpi", i);
+  }
+  expect_bits_equal(merged.summary.mean_sampled_miss_ratio,
+                    unsharded.mean_sampled_miss_ratio, "mean sampled miss", 0);
+  expect_bits_equal(merged.summary.mean_sampled_cpi, unsharded.mean_sampled_cpi,
+                    "mean sampled cpi", 0);
+
+  const auto unsharded_report = monte_carlo_report(base, unsharded);
+  const auto merged_report = monte_carlo_report(merged.config, merged.summary);
+  EXPECT_EQ(unsharded_report.to_json(), merged_report.to_json());
+}
+
+TEST(ShardIo, MergeRefusesMixedSampledAndAnalyticShards) {
+  auto sampled = sampled_config();
+  sampled.shards = 2;
+  sampled.shard_id = 0;
+  auto analytic = sampled_config();
+  analytic.sampled_k = 0;
+  analytic.shards = 2;
+  analytic.shard_id = 1;
+  std::vector<ShardArtifact> artifacts;
+  artifacts.push_back(make_shard_artifact(sampled, run_monte_carlo(sampled)));
+  artifacts.push_back(make_shard_artifact(analytic, run_monte_carlo(analytic)));
+  const auto merged = merge_shard_artifacts(artifacts);
+  EXPECT_FALSE(merged.audit.ok());
+  EXPECT_TRUE(merged.summary.trials.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -100,6 +101,128 @@ TEST(Percentile, Interpolates) {
 TEST(Percentile, SingleElement) {
   const double v[] = {42.0};
   EXPECT_DOUBLE_EQ(percentile(v, 13.0), 42.0);
+}
+
+// Reference values computed with numpy.percentile (linear / R-7 method).
+TEST(Percentile, MatchesNumpyLinearReferences) {
+  const double v[] = {1.0, 2.0, 3.0, 4.0};
+  struct Case {
+    double p;
+    double expected;
+  };
+  const Case cases[] = {
+      {0.0, 1.0},  {25.0, 1.75}, {50.0, 2.5},
+      {75.0, 3.25}, {99.0, 3.97}, {100.0, 4.0},
+  };
+  for (const Case& c : cases) {
+    EXPECT_NEAR(percentile(v, c.p), c.expected, 1e-12) << "p=" << c.p;
+  }
+  const double pair[] = {10.0, 20.0};
+  EXPECT_NEAR(percentile(pair, 1.0), 10.1, 1e-12);
+  EXPECT_NEAR(percentile(pair, 99.0), 19.9, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputMatchesSorted) {
+  const double shuffled[] = {4.0, 1.0, 3.0, 2.0};
+  const double sorted[] = {1.0, 2.0, 3.0, 4.0};
+  for (double p : {0.0, 13.0, 25.0, 50.0, 77.7, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(shuffled, p), percentile_sorted(sorted, p));
+  }
+}
+
+TEST(Percentile, NearlyHundredStaysInRange) {
+  // p/100 * (n-1) can overshoot n-1 by an ulp; the rank clamp keeps the
+  // result inside [min, max] instead of reading past the array.
+  std::vector<double> v;
+  for (int i = 0; i < 17; ++i) v.push_back(static_cast<double>(i));
+  const double near_max = percentile(v, 99.9999999999999);
+  EXPECT_GT(near_max, 15.0);
+  EXPECT_LE(near_max, 16.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 16.0);
+}
+
+TEST(GuardedGeomean, CleanInputMatchesStrictGeomean) {
+  const double v[] = {4.0, 9.0, 6.0};
+  const GuardedGeomean g = guarded_geometric_mean(v);
+  EXPECT_TRUE(g.clean());
+  EXPECT_EQ(g.count, 3u);
+  EXPECT_EQ(g.clamped, 0u);
+  EXPECT_DOUBLE_EQ(g.value, geometric_mean(v));
+  EXPECT_EQ(g.warning(1e-12), "");
+}
+
+TEST(GuardedGeomean, ClampsZerosToEpsilonAndCountsThem) {
+  const double v[] = {0.0, 4.0};
+  const GuardedGeomean g = guarded_geometric_mean(v, /*epsilon=*/1e-6);
+  EXPECT_FALSE(g.clean());
+  EXPECT_EQ(g.count, 2u);
+  EXPECT_EQ(g.clamped, 1u);
+  // geomean(1e-6, 4) = sqrt(4e-6) = 2e-3: the zero drags hard but finitely.
+  EXPECT_NEAR(g.value, 2e-3, 1e-15);
+  EXPECT_EQ(g.warning(1e-6),
+            "geometric mean clamped 1 of 2 non-positive value(s) up to 1e-06");
+}
+
+TEST(GuardedGeomean, NegativesClampLikeZeros) {
+  const double v[] = {-3.0, 0.0, 1.0, 1.0};
+  const GuardedGeomean g = guarded_geometric_mean(v, /*epsilon=*/1e-4);
+  EXPECT_EQ(g.clamped, 2u);
+  EXPECT_NEAR(g.value, std::pow(1e-8, 0.25), 1e-12);
+}
+
+TEST(WeightedMeanCi, HandComputedCase) {
+  // Strata: value 1 with weight 1, value 3 with weight 3.
+  // mean = (1 + 9) / 4 = 2.5; W = 4, W2 = 10, denom = 4 - 10/4 = 1.5;
+  // s^2 = (1*(1-2.5)^2 + 3*(3-2.5)^2) / 1.5 = (2.25 + 0.75) / 1.5 = 2;
+  // SE = sqrt(2 * 10) / 4 = sqrt(20)/4.
+  const double values[] = {1.0, 3.0};
+  const double weights[] = {1.0, 3.0};
+  const WeightedMeanCi ci = weighted_mean_ci(values, weights);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+  EXPECT_DOUBLE_EQ(ci.weight_total, 4.0);
+  EXPECT_NEAR(ci.std_error, std::sqrt(20.0) / 4.0, 1e-12);
+  EXPECT_NEAR(ci.ci_half, 1.96 * ci.std_error, 1e-12);
+  EXPECT_DOUBLE_EQ(ci.ci_low(), ci.mean - ci.ci_half);
+  EXPECT_DOUBLE_EQ(ci.ci_high(), ci.mean + ci.ci_half);
+}
+
+TEST(WeightedMeanCi, InvariantUnderWeightScaling) {
+  const double values[] = {0.2, 0.5, 0.9, 0.4};
+  const double weights[] = {2.0, 7.0, 1.0, 6.0};
+  const double scaled[] = {20.0, 70.0, 10.0, 60.0};
+  const WeightedMeanCi a = weighted_mean_ci(values, weights);
+  const WeightedMeanCi b = weighted_mean_ci(values, scaled);
+  EXPECT_NEAR(a.mean, b.mean, 1e-12);
+  EXPECT_NEAR(a.std_error, b.std_error, 1e-12);
+  EXPECT_NEAR(a.ci_half, b.ci_half, 1e-12);
+}
+
+TEST(WeightedMeanCi, SingleStratumDegeneratesToZeroWidth) {
+  const double values[] = {0.7};
+  const double weights[] = {5.0};
+  const WeightedMeanCi ci = weighted_mean_ci(values, weights);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.7);
+  EXPECT_DOUBLE_EQ(ci.std_error, 0.0);
+  EXPECT_DOUBLE_EQ(ci.ci_half, 0.0);
+}
+
+TEST(WeightedMeanCi, AllWeightOnOneValueDegeneratesToZeroWidth) {
+  const double values[] = {0.7, 0.1};
+  const double weights[] = {5.0, 0.0};
+  const WeightedMeanCi ci = weighted_mean_ci(values, weights);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.7);
+  EXPECT_DOUBLE_EQ(ci.std_error, 0.0);
+}
+
+TEST(WeightedMeanCi, EqualWeightsMatchUnweightedStats) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const double weights[] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const WeightedMeanCi ci = weighted_mean_ci(values, weights, /*z=*/1.0);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  // Equal weights reduce to the classic SE = s / sqrt(n).
+  const double s = std::sqrt(32.0 / 7.0);
+  EXPECT_NEAR(ci.std_error, s / std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(ci.ci_half, ci.std_error, 1e-12);
 }
 
 TEST(Ratio, FallbackOnZeroDenominator) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "harness/experiments.hpp"
@@ -227,6 +229,81 @@ TEST(System, InclusionInvariantHolds) {
     }
   }
   EXPECT_GT(system.results().inclusion_recalls(), 0u);
+}
+
+TEST(System, FastForwardAdvancesInstructionCounts) {
+  System system(fast_config(PolicyKind::BankAware), capacity_diverse_mix());
+  system.warm_up(100'000);
+  system.fast_forward(300'000);
+  const auto results = system.results();
+  // Functional warming follows execute()'s co-scheduled-slice discipline:
+  // every core retires at least its instruction budget, fast cores co-run
+  // past it until the slowest finishes, and the budget-setting core stops
+  // within quota-rounding slack of the budget itself.
+  double min_instructions = std::numeric_limits<double>::infinity();
+  for (const auto& core : results.cores()) {
+    EXPECT_GE(core.instructions(), 300'000.0 * 0.98 - 2'000.0) << core.workload();
+    min_instructions = std::min(min_instructions, core.instructions());
+  }
+  EXPECT_NEAR(min_instructions, 300'000.0, 300'000.0 * 0.02 + 2'000.0);
+  EXPECT_GT(results.l2_accesses(), 0u);
+}
+
+TEST(System, FastForwardIsDeterministic) {
+  const auto run_one = [] {
+    System system(fast_config(PolicyKind::BankAware), capacity_diverse_mix());
+    system.warm_up(100'000);
+    system.fast_forward(200'000);
+    system.fast_forward(200'000);
+    system.reset_measurement();
+    return system.save_state();
+  };
+  EXPECT_EQ(run_one().bytes, run_one().bytes);
+}
+
+TEST(System, FastForwardStateSupportsSnapshotForkAndDetailedRun) {
+  // The sampled-run warming recipe end to end: warm, fast-forward to a
+  // boundary, reset, snapshot — then restore into the same system and run
+  // detailed. Two repeats must agree bit for bit.
+  const auto run_one = [] {
+    System system(fast_config(PolicyKind::BankAware), capacity_diverse_mix());
+    system.warm_up(100'000);
+    system.fast_forward(250'000);
+    system.reset_measurement();
+    const auto boundary = system.save_state();
+    system.restore_state(boundary);
+    system.reset_measurement();
+    system.run(150'000);
+    return system.results();
+  };
+  const auto a = run_one();
+  const auto b = run_one();
+  EXPECT_EQ(a.l2_accesses(), b.l2_accesses());
+  EXPECT_EQ(a.l2_misses(), b.l2_misses());
+  EXPECT_DOUBLE_EQ(a.mean_cpi(), b.mean_cpi());
+}
+
+TEST(System, FastForwardKeepsCacheWarm) {
+  // A detailed interval entered after functional warming must see a warm
+  // cache: its miss ratio should sit near the one measured after an equal
+  // stretch of detailed simulation, and far below the cold-start ratio.
+  const auto interval_ratio = [](bool functional) {
+    System system(fast_config(PolicyKind::EqualPartition), capacity_diverse_mix());
+    system.warm_up(100'000);
+    if (functional) {
+      system.fast_forward(400'000);
+    } else {
+      system.run(400'000);
+    }
+    system.reset_measurement();
+    system.run(100'000);
+    const auto results = system.results();
+    return static_cast<double>(results.l2_misses()) /
+           static_cast<double>(results.l2_accesses());
+  };
+  const double after_functional = interval_ratio(true);
+  const double after_detailed = interval_ratio(false);
+  EXPECT_NEAR(after_functional, after_detailed, 0.05 + 0.15 * after_detailed);
 }
 
 TEST(SystemConfig, BaselineMatchesTableOne) {
