@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Lint gate over src/ bench/ examples/ tests/ and scripts/.
 #
-# Three layers, cheapest first:
-#   1. Repo-specific grep rules (always run; no tools needed):
-#        - no lenient ArgParser getters (PR 3 made ingestion strict: use
-#          get_*_or_fail / require_* so malformed flags fail loudly),
-#        - no raw assert() (use BACP_ASSERT / BACP_DASSERT, which stay
-#          active in Release and print context),
-#        - no direct strtoull/strtol/atoi/atol number parsing outside
-#          common/parse.cpp (the one audited conversion site; everything
-#          else goes through common::parse_u64/parse_double).
-#      A line may opt out with a NOLINT marker carrying a reason.
-#   2. clang-tidy with the checked-in .clang-tidy, if installed.
-#   3. shellcheck over scripts/*.sh, if installed.
+# Layers, most precise first; every finding is printed with the layer that
+# caught it (lint[ast] / lint[grep] / lint[grep-fallback]):
+#   1. bacp-analyze (tools/bacp-analyze): token/AST-level repo checks —
+#      determinism hazards (bacp-det-*), snapshot completeness
+#      (bacp-snapshot-fields), audit coverage (bacp-audit-coverage), the
+#      promoted bans (bacp-arg-lenient, bacp-raw-assert, bacp-raw-strtol)
+#      and NOLINT hygiene (bacp-nolint-reason). Opt-outs require
+#      `NOLINT(check-id): reason` — a bare marker is itself a finding.
+#   2. Grep fallbacks for the promoted bans + NOLINT hygiene — run only
+#      when the analyzer binary is missing, so a bare checkout still gates.
+#      Structural greps with no AST equivalent (std::unordered_* includes)
+#      always run.
+#   3. clang-tidy with the checked-in .clang-tidy, if installed.
+#   4. shellcheck over scripts/*.sh, if installed.
 #
 # Usage:
 #   scripts/lint.sh                 # run what is available, skip the rest
-#   scripts/lint.sh --require-tools # missing clang-tidy/shellcheck is an
-#                                   # error (CI mode)
+#   scripts/lint.sh --require-tools # missing bacp-analyze/clang-tidy/
+#                                   # shellcheck is an error (CI mode)
+#
+# The analyzer binary is searched in build*/tools/bacp-analyze/; override
+# with BACP_ANALYZE=/path/to/bacp-analyze.
 #
 # Exit status: 0 clean, 1 findings (or missing tools with --require-tools).
 
@@ -37,54 +42,107 @@ fi
 fail=0
 cxx_dirs=(src bench examples tests)
 
-# --- Layer 1: grep rules ---------------------------------------------------
+# --- Layer 1: bacp-analyze (AST) -------------------------------------------
+
+analyzer=""
+for candidate in "${BACP_ANALYZE:-}" build/*/tools/bacp-analyze/bacp-analyze; do
+  if [[ -n "${candidate}" && -x "${candidate}" ]]; then
+    analyzer="${candidate}"
+    break
+  fi
+done
+
+ast_ran=0
+if [[ -n "${analyzer}" ]]; then
+  set +e
+  ast_output="$("${analyzer}" --root "${repo_root}" 2>/dev/null)"
+  ast_status=$?
+  set -e
+  case "${ast_status}" in
+    0)
+      ast_ran=1
+      echo "lint[ast]: bacp-analyze clean (${analyzer})"
+      ;;
+    1)
+      ast_ran=1
+      echo "lint[ast]: bacp-analyze findings (caught by the AST layer):" >&2
+      sed 's/^/lint[ast]: /' <<< "${ast_output}" >&2
+      echo >&2
+      fail=1
+      ;;
+    *)
+      echo "lint: bacp-analyze failed (exit ${ast_status}) — falling back to greps" >&2
+      ;;
+  esac
+else
+  echo "lint: bacp-analyze not built — grep fallbacks cover the promoted bans" >&2
+fi
+if [[ "${ast_ran}" -eq 0 && "${require_tools}" -eq 1 ]]; then
+  echo "lint: --require-tools set and the AST layer did not run" >&2
+  fail=1
+fi
+
+# --- Layer 2: grep rules ---------------------------------------------------
 
 # Reports every line matching an ERE in the C++ tree (minus NOLINT'd lines)
-# as a lint failure.
+# as a lint failure, tagged with the layer name in `tag`.
 check_absent() {
-  local label="$1"
-  local pattern="$2"
-  shift 2
+  local tag="$1"
+  local label="$2"
+  local pattern="$3"
+  shift 3
   local matches
   matches="$(grep -rnE --include='*.cpp' --include='*.hpp' "$@" \
                -e "${pattern}" "${cxx_dirs[@]}" | grep -v 'NOLINT' || true)"
   if [[ -n "${matches}" ]]; then
-    echo "lint: ${label}" >&2
-    echo "${matches}" >&2
+    echo "lint[${tag}]: ${label}" >&2
+    sed "s/^/lint[${tag}]: /" <<< "${matches}" >&2
     echo >&2
     fail=1
   fi
 }
 
-# Lenient getters were removed when ingestion became strict; member-call
-# shape so free functions named get_u64 elsewhere stay legal.
-check_absent \
-  "lenient ArgParser getter — use get_*_or_fail / require_* instead" \
-  '(->|\.)get_(u64|i64|double|bool)\('
+if [[ "${ast_ran}" -eq 0 ]]; then
+  # Promoted bans: AST-level as bacp-arg-lenient / bacp-raw-assert /
+  # bacp-raw-strtol; these greps are the no-tools fallback.
+  check_absent grep-fallback \
+    "lenient ArgParser getter — use get_*_or_fail / require_* instead (bacp-arg-lenient)" \
+    '(->|\.)get_(u64|i64|double|bool)\('
 
-# Raw assert() compiles out under NDEBUG and prints no context; the BACP
-# macros do neither. static_assert stays legal (leading '_' excluded).
-check_absent \
-  "raw assert() — use BACP_ASSERT / BACP_DASSERT instead" \
-  '(^|[^_[:alnum:]])assert[[:space:]]*\('
+  check_absent grep-fallback \
+    "raw assert() — use BACP_ASSERT / BACP_DASSERT instead (bacp-raw-assert)" \
+    '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
+    --exclude=assert.hpp
 
-# All textual number parsing goes through common/parse.cpp, the one place
-# that rejects negatives, overflow and trailing junk.
-check_absent \
-  "direct strto*/ato* call — use common::parse_u64 / parse_double instead" \
-  '(^|[^_[:alnum:]])(strtoull|strtoul|strtoll|strtol|atoi|atol|atoll)[[:space:]]*\(' \
-  --exclude=parse.cpp
+  check_absent grep-fallback \
+    "direct strto*/ato* call — use common::parse_u64 / parse_double instead (bacp-raw-strtol)" \
+    '(^|[^_[:alnum:]])(strtoull|strtoul|strtoll|strtol|atoi|atol|atoll)[[:space:]]*\(' \
+    --exclude=parse.cpp
+
+  # NOLINT hygiene fallback (bacp-nolint-reason): a marker must name its
+  # check ids and carry a ": reason" suffix; bare markers suppress nothing.
+  bare_nolint="$(grep -rnE --include='*.cpp' --include='*.hpp' \
+                   -e 'NOLINT' "${cxx_dirs[@]}" \
+                 | grep -vE 'NOLINT(NEXTLINE)?\([a-zA-Z0-9_,-]+\): [^ ]' || true)"
+  if [[ -n "${bare_nolint}" ]]; then
+    echo "lint[grep-fallback]: NOLINT without '(check-id): reason' (bacp-nolint-reason)" >&2
+    sed 's/^/lint[grep-fallback]: /' <<< "${bare_nolint}" >&2
+    echo >&2
+    fail=1
+  fi
+fi
 
 # Hash-table iteration order is unspecified and leaks straight into
 # artifacts (the sched tenant tables and every report are iteration-ordered).
 # Deterministic code uses common::FlatHash64 or std::map; the flat-hash unit
-# test keeps std::unordered_map as its reference oracle.
-check_absent \
+# test keeps std::unordered_map as its reference oracle. Grep-only rule —
+# include bans are textual, not structural.
+check_absent grep \
   "std::unordered_* include — use common::FlatHash64 or std::map instead" \
   '#include <unordered_' \
   --exclude=test_flat_hash.cpp
 
-# --- Layer 2: clang-tidy ---------------------------------------------------
+# --- Layer 3: clang-tidy ---------------------------------------------------
 
 if command -v clang-tidy > /dev/null 2>&1; then
   lint_build="${repo_root}/build/lint"
@@ -96,7 +154,7 @@ if command -v clang-tidy > /dev/null 2>&1; then
   mapfile -t tidy_sources < <(find "${cxx_dirs[@]}" -name '*.cpp' | sort)
   echo "clang-tidy over ${#tidy_sources[@]} files..."
   if ! clang-tidy -p "${lint_build}" --quiet "${tidy_sources[@]}"; then
-    echo "lint: clang-tidy reported findings" >&2
+    echo "lint[clang-tidy]: clang-tidy reported findings" >&2
     fail=1
   fi
 else
@@ -104,11 +162,11 @@ else
   if [[ "${require_tools}" -eq 1 ]]; then fail=1; fi
 fi
 
-# --- Layer 3: shellcheck ---------------------------------------------------
+# --- Layer 4: shellcheck ---------------------------------------------------
 
 if command -v shellcheck > /dev/null 2>&1; then
-  if ! shellcheck scripts/*.sh; then
-    echo "lint: shellcheck reported findings" >&2
+  if ! shellcheck scripts/*.sh tools/bacp-analyze/check_fixture.sh; then
+    echo "lint[shellcheck]: shellcheck reported findings" >&2
     fail=1
   fi
 else

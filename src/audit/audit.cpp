@@ -23,6 +23,7 @@ const char* to_string(Structure structure) {
     case Structure::Sched: return "sched";
     case Structure::Shard: return "shard";
     case Structure::Sampling: return "sampling";
+    case Structure::Component: return "component";
   }
   return "?";
 }

@@ -35,6 +35,8 @@ enum class Structure : std::uint8_t {
   Sched,      ///< sched::Service tenant table vs. system slot/allocation state
   Shard,      ///< Monte-Carlo shard set legality (coverage, ownership, digests)
   Sampling,   ///< interval-sampling plan legality (medoids, assignment, weights)
+  Component,  ///< single-component state (NoC, DRAM, generators, profilers,
+              ///< core timers, epoch series — see component_audit.hpp)
 };
 const char* to_string(Structure structure);
 

@@ -231,6 +231,7 @@ class SetAssocCache {
   std::vector<CoreMask> way_masks_;
   // Per-core bitmask of owned ways, derived from way_masks_ so the fill
   // path finds "first invalid owned way" with one countr_zero.
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from way_masks_; rebuilt by rebuild_owned_ways() on restore
   std::vector<std::uint64_t> owned_ways_;
   CacheStats stats_;
 };

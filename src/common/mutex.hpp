@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace bacp::common {
+
+/// std::mutex with a capability annotation, so clang's -Wthread-safety can
+/// check the lock discipline of BACP_GUARDED_BY members. libstdc++'s own
+/// std::mutex / std::lock_guard carry no annotations and are invisible to
+/// the analysis; every mutex-guarded structure in the repo uses this
+/// wrapper plus MutexLock instead.
+class BACP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BACP_ACQUIRE() { mutex_.lock(); }
+  void unlock() BACP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() BACP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII scope lock over Mutex (the std::lock_guard shape, but visible to
+/// the thread-safety analysis as a scoped capability).
+class BACP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) BACP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() BACP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. wait() is the one place
+/// where a capability is released and reacquired behind the analysis's
+/// back, so it alone is opted out — callers still hold the MutexLock
+/// scope, and the lock is held again when wait() returns.
+class CondVar {
+ public:
+  /// Atomically releases `lock`'s mutex and blocks; the mutex is reacquired
+  /// before returning. Callers loop over their predicate as with any
+  /// condition variable (spurious wakeups happen).
+  void wait(MutexLock& lock) BACP_NO_THREAD_SAFETY_ANALYSIS {
+    // Mutex is BasicLockable, so condition_variable_any unlocks/relocks it
+    // directly; the MutexLock scope object stays conceptually "held".
+    cv_.wait(lock.mutex_);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bacp::common

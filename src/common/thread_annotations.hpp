@@ -1,0 +1,47 @@
+#pragma once
+
+// Clang thread-safety analysis attributes (-Wthread-safety), spelled as
+// BACP_* macros so annotated code still compiles as plain C++ on GCC (the
+// attributes expand to nothing there). The clang CI leg compiles the
+// annotated targets with -Wthread-safety -Werror, turning lock-discipline
+// violations (touching a BACP_GUARDED_BY member without its mutex, calling
+// a BACP_REQUIRES function unlocked, unbalanced acquire/release) into build
+// failures instead of rare races.
+//
+// The annotation vocabulary follows the canonical Clang mutex.h reference:
+//   BACP_CAPABILITY(name)      a lockable type (see common::Mutex)
+//   BACP_SCOPED_CAPABILITY     an RAII lock holder (see common::MutexLock)
+//   BACP_GUARDED_BY(m)         data member readable/writable only under m
+//   BACP_PT_GUARDED_BY(m)      pointee guarded by m (the pointer itself not)
+//   BACP_REQUIRES(m...)        function precondition: m held by the caller
+//   BACP_ACQUIRE(m...)         function acquires m (held on return)
+//   BACP_RELEASE(m...)         function releases m
+//   BACP_TRY_ACQUIRE(b, m...)  acquires m iff the return value equals b
+//   BACP_EXCLUDES(m...)        function precondition: m NOT held (deadlock)
+//   BACP_RETURN_CAPABILITY(m)  function returns a reference to m
+//   BACP_NO_THREAD_SAFETY_ANALYSIS  opt-out for one function, with a reason
+//
+// Annotation conventions for this repo are catalogued in DESIGN.md
+// section 13 alongside the bacp-analyze static checks.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BACP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BACP_THREAD_ANNOTATION
+#define BACP_THREAD_ANNOTATION(x)  // no-op: GCC and pre-capability clang
+#endif
+
+#define BACP_CAPABILITY(x) BACP_THREAD_ANNOTATION(capability(x))
+#define BACP_SCOPED_CAPABILITY BACP_THREAD_ANNOTATION(scoped_lockable)
+#define BACP_GUARDED_BY(x) BACP_THREAD_ANNOTATION(guarded_by(x))
+#define BACP_PT_GUARDED_BY(x) BACP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BACP_REQUIRES(...) BACP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BACP_ACQUIRE(...) BACP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BACP_RELEASE(...) BACP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BACP_TRY_ACQUIRE(...) BACP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BACP_EXCLUDES(...) BACP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BACP_RETURN_CAPABILITY(x) BACP_THREAD_ANNOTATION(lock_returned(x))
+#define BACP_NO_THREAD_SAFETY_ANALYSIS \
+  BACP_THREAD_ANNOTATION(no_thread_safety_analysis)

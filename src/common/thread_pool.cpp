@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     BACP_ASSERT(!shutting_down_, "submit after shutdown");
     tasks_.push(std::move(task));
   }
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_available_.wait(lock);
       if (tasks_.empty()) return;  // shutting down
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -56,8 +56,8 @@ void ThreadPool::parallel_for(std::size_t count,
   // trials next to analytic ones).
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
   auto remaining_tasks = std::make_shared<std::atomic<std::size_t>>(workers_.size());
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
   bool done = false;
 
   for (std::size_t t = 0; t < workers_.size(); ++t) {
@@ -68,15 +68,15 @@ void ThreadPool::parallel_for(std::size_t count,
         body(i);
       }
       if (remaining_tasks->fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
+        MutexLock lock(done_mutex);
         done = true;
         done_cv.notify_one();
       }
     });
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done; });
+  MutexLock lock(done_mutex);
+  while (!done) done_cv.wait(lock);
 }
 
 }  // namespace bacp::common

@@ -1,18 +1,23 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace bacp::common {
 
 /// Fixed-size worker pool. The Monte-Carlo harness fans independent trials
 /// out over it; each trial owns a deterministic per-trial RNG stream so the
 /// results are identical for any worker count.
+///
+/// Concurrency contract (checked by clang -Wthread-safety): `mutex_` guards
+/// the task queue and the shutdown flag; workers and submitters touch them
+/// only under MutexLock. Task bodies run outside the lock.
 class ThreadPool {
  public:
   /// num_threads == 0 selects hardware_concurrency() (minimum 1).
@@ -30,14 +35,14 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:
-  void submit(std::function<void()> task);
-  void worker_loop();
+  void submit(std::function<void()> task) BACP_EXCLUDES(mutex_);
+  void worker_loop() BACP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ BACP_GUARDED_BY(mutex_);
+  CondVar task_available_;
+  bool shutting_down_ BACP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bacp::common

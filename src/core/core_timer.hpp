@@ -12,6 +12,10 @@ class Writer;
 class Reader;
 }  // namespace bacp::snapshot
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::core {
 
 /// Timing abstraction of one out-of-order core (Table I: 4 GHz, 30-stage,
@@ -93,6 +97,9 @@ class CoreTimer {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  friend class audit::ComponentAuditor;
+  friend struct TimerTestPeer;  ///< mutation hooks for the audit kill-tests
+
   struct InFlight {
     double done_at = 0.0;
     double issued_at_instruction = 0.0;

@@ -20,8 +20,9 @@ SnapshotCache::SnapshotPtr SnapshotCache::get_or_warm(std::uint64_t key,
                                                       const WarmFn& warm) {
   std::shared_future<SnapshotPtr> future;
   std::shared_ptr<std::promise<SnapshotPtr>> owned;
+  std::string bank;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -31,21 +32,22 @@ SnapshotCache::SnapshotPtr SnapshotCache::get_or_warm(std::uint64_t key,
       owned = std::make_shared<std::promise<SnapshotPtr>>();
       future = owned->get_future().share();
       entries_.emplace(key, future);
+      bank = bank_directory_;  // copied under the lock for the unlocked warm
     }
   }
   if (owned) {
     // Warm outside the lock: other keys proceed concurrently, and waiters
     // on this key block on the future, not the mutex.
     try {
-      if (SnapshotPtr banked = try_load(key)) {
+      if (SnapshotPtr banked = try_load(bank, key)) {
         {
-          const std::lock_guard<std::mutex> lock(mutex_);
+          const common::MutexLock lock(mutex_);
           ++file_hits_;
         }
         owned->set_value(std::move(banked));
       } else {
         auto snapshot = std::make_shared<const snapshot::SystemSnapshot>(warm());
-        if (!bank_directory_.empty()) store(key, *snapshot);
+        if (!bank.empty()) store(bank, key, *snapshot);
         owned->set_value(std::move(snapshot));
       }
     } catch (...) {
@@ -56,20 +58,22 @@ SnapshotCache::SnapshotPtr SnapshotCache::get_or_warm(std::uint64_t key,
 }
 
 void SnapshotCache::set_file_bank(std::string directory) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   bank_directory_ = std::move(directory);
 }
 
-std::string SnapshotCache::bank_path(std::uint64_t key) const {
+std::string SnapshotCache::bank_path(const std::string& directory,
+                                     std::uint64_t key) {
   char name[32];
   std::snprintf(name, sizeof(name), "%016llx.snap",
                 static_cast<unsigned long long>(key));
-  return bank_directory_ + "/" + name;
+  return directory + "/" + name;
 }
 
-SnapshotCache::SnapshotPtr SnapshotCache::try_load(std::uint64_t key) const {
-  if (bank_directory_.empty()) return nullptr;
-  std::ifstream in(bank_path(key), std::ios::binary | std::ios::ate);
+SnapshotCache::SnapshotPtr SnapshotCache::try_load(const std::string& directory,
+                                                   std::uint64_t key) {
+  if (directory.empty()) return nullptr;
+  std::ifstream in(bank_path(directory, key), std::ios::binary | std::ios::ate);
   if (!in.is_open()) return nullptr;
   const std::streamsize size = in.tellg();
   if (size <= 0) return nullptr;
@@ -84,9 +88,9 @@ SnapshotCache::SnapshotPtr SnapshotCache::try_load(std::uint64_t key) const {
   return snapshot;
 }
 
-void SnapshotCache::store(std::uint64_t key,
-                          const snapshot::SystemSnapshot& snapshot) const {
-  const std::string path = bank_path(key);
+void SnapshotCache::store(const std::string& directory, std::uint64_t key,
+                          const snapshot::SystemSnapshot& snapshot) {
+  const std::string path = bank_path(directory, key);
   // Stage in TMPDIR when set (typically the fastest scratch filesystem),
   // with a process-unique name so concurrent shard processes sharing one
   // bank never collide on the staging file. TMPDIR may be a different
@@ -96,7 +100,7 @@ void SnapshotCache::store(std::uint64_t key,
   std::snprintf(name, sizeof(name), "/%016llx.stage.%lld",
                 static_cast<unsigned long long>(key),
                 static_cast<long long>(::getpid()));
-  const std::string temp = common::staging_directory(bank_directory_) + name;
+  const std::string temp = common::staging_directory(directory) + name;
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) return;  // unwritable staging: cache miss, not an error
@@ -115,17 +119,17 @@ void SnapshotCache::store(std::uint64_t key,
 }
 
 std::uint64_t SnapshotCache::hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t SnapshotCache::misses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::uint64_t SnapshotCache::file_hits() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return file_hits_;
 }
 

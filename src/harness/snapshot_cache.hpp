@@ -5,13 +5,14 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/args.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/system.hpp"
 #include "trace/mix.hpp"
 
@@ -42,25 +43,33 @@ class SnapshotCache {
   /// warmed snapshots are published via temp file + atomic rename, so
   /// concurrent shard processes sharing one bank never read a torn file.
   /// Empty string disables (the default, in-memory only).
-  void set_file_bank(std::string directory);
-  const std::string& file_bank() const { return bank_directory_; }
+  void set_file_bank(std::string directory) BACP_EXCLUDES(mutex_);
+  std::string file_bank() const BACP_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
+    return bank_directory_;
+  }
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t file_hits() const;
+  std::uint64_t hits() const BACP_EXCLUDES(mutex_);
+  std::uint64_t misses() const BACP_EXCLUDES(mutex_);
+  std::uint64_t file_hits() const BACP_EXCLUDES(mutex_);
 
  private:
-  std::string bank_path(std::uint64_t key) const;
+  // The disk-bank helpers take the bank directory as a parameter: the warm
+  // path runs outside the lock by design, so it works on a copy of
+  // bank_directory_ taken under the lock rather than re-reading the member.
+  static std::string bank_path(const std::string& directory, std::uint64_t key);
   /// Disk probe for `key`: loaded-and-validated snapshot or nullptr.
-  SnapshotPtr try_load(std::uint64_t key) const;
-  void store(std::uint64_t key, const snapshot::SystemSnapshot& snapshot) const;
+  static SnapshotPtr try_load(const std::string& directory, std::uint64_t key);
+  static void store(const std::string& directory, std::uint64_t key,
+                    const snapshot::SystemSnapshot& snapshot);
 
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::shared_future<SnapshotPtr>> entries_;
-  std::string bank_directory_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t file_hits_ = 0;
+  mutable common::Mutex mutex_;
+  std::map<std::uint64_t, std::shared_future<SnapshotPtr>> entries_
+      BACP_GUARDED_BY(mutex_);
+  std::string bank_directory_ BACP_GUARDED_BY(mutex_);
+  std::uint64_t hits_ BACP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ BACP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t file_hits_ BACP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Cache key for a warm-up: warm state is a pure function of the config

@@ -10,6 +10,10 @@ class Writer;
 class Reader;
 }  // namespace bacp::snapshot
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::mem {
 
 /// Main-memory model matching Table I: fixed 260-cycle access latency and a
@@ -52,8 +56,11 @@ class Dram {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  friend class audit::ComponentAuditor;
+
   Cycle claim_channel(Cycle now);
 
+  // NOLINTNEXTLINE(bacp-snapshot-fields): immutable model constants (Table I); pinned by config_digest, not serialized
   DramConfig config_;
   Cycle channel_free_at_ = 0;
   DramStats stats_;

@@ -12,6 +12,10 @@ class Writer;
 class Reader;
 }  // namespace bacp::snapshot
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::msa {
 
 /// Hardware-faithful Mattson stack-distance profiler (paper Section III-A).
@@ -72,6 +76,9 @@ class StackProfiler {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  friend class audit::ComponentAuditor;
+  friend struct ProfilerTestPeer;  ///< mutation hooks for the audit kill-tests
+
   bool is_sampled_set(std::uint32_t set) const {
     // observe() runs per L2 access and the default sampling (1 in 32) is a
     // power of two, so the common case is a mask test, not a division.
@@ -84,10 +91,14 @@ class StackProfiler {
   ProfilerConfig config_;
   // Set-index geometry, derived once at construction: observe() runs per L2
   // access, so the shift/mask must not be recomputed per call.
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from config at construction; restore asserts the config echo
   std::uint32_t set_shift_ = 0;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from config, as above
   std::uint64_t set_mask_ = 0;
   // Sampling-test fast path, derived once at construction.
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from config, as above
   bool sample_is_pow2_ = false;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from config, as above
   std::uint32_t sample_mask_ = 0;
   common::Histogram histogram_;  // profiled_ways + 1 bins
   // Per sampled set: tag stack, MRU first. Tags are either partial hashes

@@ -11,6 +11,10 @@ class Writer;
 class Reader;
 }  // namespace bacp::snapshot
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::noc {
 
 /// Latency/contention model of the Fig. 1 floorplan: a row of cores, the
@@ -75,6 +79,9 @@ class Noc {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  friend class audit::ComponentAuditor;
+  friend struct NocTestPeer;  ///< mutation hooks for the audit kill-tests
+
   NocConfig config_;
   std::vector<Cycle> bank_free_at_;
   NocStats stats_;

@@ -211,9 +211,11 @@ class DnucaCache {
   }
 
   DnucaConfig config_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): non-owning wiring; the Noc serializes itself under its own SectionId
   noc::Noc* noc_;
   std::vector<cache::SetAssocCache> banks_;
   std::vector<std::vector<BankId>> views_;      // per core: banks with owned ways
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived index over views_; rebuilt by rebuild_view_positions() on restore
   std::vector<std::uint32_t> view_pos_;         // core x bank -> index in view
   std::vector<std::size_t> round_robin_;        // per core: Parallel fill cursor
   common::FlatHash64<Location> residency_;      // block -> unique holding bank+way
@@ -223,10 +225,15 @@ class DnucaCache {
   // the batch — misses *and* off-view hits both fill, so both advance the
   // Parallel cursor — plus the per-lane probe-stage verdicts and bank/way
   // hints the later pipeline stages consume.
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch scratch is dead outside one access_batch() call; never simulated state
   std::vector<std::uint32_t> batch_miss_scratch_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch scratch, as above
   std::vector<BankId> batch_bank_scratch_;      // per lane: serving bank (hits)
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch scratch, as above
   std::vector<std::uint16_t> batch_way_scratch_;  // per lane: hit way hint
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch scratch, as above
   std::vector<BankId> batch_fill_scratch_;      // per lane: predicted fill bank
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch scratch, as above
   std::vector<std::uint8_t> batch_miss_flag_;   // per lane: probe-stage verdict
 };
 

@@ -70,6 +70,14 @@ class Distribution {
 ///
 /// A kind owns its name: registering "x" as a counter and again as a gauge
 /// is a programming error (asserted), not a silent shadow.
+///
+/// Thread model: thread-COMPATIBLE, not thread-safe — a Registry is owned
+/// by exactly one simulation/trial at a time (sweeps give every variant its
+/// own System and thus its own registries), so it carries no lock and no
+/// BACP_GUARDED_BY annotations on purpose; cross-thread aggregation goes
+/// through merge() on the owning thread after the pool joins. The
+/// mutex-guarded observability class is PhaseTimers (common/mutex.hpp
+/// capabilities, checked by clang -Wthread-safety).
 class Registry {
  public:
   Counter& counter(std::string_view name);

@@ -5,7 +5,7 @@
 namespace bacp::obs {
 
 void PhaseTimers::add(std::string_view name, double seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   auto it = phases_.find(name);
   if (it == phases_.end()) {
     it = phases_.emplace(std::string(name), Phase{std::string(name), 0.0, 0}).first;
@@ -15,7 +15,7 @@ void PhaseTimers::add(std::string_view name, double seconds) {
 }
 
 std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   std::vector<Phase> out;
   out.reserve(phases_.size());
   for (const auto& [name, phase] : phases_) out.push_back(phase);
@@ -23,13 +23,13 @@ std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
 }
 
 double PhaseTimers::seconds(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   const auto it = phases_.find(name);
   return it == phases_.end() ? 0.0 : it->second.seconds;
 }
 
 void PhaseTimers::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   phases_.clear();
 }
 

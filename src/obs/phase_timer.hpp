@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace bacp::obs {
 
@@ -28,10 +30,12 @@ class PhaseTimers {
   class Scope {
    public:
     Scope(PhaseTimers& timers, std::string name)
+        // NOLINTNEXTLINE(bacp-det-wallclock): phase timing measures real elapsed host time by design; never feeds simulated state
         : timers_(&timers), name_(std::move(name)), start_(Clock::now()) {}
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
     ~Scope() {
+      // NOLINTNEXTLINE(bacp-det-wallclock): host-time observability, as above
       timers_->add(name_, std::chrono::duration<double>(Clock::now() - start_).count());
     }
 
@@ -46,19 +50,19 @@ class PhaseTimers {
   /// scope is destroyed.
   Scope scope(std::string name) { return Scope(*this, std::move(name)); }
 
-  void add(std::string_view name, double seconds);
+  void add(std::string_view name, double seconds) BACP_EXCLUDES(mutex_);
 
   /// Name-sorted snapshot of all phases.
-  std::vector<Phase> phases() const;
-  double seconds(std::string_view name) const;
-  void clear();
+  std::vector<Phase> phases() const BACP_EXCLUDES(mutex_);
+  double seconds(std::string_view name) const BACP_EXCLUDES(mutex_);
+  void clear() BACP_EXCLUDES(mutex_);
 
   /// "phase timings: name 1.23s (4 calls), ..." or "" when empty.
-  std::string summary() const;
+  std::string summary() const BACP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Phase, std::less<>> phases_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Phase, std::less<>> phases_ BACP_GUARDED_BY(mutex_);
 };
 
 /// Process-wide timer set the harness records into; benches print its

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 #include "obs/phase_timer.hpp"
 
 namespace bacp::obs {
@@ -232,8 +233,10 @@ namespace {
 /// deterministic and the console output stays clean.
 std::vector<std::pair<std::string, std::string>> env_meta() {
   std::vector<std::pair<std::string, std::string>> out;
-  const char* raw = std::getenv("BACP_BENCH_META");
-  if (raw == nullptr) return out;
+  // Environment reads go through common::env (the sanctioned site for the
+  // bacp-det-wallclock determinism check), never raw std::getenv.
+  const std::string raw = common::env_string("BACP_BENCH_META", "");
+  if (raw.empty()) return out;
   std::string_view rest(raw);
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');

@@ -10,6 +10,10 @@
 
 #include "obs/json.hpp"
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::obs {
 
 /// Column-oriented per-epoch recorder. sim::System pushes one row per
@@ -58,6 +62,9 @@ class TimeSeries {
   void write_csv(std::ostream& os) const;
 
  private:
+  friend class audit::ComponentAuditor;
+  friend struct SeriesTestPeer;  ///< mutation hooks for the audit kill-tests
+
   // Sorted name -> column index; columns_ holds the samples. The map is
   // touched only on intern and reporting, never on the record fast path.
   std::map<std::string, SeriesHandle, std::less<>> index_;

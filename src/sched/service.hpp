@@ -74,6 +74,14 @@ struct Tenant {
 /// per-tenant series keyed by *tenant id*, with the core slot recorded as a
 /// label), so a mid-churn checkpoint is always legal and resumes
 /// bit-identically.
+///
+/// Thread model: thread-COMPATIBLE — one Service owns one sim::System and
+/// is driven from a single thread (bench_sched_churn runs one Service per
+/// lane, each lane on its own worker). It deliberately carries no lock and
+/// no BACP_GUARDED_BY annotations; the shared structure it may touch
+/// concurrently with other lanes, harness::SnapshotCache, carries the
+/// mutex capability annotations instead (common/mutex.hpp, checked by
+/// clang -Wthread-safety).
 class Service {
  public:
   /// `substrate_mix` is the System's construction binding (one workload per
@@ -196,10 +204,13 @@ class Service {
   void harvest_epoch();
   void audit_checkpoint(const char* where) const;
 
+  // NOLINTNEXTLINE(bacp-audit-coverage): immutable after construction; validated by the admission path, never mutated per epoch
   ServiceConfig config_;
+  // NOLINTNEXTLINE(bacp-audit-coverage): immutable substrate workload description resolved at construction
   trace::WorkloadMix substrate_mix_;
   sim::System system_;
   std::map<std::uint64_t, TenantState> tenants_;  ///< live only, id-ordered
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived from the tenant table; rebuilt (and double-booking asserted) on restore
   std::vector<std::uint64_t> slot_tenant_;        ///< per core: id or kNoTenant
   std::map<std::uint64_t, TenantSeries> series_;  ///< retained after eviction
   std::uint64_t epoch_ = 0;

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "audit/audit.hpp"
+#include "audit/component_audit.hpp"
 #endif
 
 #include "common/assert.hpp"
@@ -219,7 +220,16 @@ void System::audit_checkpoint(const char* where) const {
   view.l1s = l1s();
   view.directory = &directory_;
   view.allocation = &allocation_;
-  const audit::AuditReport report = audit::audit_system_components(view);
+  audit::AuditReport report = audit::audit_system_components(view);
+  report.merge(audit::audit_noc_fabric(noc_));
+  report.merge(audit::audit_dram_channel(dram_));
+  report.merge(audit::audit_epoch_series(epoch_series_));
+  for (const auto& generator : generators_)
+    report.merge(audit::audit_trace_generator(*generator));
+  for (const auto& profiler : profilers_)
+    report.merge(audit::audit_stack_profiler(*profiler));
+  for (const auto& timer : timers_)
+    report.merge(audit::audit_core_timer(*timer));
   if (!report.ok()) {
     std::fprintf(stderr, "BACP_AUDIT failed at %s: %s\n", where,
                  report.to_string().c_str());

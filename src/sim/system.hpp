@@ -364,7 +364,9 @@ class System {
   void snapshot_core(CoreId core);
   void restore_components(const snapshot::SnapshotView& view);
 
+  // NOLINTNEXTLINE(bacp-audit-coverage): immutable after construction; validated by SystemConfig parsing and pinned by config_digest
   SystemConfig config_;
+  // NOLINTNEXTLINE(bacp-audit-coverage): immutable workload description; resolved against the SPEC2000 registry at construction
   trace::WorkloadMix mix_;
 
   noc::Noc noc_;
@@ -373,7 +375,9 @@ class System {
   std::unique_ptr<nuca::DnucaCache> l2_;
   std::vector<cache::SetAssocCache> l1_;
   std::vector<std::unique_ptr<trace::SyntheticTraceGenerator>> generators_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): transient batched-access buffers; flushed (and generators rewound) before any snapshot
   std::vector<CoreStream> streams_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): execution knob, not simulated state; not serialized and not part of the config digest
   std::uint32_t batch_size_ = kDefaultBatchSize;
   std::vector<std::unique_ptr<msa::StackProfiler>> profilers_;
   std::vector<std::unique_ptr<core::CoreTimer>> timers_;
@@ -394,8 +398,11 @@ class System {
   std::vector<double> decayed_instructions_;
   Cycle next_epoch_ = 0;
   std::uint64_t epochs_ = 0;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): observability sink, harvested by reporting; reset (not replayed) on restore
   obs::TimeSeries epoch_series_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): interned handles into epoch_series_; re-interned by reset_epoch_tracking() on restore
   EpochSeriesHandles epoch_handles_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): per-epoch delta baseline; reset with the series on restore
   EpochBaseline epoch_baseline_;
 };
 

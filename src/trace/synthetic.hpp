@@ -13,6 +13,10 @@ class Writer;
 class Reader;
 }  // namespace bacp::snapshot
 
+namespace bacp::audit {
+class ComponentAuditor;
+}  // namespace bacp::audit
+
 namespace bacp::trace {
 
 /// Geometry knobs for the synthetic stream. Defaults match the baseline L2
@@ -84,6 +88,9 @@ class SyntheticTraceGenerator {
   void restore_state(snapshot::Reader& reader);
 
  private:
+  friend class audit::ComponentAuditor;
+  friend struct GeneratorTestPeer;  ///< mutation hooks for the audit kill-tests
+
   /// Undo record for one batched access, applied in reverse order by
   /// truncate_batch. A fresh insert (depth == kUndoFresh) restores the
   /// head slot's prior bytes — including dead-slot bytes, so snapshots of
@@ -105,6 +112,7 @@ class SyntheticTraceGenerator {
   const WorkloadModel* model_;  // non-owning; registry outlives generators
   GeneratorConfig config_;
   common::Rng rng_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): rebuilt deterministically from the model on restore (see save_state doc)
   common::DiscreteSampler depth_sampler_;
   // Per-set MRU-first recency lists stored as ring buffers in one flat
   // array (set s owns the ring_capacity_-sized stride starting at
@@ -114,14 +122,19 @@ class SyntheticTraceGenerator {
   std::vector<BlockAddress> recency_entries_;
   std::vector<std::uint32_t> recency_heads_;
   std::vector<std::uint32_t> recency_sizes_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived geometry (bit_ceil of max_depth); restore asserts the config echo
   std::uint32_t ring_capacity_ = 0;  ///< bit_ceil(max_depth)
+  // NOLINTNEXTLINE(bacp-snapshot-fields): derived geometry, as above
   std::uint32_t ring_mask_ = 0;
   std::uint64_t next_block_id_ = 0;
   // Batch rewind bookkeeping: the RNG/block-counter state at the last
   // next_batch() plus one undo record per produced access (capacity
   // reserved up front, so steady-state batching never allocates).
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch-rewind bookkeeping; generators are quiesced (no live batch) at any snapshot
   std::vector<UndoRecord> undo_log_;
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch-rewind bookkeeping, as above
   std::array<std::uint64_t, 4> batch_rng_state_{};
+  // NOLINTNEXTLINE(bacp-snapshot-fields): batch-rewind bookkeeping, as above
   std::uint64_t batch_start_block_id_ = 0;
   bool live_batch_ = false;
 };

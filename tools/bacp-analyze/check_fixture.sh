@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Kill-test driver for one analyzer fixture.
+#
+#   check_fixture.sh <bacp-analyze> <tool-source-dir> <fixture-name>
+#
+# For a violation fixture <name>, the analyzer must exit 1 and report the
+# check id bacp-<name-with-hyphens> at exactly the line carrying the PLANT
+# marker in fixtures/<name>.cpp. For the "clean" control fixture, every
+# check runs and the analyzer must exit 0. Either way, removing or breaking
+# a check makes its fixture test fail.
+set -u
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: check_fixture.sh <bacp-analyze> <tool-source-dir> <fixture-name>" >&2
+  exit 2
+fi
+
+analyzer=$1
+srcdir=$2
+name=$3
+fixture="fixtures/${name}.cpp"
+
+cd "${srcdir}" || exit 2
+if [ ! -f "${fixture}" ]; then
+  echo "FAIL: missing fixture ${srcdir}/${fixture}" >&2
+  exit 1
+fi
+
+if [ "${name}" = "clean" ]; then
+  output=$("${analyzer}" "${fixture}" 2>&1)
+  status=$?
+  if [ "${status}" -ne 0 ]; then
+    echo "FAIL: clean fixture produced findings (exit ${status}):" >&2
+    echo "${output}" >&2
+    exit 1
+  fi
+  echo "PASS: clean fixture has no findings"
+  exit 0
+fi
+
+check="bacp-$(printf '%s' "${name}" | tr '_' '-')"
+line=$(grep -n 'PLANT' "${fixture}" | head -n 1 | cut -d: -f1)
+if [ -z "${line}" ]; then
+  echo "FAIL: no PLANT marker in ${fixture}" >&2
+  exit 1
+fi
+
+output=$("${analyzer}" --checks "${check}" "${fixture}" 2>&1)
+status=$?
+if [ "${status}" -ne 1 ]; then
+  echo "FAIL: expected exit 1 from ${check} on ${fixture}, got ${status}:" >&2
+  echo "${output}" >&2
+  exit 1
+fi
+
+expected="${fixture}:${line}: [${check}]"
+if ! printf '%s\n' "${output}" | grep -F -q "${expected}"; then
+  echo "FAIL: expected finding '${expected}' not in analyzer output:" >&2
+  echo "${output}" >&2
+  exit 1
+fi
+
+echo "PASS: ${check} fires at ${expected}"
+exit 0

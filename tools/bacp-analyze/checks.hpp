@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace bacp::analyze {
+
+/// One analyzer finding: stable check id plus exact location. Output format
+/// is `rel:line: [check-id] message`, the contract the CTest kill-test
+/// fixtures assert on.
+struct Finding {
+  std::string rel;
+  std::uint32_t line = 0;
+  std::string check;
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (rel != other.rel) return rel < other.rel;
+    if (line != other.line) return line < other.line;
+    return check < other.check;
+  }
+};
+
+/// Stable catalog entry. `scoped` checks apply their own path scoping over
+/// a tree scan; when the caller passed explicit files (fixture mode) every
+/// file is in scope for every requested check.
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The check catalog, in stable id order (DESIGN.md section 13 documents
+/// each check's contract).
+const std::vector<CheckInfo>& check_catalog();
+
+/// Runs `check_ids` (empty = all) over the model. `explicit_files` disables
+/// per-check path scoping (fixture mode). Findings are sorted and already
+/// filtered through well-formed NOLINT suppressions.
+std::vector<Finding> run_checks(const CodeModel& model,
+                                const std::vector<std::string>& check_ids,
+                                bool explicit_files);
+
+}  // namespace bacp::analyze

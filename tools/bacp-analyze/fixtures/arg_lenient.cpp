@@ -1,0 +1,15 @@
+// Planted violation for bacp-arg-lenient: the defaulting getters silently
+// paper over typoed flags; required()/present() are the sanctioned forms.
+#include <cstdint>
+
+namespace fixture {
+
+struct ArgParser {
+  std::uint64_t get_u64(const char*, std::uint64_t fallback = 0) { return fallback; }
+};
+
+inline std::uint64_t epochs(ArgParser& args) {
+  return args.get_u64("epochs");  // PLANT
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Planted violation for bacp-audit-coverage: SystemLike checkpoints itself
+// but its Gadget member has no registered audit_* entry point.
+namespace fixture {
+
+class Gadget {
+ private:
+  int charge_ = 0;
+};
+
+class SystemLike {
+ public:
+  void audit_checkpoint() const {}
+
+ private:
+  Gadget gadget_;  // PLANT
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Planted violation for bacp-det-float-reduce: accumulating a float across
+// ThreadPool workers makes the sum depend on scheduling order.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct ThreadPool {
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  }
+};
+
+inline double total_cost(const std::vector<double>& costs) {
+  double sum = 0.0;
+  ThreadPool pool;
+  pool.parallel_for(costs.size(), [&](std::size_t i) {
+    sum += costs[i];  // PLANT
+  });
+  return sum;
+}
+
+}  // namespace fixture

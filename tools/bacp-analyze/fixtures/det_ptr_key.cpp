@@ -1,0 +1,16 @@
+// Planted violation for bacp-det-ptr-key: an ordered container keyed by
+// pointer value iterates in address order, which varies run to run.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Tenant {
+  std::string name;
+};
+
+struct Ledger {
+  std::map<const Tenant*, int> credits;  // PLANT
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Planted violation for bacp-det-ptr-order: sorting by raw pointer value
+// produces an address-dependent (non-deterministic) order.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+inline void order_nodes(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // PLANT
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Planted violation for bacp-det-wallclock: reading the environment outside
+// the sanctioned common/ + config_cli sites lets host state leak into runs.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+inline std::string output_dir() {
+  const char* dir = std::getenv("BACP_OUT");  // PLANT
+  return dir != nullptr ? std::string(dir) : std::string("out");
+}
+
+}  // namespace fixture

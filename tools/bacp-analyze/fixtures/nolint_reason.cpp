@@ -1,0 +1,11 @@
+// Planted violation for bacp-nolint-reason: a NOLINT marker without a
+// ": reason" suffix is itself a finding and suppresses nothing.
+#include <cassert>
+
+namespace fixture {
+
+inline void check_positive(int value) {
+  assert(value > 0);  // NOLINT(bacp-raw-assert) PLANT
+}
+
+}  // namespace fixture

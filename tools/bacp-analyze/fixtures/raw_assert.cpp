@@ -1,0 +1,13 @@
+// Planted violation for bacp-raw-assert: raw assert() compiles out under
+// NDEBUG; BACP_ASSERT stays armed in every build preset.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t half(std::uint64_t value) {
+  assert(value % 2 == 0);  // PLANT
+  return value / 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Planted violation for bacp-raw-strtol: the raw C parsers accept trailing
+// garbage and saturate silently; common/parse.hpp is the strict front door.
+#include <cstdlib>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t parse_count(const char* text) {
+  return std::strtoull(text, nullptr, 10);  // PLANT
+}
+
+}  // namespace fixture

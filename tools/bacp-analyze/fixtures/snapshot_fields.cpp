@@ -1,0 +1,27 @@
+// Planted violation for bacp-snapshot-fields: misses_ is written by
+// save_state but never restored, so a checkpoint round-trip loses it.
+#include <cstdint>
+
+namespace fixture {
+
+struct Writer {
+  void u64(std::uint64_t) {}
+};
+struct Reader {
+  std::uint64_t u64() { return 0; }
+};
+
+class Counter {
+ public:
+  void save_state(Writer& writer) const {
+    writer.u64(hits_);
+    writer.u64(misses_);
+  }
+  void restore_state(Reader& reader) { hits_ = reader.u64(); }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;  // PLANT
+};
+
+}  // namespace fixture

@@ -1,0 +1,272 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace bacp::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators the checks distinguish. Longest match wins;
+/// everything else lexes as single characters.
+const char* const kPuncts[] = {
+    "->*", "...", "<<=", ">>=", "::", "->", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "<<",  ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++",  "--",
+};
+
+/// Parses NOLINT markers out of one comment's text.
+void scan_nolint(const std::string& text, std::uint32_t line,
+                 std::vector<NolintMarker>& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("NOLINT", pos)) != std::string::npos) {
+    // Skip matches inside longer words (e.g. "BACP_NOLINTED" would not be a
+    // marker; neither is the "NOLINT" in "NOLINTNEXTLINE" once consumed).
+    if (pos > 0 && ident_char(text[pos - 1])) {
+      pos += 6;
+      continue;
+    }
+    NolintMarker marker;
+    marker.line = line;
+    std::size_t cursor = pos + 6;
+    if (text.compare(cursor, 8, "NEXTLINE") == 0) {
+      marker.nextline = true;
+      cursor += 8;
+    }
+    bool has_ids = false;
+    if (cursor < text.size() && text[cursor] == '(') {
+      const std::size_t close = text.find(')', cursor);
+      if (close != std::string::npos) {
+        std::string id;
+        for (std::size_t i = cursor + 1; i <= close; ++i) {
+          const char c = i < close ? text[i] : ',';
+          if (c == ',' || c == ' ' || c == '\t') {
+            if (!id.empty()) marker.ids.push_back(id);
+            id.clear();
+          } else {
+            id.push_back(c);
+          }
+        }
+        has_ids = !marker.ids.empty();
+        cursor = close + 1;
+      }
+    }
+    // Reason tail: ":" followed by non-blank text.
+    bool has_reason = false;
+    if (cursor < text.size() && text[cursor] == ':') {
+      std::size_t tail = cursor + 1;
+      while (tail < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[tail])) != 0) {
+        ++tail;
+      }
+      has_reason = tail < text.size();
+    }
+    marker.well_formed = has_ids && has_reason;
+    out.push_back(std::move(marker));
+    pos = cursor;
+  }
+}
+
+}  // namespace
+
+bool LexedFile::suppressed(const std::string& check_id, std::uint32_t line) const {
+  for (const NolintMarker& marker : nolints) {
+    if (!marker.well_formed) continue;
+    const std::uint32_t covered = marker.nextline ? marker.line + 1 : marker.line;
+    if (covered != line) continue;
+    for (const std::string& id : marker.ids) {
+      if (id == check_id) return true;
+    }
+  }
+  return false;
+}
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  bool at_line_start = true;
+
+  auto add_comment = [&](std::uint32_t at, const std::string& text) {
+    std::string& slot = out.comments[at];
+    if (!slot.empty()) slot.push_back(' ');
+    slot += text;
+    scan_nolint(text, at, out.nolints);
+  };
+
+  auto consume_string = [&](char quote) {
+    // Called with source[i] == quote; consumes through the closing quote.
+    std::string text;
+    ++i;
+    while (i < n && source[i] != quote) {
+      if (source[i] == '\\' && i + 1 < n) {
+        text.push_back(source[i]);
+        text.push_back(source[i + 1]);
+        if (source[i + 1] == '\n') ++line;
+        i += 2;
+        continue;
+      }
+      if (source[i] == '\n') ++line;  // unterminated; keep line counts right
+      text.push_back(source[i]);
+      ++i;
+    }
+    if (i < n) ++i;  // closing quote
+    return text;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      add_comment(line, source.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::uint32_t start_line = line;
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      add_comment(start_line, source.substr(start, i - start));
+      if (line != start_line) {
+        // A NOLINT at the end of a block comment covers the closing line.
+        out.comments[line];  // ensure the line exists for debugging dumps
+      }
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line (continuations too).
+    if (c == '#' && at_line_start) {
+      const std::uint32_t start_line = line;
+      std::string text;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          text.push_back(' ');
+          continue;
+        }
+        if (source[i] == '\n') break;
+        // Comments inside directives still carry NOLINT markers.
+        if (source[i] == '/' && i + 1 < n && source[i + 1] == '/') {
+          const std::size_t start = i;
+          while (i < n && source[i] != '\n') ++i;
+          add_comment(line, source.substr(start, i - start));
+          break;
+        }
+        text.push_back(source[i]);
+        ++i;
+      }
+      out.tokens.push_back({Tok::PpDirective, std::move(text), start_line});
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    // String / char literals (incl. raw strings via the prefix identifier).
+    if (c == '"') {
+      const std::uint32_t start_line = line;
+      out.tokens.push_back({Tok::String, consume_string('"'), start_line});
+      continue;
+    }
+    if (c == '\'') {
+      const std::uint32_t start_line = line;
+      out.tokens.push_back({Tok::CharLit, consume_string('\''), start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      std::string text = source.substr(start, i - start);
+      // Raw string literal: R"delim( ... )delim" (with optional u8/u/U/L).
+      if (i < n && source[i] == '"' && text.size() >= 1 && text.back() == 'R' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && source[i] != '(') delim.push_back(source[i++]);
+        if (i < n) ++i;  // '('
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = source.find(closer, i);
+        const std::uint32_t start_line = line;
+        std::size_t stop = end == std::string::npos ? n : end;
+        for (std::size_t k = i; k < stop; ++k) {
+          if (source[k] == '\n') ++line;
+        }
+        out.tokens.push_back(
+            {Tok::String, source.substr(i, stop - i), start_line});
+        i = end == std::string::npos ? n : end + closer.size();
+        continue;
+      }
+      // Ordinary prefixed strings (u8"x") — lex the literal separately.
+      out.tokens.push_back({Tok::Identifier, std::move(text), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = source[i];
+        if (ident_char(d) || d == '.') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > start) {
+          const char prev = source[i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        if (d == '\'' && i + 1 < n && ident_char(source[i + 1])) {
+          i += 2;  // digit separator
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back({Tok::Number, source.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation: longest multi-char match first.
+    bool matched = false;
+    for (const char* punct : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(punct);
+      if (source.compare(i, len, punct) == 0) {
+        out.tokens.push_back({Tok::Punct, punct, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({Tok::Punct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace bacp::analyze

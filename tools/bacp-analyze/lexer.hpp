@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bacp::analyze {
+
+/// Token kinds the checks care about. Comments and whitespace never become
+/// tokens; comments are collected per line (NOLINT markers live there).
+/// A whole preprocessor directive (with continuations) is one PpDirective
+/// token, so macro bodies can't masquerade as call expressions.
+enum class Tok : std::uint8_t {
+  Identifier,
+  Number,
+  String,   ///< string literal, including raw strings; text excludes quotes
+  CharLit,  ///< character literal
+  Punct,    ///< operator/punctuation; multi-char for :: -> += etc.
+  PpDirective,
+};
+
+struct Token {
+  Tok kind = Tok::Punct;
+  std::string text;
+  std::uint32_t line = 0;
+};
+
+/// One NOLINT marker parsed out of a comment. The repo convention (enforced
+/// by the bacp-nolint-reason check) is
+///     NOLINT(check-id[, check-id...]): reason text
+/// optionally as NOLINTNEXTLINE(...): ... on the preceding line. A marker
+/// missing the check list or the ": reason" tail is recorded as malformed
+/// and suppresses nothing.
+struct NolintMarker {
+  bool nextline = false;
+  bool well_formed = false;  ///< has (ids) and a non-empty ": reason"
+  std::vector<std::string> ids;
+  std::uint32_t line = 0;
+};
+
+/// Lexed translation unit: token stream plus per-line comment text and the
+/// NOLINT markers found in comments.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::map<std::uint32_t, std::string> comments;  ///< line -> comment text
+  std::vector<NolintMarker> nolints;
+
+  /// True when a well-formed marker for `check_id` covers `line` (same-line
+  /// NOLINT or NOLINTNEXTLINE on the line above).
+  bool suppressed(const std::string& check_id, std::uint32_t line) const;
+};
+
+/// Tokenizes C++ source. Handles //, /* */, string/char literals with
+/// escapes, raw strings, digit separators and preprocessor continuations.
+/// Never fails: unterminated constructs are closed at end of file.
+LexedFile lex(const std::string& source);
+
+}  // namespace bacp::analyze

@@ -1,0 +1,205 @@
+// bacp-analyze: repo-specific static analysis for the bank-aware cache
+// partitioning tree. Token/structure level (no compiler dependency), driven
+// off the CMake-exported compile_commands.json so the file universe and
+// repo root match the build. See DESIGN.md section 13 for the check
+// contracts and scripts/lint.sh for the enforcement wiring.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "common/args.hpp"
+#include "lexer.hpp"
+#include "model.hpp"
+#include "obs/json.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Derives the repo root from the `file` entries of a compile_commands.json:
+/// the prefix of the first absolute source path that lives under src/.
+std::string root_from_compile_commands(const std::string& path,
+                                       std::string& error) {
+  std::string text;
+  if (!read_file(path, text)) {
+    error = "cannot read compile commands: " + path;
+    return "";
+  }
+  std::string parse_error;
+  const bacp::obs::Json db = bacp::obs::Json::parse(text, &parse_error);
+  if (db.kind() != bacp::obs::Json::Kind::Array) {
+    error = "compile commands " + path + " is not a JSON array" +
+            (parse_error.empty() ? "" : " (" + parse_error + ")");
+    return "";
+  }
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const bacp::obs::Json* file = db.at(i).find("file");
+    if (file == nullptr ||
+        file->kind() != bacp::obs::Json::Kind::String) {
+      continue;
+    }
+    const std::string& source = file->as_string();
+    const std::size_t src = source.find("/src/");
+    if (src != std::string::npos) return source.substr(0, src);
+  }
+  error = "no src/ translation units in " + path;
+  return "";
+}
+
+void collect_tree(const std::string& root, std::vector<std::string>& paths,
+                  std::vector<std::string>& rels) {
+  static const char* const kDirs[] = {"src", "bench", "examples", "tests"};
+  for (const char* dir : kDirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      paths.push_back(it->path().string());
+      rels.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  // Deterministic order regardless of directory enumeration order.
+  std::vector<std::size_t> order(paths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rels[a] < rels[b];
+  });
+  std::vector<std::string> sorted_paths;
+  std::vector<std::string> sorted_rels;
+  for (const std::size_t i : order) {
+    sorted_paths.push_back(paths[i]);
+    sorted_rels.push_back(rels[i]);
+  }
+  paths.swap(sorted_paths);
+  rels.swap(sorted_rels);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bacp::common::ArgParser args({
+      {"compile-commands=",
+       "path to a CMake-exported compile_commands.json; the repo root is "
+       "derived from its translation units"},
+      {"root=", "repo root to scan (overrides --compile-commands derivation)"},
+      {"checks=", "comma-separated check ids to run (default: all)"},
+      {"list-checks", "print the check catalog and exit"},
+  });
+  if (!args.parse(argc, argv)) {
+    std::cerr << "error: " << args.error() << "\n"
+              << args.help(argv[0]) << "\n";
+    return 2;
+  }
+  if (args.get_bool_or_fail("list-checks", false)) {
+    for (const bacp::analyze::CheckInfo& info :
+         bacp::analyze::check_catalog()) {
+      std::cout << info.id << "  " << info.summary << "\n";
+    }
+    return 0;
+  }
+
+  // Requested checks (default all); unknown ids are a usage error so a typo
+  // in CI cannot silently skip enforcement.
+  std::vector<std::string> check_ids;
+  {
+    const std::string raw = args.get("checks", "");
+    std::set<std::string> known;
+    for (const bacp::analyze::CheckInfo& info :
+         bacp::analyze::check_catalog()) {
+      known.insert(info.id);
+    }
+    std::string id;
+    std::istringstream stream(raw);
+    while (std::getline(stream, id, ',')) {
+      if (id.empty()) continue;
+      if (known.count(id) == 0) {
+        std::cerr << "error: unknown check id `" << id
+                  << "` (see --list-checks)\n";
+        return 2;
+      }
+      check_ids.push_back(id);
+    }
+  }
+
+  // File universe: explicit positional files (fixture mode, scoping off) or
+  // a tree scan rooted at --root / the compile-commands derivation.
+  std::vector<std::string> paths;
+  std::vector<std::string> rels;
+  const bool explicit_files = !args.positional().empty();
+  if (explicit_files) {
+    for (const std::string& path : args.positional()) {
+      paths.push_back(path);
+      std::string rel = path;
+      if (rel.rfind("./", 0) == 0) rel = rel.substr(2);
+      rels.push_back(rel);
+    }
+  } else {
+    std::string root = args.get("root", "");
+    const std::string compile_commands = args.get("compile-commands", "");
+    if (root.empty() && !compile_commands.empty()) {
+      std::string error;
+      root = root_from_compile_commands(compile_commands, error);
+      if (root.empty()) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      }
+    }
+    if (root.empty()) root = ".";
+    collect_tree(root, paths, rels);
+    if (paths.empty()) {
+      std::cerr << "error: no C++ sources under " << root
+                << " (expected src/, bench/, examples/, tests/)\n";
+      return 2;
+    }
+  }
+
+  bacp::analyze::CodeModel model;
+  model.files.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::string text;
+    if (!read_file(paths[i], text)) {
+      std::cerr << "error: cannot read " << paths[i] << "\n";
+      return 2;
+    }
+    bacp::analyze::SourceFile file;
+    file.path = paths[i];
+    file.rel = rels[i];
+    file.lexed = bacp::analyze::lex(text);
+    model.files.push_back(std::move(file));
+  }
+  model.build_indices();
+
+  const std::vector<bacp::analyze::Finding> findings =
+      bacp::analyze::run_checks(model, check_ids, explicit_files);
+  for (const bacp::analyze::Finding& finding : findings) {
+    std::cout << finding.rel << ":" << finding.line << ": [" << finding.check
+              << "] " << finding.message << "\n";
+  }
+  std::cerr << "bacp-analyze: " << model.files.size() << " file(s), "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

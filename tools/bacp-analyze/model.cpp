@@ -1,0 +1,407 @@
+#include "model.hpp"
+
+#include <cctype>
+
+namespace bacp::analyze {
+
+namespace {
+
+bool is_open(const std::string& t) { return t == "{" || t == "(" || t == "["; }
+
+std::string closer_for(const std::string& t) {
+  if (t == "{") return "}";
+  if (t == "(") return ")";
+  return "]";
+}
+
+bool capitalized(const std::string& text) {
+  return !text.empty() && std::isupper(static_cast<unsigned char>(text[0])) != 0;
+}
+
+/// True when the '(' at `paren` opens an annotation/keyword argument list
+/// (BACP_GUARDED_BY(mutex_), alignas(64), decltype(x), noexcept(...)) rather
+/// than a function parameter list.
+bool annotation_paren(const std::vector<Token>& toks, std::size_t paren) {
+  if (paren == 0) return false;
+  const std::string& prev = toks[paren - 1].text;
+  return prev.rfind("BACP_", 0) == 0 || prev == "alignas" ||
+         prev == "decltype" || prev == "noexcept" || prev == "sizeof";
+}
+
+const std::set<std::string>& cxx_keywords() {
+  static const std::set<std::string> keywords = {
+      "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+      "class", "const", "consteval", "constexpr", "constinit", "continue",
+      "decltype", "default", "delete", "do", "double", "else", "enum",
+      "explicit", "export", "extern", "false", "final", "float", "for",
+      "friend", "goto", "if", "inline", "int", "long", "mutable", "namespace",
+      "new", "noexcept", "nullptr", "operator", "override", "private",
+      "protected", "public", "register", "requires", "return", "short",
+      "signed", "sizeof", "static", "struct", "switch", "template", "this",
+      "throw", "true", "try", "typedef", "typename", "union", "unsigned",
+      "using", "virtual", "void", "volatile", "while",
+  };
+  return keywords;
+}
+
+/// Parses the class-head after a `class` / `struct` keyword at `kw`.
+/// Returns the class name and sets `body_open` to the index of the body's
+/// '{', or returns "" for forward declarations / non-definitions.
+std::string parse_class_head(const std::vector<Token>& toks, std::size_t kw,
+                             std::size_t& body_open) {
+  std::string name;
+  std::size_t i = kw + 1;
+  while (i < toks.size()) {
+    const Token& tok = toks[i];
+    if (tok.kind == Tok::PpDirective) {
+      ++i;
+      continue;
+    }
+    if (tok.kind == Tok::Identifier) {
+      // Attribute-like macro (BACP_CAPABILITY("mutex")): skip its arguments.
+      if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const std::size_t close = match_close(toks, i + 1);
+        // `name` followed by '(' can't be a class definition head otherwise.
+        if (close >= toks.size()) return "";
+        name = tok.text;  // remembered in case the macro IS the name (no)
+        i = close + 1;
+        // A macro directly before '{' or ':' is an annotation, not a name;
+        // keep whatever identifier follows instead.
+        name.clear();
+        continue;
+      }
+      name = tok.text;
+      ++i;
+      continue;
+    }
+    if (tok.text == "<") {
+      // Template-id in a specialization head: skip the angle list naively.
+      int depth = 1;
+      ++i;
+      while (i < toks.size() && depth > 0) {
+        if (toks[i].text == "<") ++depth;
+        if (toks[i].text == ">") --depth;
+        if (toks[i].text == ">>") depth -= 2;
+        ++i;
+      }
+      continue;
+    }
+    if (tok.text == ":") {  // base clause; the name is already parsed
+      while (i < toks.size() && toks[i].text != "{" && toks[i].text != ";") ++i;
+      continue;
+    }
+    if (tok.text == "{") {
+      body_open = i;
+      return name;
+    }
+    if (tok.text == ";") return "";  // forward declaration
+    if (tok.text == "::") {
+      // Out-of-line nested definition (class A::B) — index under the last
+      // component.
+      ++i;
+      continue;
+    }
+    // enum class, alignas(...), etc. — skip single tokens we don't model.
+    ++i;
+  }
+  return "";
+}
+
+/// Indexes one class body: members, method names, inline bodies, nested
+/// types. `open`/`close` delimit the body braces.
+void index_class_body(const SourceFile& file, const std::vector<Token>& toks,
+                      std::size_t open, std::size_t close, ClassInfo& info,
+                      std::vector<ClassInfo>& extra) {
+  std::size_t i = open + 1;
+  while (i < close) {
+    const Token& tok = toks[i];
+    if (tok.kind == Tok::PpDirective) {
+      ++i;
+      continue;
+    }
+    // Access specifiers.
+    if ((tok.text == "public" || tok.text == "private" ||
+         tok.text == "protected") &&
+        i + 1 < close && toks[i + 1].text == ":") {
+      i += 2;
+      continue;
+    }
+    // Nested class/struct definition: recurse, record, skip.
+    if ((tok.text == "class" || tok.text == "struct") &&
+        tok.kind == Tok::Identifier) {
+      std::size_t nested_open = 0;
+      const std::string nested = parse_class_head(toks, i, nested_open);
+      if (!nested.empty()) {
+        info.nested_types.insert(nested);
+        const std::size_t nested_close = match_close(toks, nested_open);
+        ClassInfo child;
+        child.name = nested;
+        child.file = &file;
+        child.body_begin = nested_open;
+        child.body_end = nested_close;
+        child.line = tok.line;
+        index_class_body(file, toks, nested_open, nested_close, child, extra);
+        extra.push_back(std::move(child));
+        i = nested_close + 1;
+        if (i < close && toks[i].text == ";") ++i;
+        continue;
+      }
+      // Forward declaration / friend class: fall through to statement skip.
+    }
+    // Enum definitions: skip their bodies (enumerators are not members).
+    if (tok.text == "enum") {
+      while (i < close && toks[i].text != "{" && toks[i].text != ";") ++i;
+      if (i < close && toks[i].text == "{") i = match_close(toks, i);
+      ++i;
+      continue;
+    }
+    // One member statement: scan to ';' at this depth, tracking the first
+    // top-level '(' (function-ness) and '=' / '{' initializers.
+    const std::size_t stmt_begin = i;
+    bool is_friend = false;
+    bool is_static = false;
+    bool is_using = false;
+    std::size_t first_paren = 0;
+    std::size_t stmt_end = close;  // index of ';' terminating the statement
+    std::size_t j = i;
+    while (j < close) {
+      const Token& t = toks[j];
+      if (t.kind == Tok::PpDirective) {
+        ++j;
+        continue;
+      }
+      if (t.text == "friend") is_friend = true;
+      if (t.text == "static") is_static = true;
+      if (t.text == "using" || t.text == "typedef") is_using = true;
+      if (t.text == "(" && first_paren == 0 && !annotation_paren(toks, j)) {
+        first_paren = j;
+      }
+      if (is_open(t.text)) {
+        const std::size_t c = match_close(toks, j);
+        // Function body: `name(...) ... {` — an inline definition ends at
+        // its closing brace (no ';' required).
+        if (t.text == "{" && first_paren != 0) {
+          // Find the method name: identifier before the first '('.
+          std::size_t name_at = first_paren;
+          while (name_at > stmt_begin && toks[name_at - 1].kind != Tok::Identifier)
+            --name_at;
+          if (name_at > stmt_begin) {
+            const std::string& method = toks[name_at - 1].text;
+            if (!is_friend) info.inline_bodies[method].push_back({j, c});
+          }
+          stmt_end = c;
+          break;
+        }
+        j = c + 1;
+        continue;
+      }
+      if (t.text == ";") {
+        stmt_end = j;
+        break;
+      }
+      ++j;
+    }
+    if (stmt_end >= close) break;
+    const bool ended_with_body = toks[stmt_end].text == "}";
+    if (!is_friend && !is_using) {
+      if (first_paren != 0) {
+        // Method declaration (or inline definition, already recorded):
+        // remember the name for closure resolution.
+        std::size_t name_at = first_paren;
+        while (name_at > stmt_begin && toks[name_at - 1].kind != Tok::Identifier)
+          --name_at;
+        if (name_at > stmt_begin) info.method_names.insert(toks[name_at - 1].text);
+      } else if (!is_static && !ended_with_body) {
+        // Data member: the last identifier followed by ';', '=', '{' or '['
+        // (annotation macros like BACP_GUARDED_BY(mutex_) are transparent).
+        MemberVar member;
+        for (std::size_t k = stmt_begin; k < stmt_end; ++k) {
+          const Token& t = toks[k];
+          if (t.kind != Tok::Identifier) continue;
+          if (cxx_keywords().count(t.text) != 0) continue;
+          if (t.text.rfind("BACP_", 0) == 0 && k + 1 < stmt_end &&
+              toks[k + 1].text == "(") {
+            k = match_close(toks, k + 1);  // skip the annotation's arguments
+            continue;
+          }
+          std::size_t next_at = k + 1;
+          if (toks[next_at].text.rfind("BACP_", 0) == 0 &&
+              next_at + 1 <= stmt_end && toks[next_at + 1].text == "(") {
+            next_at = match_close(toks, next_at + 1) + 1;
+          }
+          const std::string& next =
+              next_at <= stmt_end ? toks[next_at].text : toks[stmt_end].text;
+          if (next == ";" || next == "=" || next == "{" || next == "[") {
+            member.name = t.text;
+            member.line = t.line;
+            break;  // identifiers after the name are initializer expression
+          } else if (capitalized(t.text)) {
+            member.type_ids.push_back(t.text);
+          }
+        }
+        if (!member.name.empty()) info.members.push_back(std::move(member));
+      }
+    }
+    i = stmt_end + 1;
+    // An inline body may be followed by ';' — consume it.
+    if (ended_with_body && i < close && toks[i].text == ";") ++i;
+  }
+}
+
+}  // namespace
+
+std::size_t match_close(const std::vector<Token>& toks, std::size_t open) {
+  const std::string want = closer_for(toks[open].text);
+  const std::string& open_text = toks[open].text;
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind == Tok::PpDirective) continue;
+    if (toks[i].text == open_text) ++depth;
+    if (toks[i].text == want) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+bool is_free_call(const std::vector<Token>& toks, std::size_t i,
+                  const std::string& name) {
+  if (toks[i].kind != Tok::Identifier || toks[i].text != name) return false;
+  if (i + 1 >= toks.size() || toks[i + 1].text != "(") return false;
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;  // member call
+  if (prev == "::") {
+    // std::name( and ::name( count; Other::name( does not.
+    if (i < 2) return true;
+    const Token& qual = toks[i - 2];
+    if (qual.kind == Tok::Identifier && qual.text != "std") return false;
+    return true;
+  }
+  // A declaration like `void time(...)` — identifier preceded by a type
+  // name — still reads as a call here; the banned names never appear as
+  // declarations in this tree, and fixtures pin the call shape.
+  return true;
+}
+
+void CodeModel::build_indices() {
+  for (const SourceFile& file : files) {
+    const std::vector<Token>& toks = file.toks();
+    std::vector<ClassInfo> found;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      if (tok.kind != Tok::Identifier) continue;
+      if (tok.text == "class" || tok.text == "struct") {
+        if (i > 0 && toks[i - 1].text == "enum") continue;  // enum class
+        std::size_t body_open = 0;
+        const std::string name = parse_class_head(toks, i, body_open);
+        if (name.empty()) continue;
+        const std::size_t body_close = match_close(toks, body_open);
+        ClassInfo info;
+        info.name = name;
+        info.file = &file;
+        info.body_begin = body_open;
+        info.body_end = body_close;
+        info.line = tok.line;
+        index_class_body(file, toks, body_open, body_close, info, found);
+        found.push_back(std::move(info));
+        continue;
+      }
+      // Out-of-line member function definition: Class :: name ( ... ) ... {
+      if (i + 3 < toks.size() && toks[i + 1].text == "::" &&
+          toks[i + 2].kind == Tok::Identifier && toks[i + 3].text == "(") {
+        const std::size_t close_paren = match_close(toks, i + 3);
+        if (close_paren >= toks.size()) continue;
+        // Walk past cv/ref/noexcept/trailing-return to '{' or give up at
+        // ';' / ',' / ')' (declaration, call or member-initializer list).
+        std::size_t j = close_paren + 1;
+        bool is_def = false;
+        while (j < toks.size()) {
+          const std::string& t = toks[j].text;
+          if (t == "{") {
+            is_def = true;
+            break;
+          }
+          if (t == ";" || t == "," || t == ")" || t == "}") break;
+          if (t == ":") {
+            // Constructor member-init list: items are `name(args)` or
+            // `name{args}` separated by ','; after the last item comes the
+            // body's '{' (which the outer loop then recognises).
+            std::size_t k = j + 1;
+            while (k < toks.size()) {
+              while (k < toks.size() && toks[k].text != "(" &&
+                     toks[k].text != "{" && toks[k].text != ";") {
+                ++k;
+              }
+              if (k >= toks.size() || toks[k].text == ";") break;
+              const std::size_t c = match_close(toks, k);
+              if (c >= toks.size()) {
+                k = toks.size();
+                break;
+              }
+              k = c + 1;
+              if (k < toks.size() && toks[k].text == ",") {
+                ++k;
+                continue;
+              }
+              break;  // next token should be the body '{'
+            }
+            j = k;
+            continue;
+          }
+          if (t == "(") {
+            const std::size_t c = match_close(toks, j);
+            if (c >= toks.size()) break;
+            j = c;
+          }
+          ++j;
+        }
+        if (!is_def || j >= toks.size()) continue;
+        const std::size_t body_close = match_close(toks, j);
+        method_bodies[{toks[i].text, toks[i + 2].text}].push_back(
+            {&file, j, body_close});
+      }
+    }
+    for (ClassInfo& info : found) classes[info.name].push_back(std::move(info));
+  }
+
+  // Audit entry points: functions named audit_* declared under src/audit/
+  // (or any file whose path contains "audit"); their parameter-list type
+  // names are the covered set, expanded one level through view structs.
+  std::set<std::string> direct;
+  for (const SourceFile& file : files) {
+    if (file.rel.find("audit") == std::string::npos) continue;
+    const std::vector<Token>& toks = file.toks();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::Identifier) continue;
+      if (toks[i].text.rfind("audit_", 0) != 0) continue;
+      if (toks[i + 1].text != "(") continue;
+      const std::size_t close = match_close(toks, i + 1);
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (toks[j].kind == Tok::Identifier && capitalized(toks[j].text) &&
+            cxx_keywords().count(toks[j].text) == 0) {
+          direct.insert(toks[j].text);
+        }
+      }
+    }
+  }
+  audited_types = direct;
+  for (const std::string& type : direct) {
+    // Expand only through *view* structs (SystemView's members are the
+    // audited structures). Expanding through audited aggregates themselves
+    // (audit_system takes the whole System) would mark every member of
+    // System as covered and hollow out the audit-coverage check.
+    if (type.size() < 4 || type.compare(type.size() - 4, 4, "View") != 0)
+      continue;
+    const auto it = classes.find(type);
+    if (it == classes.end()) continue;
+    for (const ClassInfo& info : it->second) {
+      for (const MemberVar& member : info.members) {
+        for (const std::string& id : member.type_ids) audited_types.insert(id);
+      }
+    }
+  }
+}
+
+}  // namespace bacp::analyze

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace bacp::analyze {
+
+/// One scanned source file: path bookkeeping plus the token stream.
+struct SourceFile {
+  std::string path;  ///< as opened (absolute or caller-relative)
+  std::string rel;   ///< root-relative, forward slashes; == path when no root
+  LexedFile lexed;
+
+  const std::vector<Token>& toks() const { return lexed.tokens; }
+};
+
+/// Non-static data member of an indexed class.
+struct MemberVar {
+  std::string name;
+  std::vector<std::string> type_ids;  ///< capitalized identifiers in the decl
+  std::uint32_t line = 0;
+};
+
+/// Structural summary of one class/struct definition. Token indices refer
+/// to the owning SourceFile's token stream; body_begin/body_end are the
+/// positions of the '{' and matching '}'.
+struct ClassInfo {
+  std::string name;
+  const SourceFile* file = nullptr;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::uint32_t line = 0;
+  std::vector<MemberVar> members;
+  std::set<std::string> method_names;
+  /// Inline method bodies: method name -> list of {begin, end} token ranges
+  /// (overloads share the name).
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
+      inline_bodies;
+  std::set<std::string> nested_types;
+
+  bool has_method(const std::string& method) const {
+    return method_names.count(method) != 0 || inline_bodies.count(method) != 0;
+  }
+};
+
+/// Out-of-line member function body (`Ret Class::name(...) { ... }`).
+struct MethodBody {
+  const SourceFile* file = nullptr;
+  std::size_t begin = 0;  ///< token index of '{'
+  std::size_t end = 0;    ///< token index of matching '}'
+};
+
+/// Whole-corpus structural index built from every scanned file: class
+/// definitions, out-of-line method bodies, and the audit_* entry-point
+/// signatures (for the audit-coverage check).
+struct CodeModel {
+  std::vector<SourceFile> files;
+  /// Class name -> definitions (rarely more than one across namespaces).
+  std::map<std::string, std::vector<ClassInfo>> classes;
+  /// (class name, method name) -> out-of-line bodies.
+  std::map<std::pair<std::string, std::string>, std::vector<MethodBody>>
+      method_bodies;
+  /// Types named in the parameter lists of audit_* functions declared under
+  /// src/audit/, expanded one level through the members of view structs
+  /// (SystemView's members cover DnucaCache, SetAssocCache, ...).
+  std::set<std::string> audited_types;
+
+  void build_indices();
+};
+
+/// Finds the matching close token for the open bracket at `open` ('{', '(',
+/// '[') in `toks`; returns toks.size() when unbalanced. PpDirective tokens
+/// are transparent.
+std::size_t match_close(const std::vector<Token>& toks, std::size_t open);
+
+/// True when toks[i] starts a call expression of bare or std:: / global ::
+/// qualified `name`: identifier `name` followed by '(' and not preceded by
+/// '.', '->', or a non-std qualifier.
+bool is_free_call(const std::vector<Token>& toks, std::size_t i,
+                  const std::string& name);
+
+}  // namespace bacp::analyze
