@@ -61,6 +61,7 @@ benches=(
   bench_micro_components
   bench_perf_throughput
   bench_sched_churn
+  bench_trial_throughput
 )
 
 failed=0

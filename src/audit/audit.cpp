@@ -24,6 +24,7 @@ const char* to_string(Structure structure) {
     case Structure::Shard: return "shard";
     case Structure::Sampling: return "sampling";
     case Structure::Component: return "component";
+    case Structure::Pool: return "pool";
   }
   return "?";
 }

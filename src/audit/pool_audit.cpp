@@ -1,0 +1,65 @@
+#include "audit/pool_audit.hpp"
+
+#include <string>
+#include <utility>
+
+namespace bacp::audit {
+namespace {
+
+/// Collects into `report`; every check() call counts one evaluated
+/// invariant, pass or fail (mirrors the checkers in the sibling audits).
+class PoolChecker {
+ public:
+  explicit PoolChecker(AuditReport& report) : report_(&report) {}
+
+  bool check(bool ok, std::string field, std::string expected, std::string actual) {
+    ++report_->checks;
+    if (!ok) {
+      Violation violation;
+      violation.structure = Structure::Pool;
+      violation.object = "system_pool";
+      violation.field = std::move(field);
+      violation.expected = std::move(expected);
+      violation.actual = std::move(actual);
+      report_->violations.push_back(std::move(violation));
+    }
+    return ok;
+  }
+
+ private:
+  AuditReport* report_;
+};
+
+}  // namespace
+
+AuditReport audit_pool_bookkeeping(const PoolBookkeepingInput& input) {
+  AuditReport report;
+  PoolChecker checker(report);
+
+  // Conservation: a System exists iff one miss constructed it, and it is
+  // always either leased out or parked idle — the pool never destroys one
+  // while it lives. A drift here means a lease was dropped without release
+  // or a System was double-returned.
+  checker.check(input.outstanding + input.idle == input.misses, "conservation",
+                "outstanding + idle == misses",
+                std::to_string(input.outstanding) + " + " +
+                    std::to_string(input.idle) +
+                    " != " + std::to_string(input.misses));
+
+  // A hit hands out a previously constructed System, so hits require at
+  // least one construction to have happened.
+  checker.check(input.hits == 0 || input.misses > 0, "hit_provenance",
+                "hits > 0 implies misses > 0",
+                std::to_string(input.hits) + " hits with " +
+                    std::to_string(input.misses) + " misses");
+
+  // Leases out can never exceed total acquires.
+  checker.check(input.outstanding <= input.hits + input.misses, "lease_bound",
+                "outstanding <= hits + misses",
+                std::to_string(input.outstanding) + " > " +
+                    std::to_string(input.hits + input.misses));
+
+  return report;
+}
+
+}  // namespace bacp::audit

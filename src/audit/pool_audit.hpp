@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "audit/audit.hpp"
+
+namespace bacp::audit {
+
+/// What a harness::SystemPool claims about its lease bookkeeping, stripped
+/// to the counters the legality audit needs. The audit layer stays
+/// independent of the harness: the pool (or a test) fills this from its
+/// accessors and the auditor never sees Systems or leases.
+struct PoolBookkeepingInput {
+  std::uint64_t hits = 0;         ///< acquires served from the idle lists
+  std::uint64_t misses = 0;       ///< acquires that constructed a System
+  std::uint64_t outstanding = 0;  ///< leases issued and not yet returned
+  std::uint64_t idle = 0;         ///< Systems parked in the idle lists
+};
+
+/// Lease-bookkeeping legality audit: every System the pool has ever handed
+/// out originated from exactly one miss-construction and is never destroyed
+/// while the pool lives, so `outstanding + idle == misses` at any observable
+/// point; a hit can only be served by a previously constructed System, so
+/// `hits > 0` requires `misses > 0`; and the pool cannot have more leases
+/// out than acquires, so `outstanding <= hits + misses`. Violations are
+/// data, not aborts — the kill-tests in tests/test_audit.cpp assert the
+/// exact field reported here.
+AuditReport audit_pool_bookkeeping(const PoolBookkeepingInput& input);
+
+}  // namespace bacp::audit

@@ -53,7 +53,10 @@ AuditReport audit_snapshot(const snapshot::SystemSnapshot& snapshot) {
   namespace snap = bacp::snapshot;
   AuditReport report;
   SnapshotChecker checker(report);
-  const auto& bytes = snapshot.bytes;
+  // data(): a memory-mapped bank entry is audited against the mapped pages
+  // themselves, so every checksum below reads the exact bytes a restore
+  // would — the fail-closed gate for truncated or bit-rotted maps.
+  const std::span<const std::uint8_t> bytes = snapshot.data();
 
   if (!checker.check(bytes.size() >= snap::kHeaderBytes, "snapshot", "min_size",
                      ">= " + std::to_string(snap::kHeaderBytes) + " bytes",

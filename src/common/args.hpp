@@ -51,14 +51,17 @@ class ArgParser {
   /// Usage text built from the spec.
   std::string help(const std::string& program) const;
 
+  /// Prints "error: <message>" plus the usage text and exits with status 2.
+  /// Public so composed knob readers (harness::read_toggle) report malformed
+  /// values through the same fatal-usage path as the typed accessors.
+  [[noreturn]] void fatal_usage(const std::string& message) const;
+
  private:
   struct Flag {
     std::string help_text;
     bool takes_value = false;
   };
 
-  /// Prints "error: <message>" plus the usage text and exits with status 2.
-  [[noreturn]] void fatal_usage(const std::string& message) const;
   const std::string* raw_or_fatal_if_missing(const std::string& name) const;
 
   std::map<std::string, Flag> spec_;

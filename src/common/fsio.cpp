@@ -1,6 +1,8 @@
 #include "common/fsio.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,6 +11,39 @@
 #include <string>
 
 namespace bacp::common {
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile file;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return file;
+  struct stat info;
+  if (::fstat(fd, &info) != 0 || info.st_size <= 0) {
+    ::close(fd);
+    return file;
+  }
+  const std::size_t size = static_cast<std::size_t>(info.st_size);
+  // MAP_PRIVATE: the simulator never writes through the map, and a private
+  // mapping keeps a concurrent truncate of the bank entry from faulting us
+  // on pages we already touched (the length is pinned at map time either
+  // way; SIGBUS is only reachable by an in-place shrink, which the banks'
+  // rename-only publish protocol never performs).
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (mapped == MAP_FAILED) return file;
+  file.data_ = static_cast<const std::uint8_t*>(mapped);
+  file.size_ = size;
+  return file;
+}
+
+void MappedFile::reset() {
+  if (data_ != nullptr) {
+    // const_cast: munmap's signature predates const; the pages themselves
+    // were never written through this mapping.
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
 
 namespace {
 

@@ -1,8 +1,54 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 
 namespace bacp::common {
+
+/// Read-only memory-mapped file: the zero-copy read path for snapshot
+/// banks. open() maps the whole file MAP_PRIVATE; bytes() spans exactly the
+/// file's length at map time (a concurrently republished bank entry is
+/// invisible — the map pins the old inode's pages, which is precisely the
+/// torn-read immunity the banks' atomic-rename publish contract promises).
+/// Move-only; the mapping is released on destruction, so any span handed
+/// out must not outlive the MappedFile (holders share ownership via
+/// shared_ptr<MappedFile> — see snapshot::SystemSnapshot's backing).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  ~MappedFile() { reset(); }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Returns an invalid (empty) MappedFile on any
+  /// failure — missing file, empty file, fstat/mmap error — never a partial
+  /// map: callers branch on valid() and fall back to buffered reads or a
+  /// cache miss.
+  static MappedFile open(const std::string& path);
+
+  bool valid() const { return data_ != nullptr; }
+  std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  void reset();
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// Atomically publishes `temp_path` at `final_path`: a reader concurrently
 /// opening `final_path` sees either the previous file or the complete new

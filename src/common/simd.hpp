@@ -105,6 +105,51 @@ std::size_t collect_masked_zero_avx2(const std::uint64_t* values, std::size_t co
 std::size_t collect_masked_zero_neon(const std::uint64_t* values, std::size_t count,
                                      std::uint64_t mask, std::uint32_t* out_indices);
 
+/// Scalar reference for mu_scan. The float op sequence per lane —
+/// B = total - prefix[clamped], removed = A - B, removed / n — must match
+/// partition::marginal_utility over msa::MissRatioCurve::miss_count exactly;
+/// every vector tier replays the identical per-lane IEEE ops (sub, sub,
+/// div are correctly rounded and width-independent), so results are
+/// bit-identical across tiers.
+inline void mu_scan_scalar(const double* prefix_hits, std::size_t size, double total,
+                           std::uint32_t current, std::uint32_t max_extra,
+                           double* out) {
+  const double base =
+      (current == 0 || size == 0)
+          ? total
+          : total - prefix_hits[(current < size ? current : size) - 1];
+  for (std::uint32_t n = 1; n <= max_extra; ++n) {
+    const std::uint32_t w = current + n;
+    const double at_w =
+        size == 0 ? total : total - prefix_hits[(w < size ? w : size) - 1];
+    out[n - 1] = (base - at_w) / static_cast<double>(n);
+  }
+}
+
+void mu_scan_avx2(const double* prefix_hits, std::size_t size, double total,
+                  std::uint32_t current, std::uint32_t max_extra, double* out);
+
+/// Scalar reference for miss_counts: out[i] = projected miss count of lane
+/// i's curve at ways[i], the clamped-prefix lookup of
+/// msa::MissRatioCurve::miss_count in struct-of-arrays form.
+inline void miss_counts_scalar(const double* const* prefixes,
+                               const std::uint32_t* sizes, const double* totals,
+                               const std::uint32_t* ways, std::size_t count,
+                               double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ways[i] == 0 || sizes[i] == 0) {
+      out[i] = totals[i];
+    } else {
+      const std::uint32_t idx = (ways[i] < sizes[i] ? ways[i] : sizes[i]) - 1;
+      out[i] = totals[i] - prefixes[i][idx];
+    }
+  }
+}
+
+void miss_counts_avx2(const double* const* prefixes, const std::uint32_t* sizes,
+                      const double* totals, const std::uint32_t* ways,
+                      std::size_t count, double* out);
+
 }  // namespace detail
 
 /// First index i < count with values[i] == needle, else kLaneNotFound.
@@ -151,6 +196,52 @@ void mix_to_partial_tags(const std::uint64_t* tag_bits, std::uint64_t* out,
 /// for count entries.
 std::size_t collect_masked_zero(const std::uint64_t* values, std::size_t count,
                                 std::uint64_t mask, std::uint32_t* out_indices);
+
+/// Marginal-utility lookahead scan over one miss-ratio curve (the inner
+/// kernel of the analytic allocation search): fills out[n-1] with
+/// MU(current, n) = (miss(current) - miss(current + n)) / n for n in
+/// [1, max_extra], where miss(w) = total - prefix_hits[min(w, size) - 1]
+/// (miss(0) = total). `prefix_hits`/`size`/`total` are the raw curve
+/// representation (msa::MissRatioCurve::prefix_hits()/total()). Division by
+/// the true n is preserved — no reciprocal tricks — so each lane is the
+/// bit-identical value partition::marginal_utility computes; the argmax
+/// over the buffer stays with the caller, in index order.
+inline void mu_scan(const double* prefix_hits, std::size_t size, double total,
+                    std::uint32_t current, std::uint32_t max_extra, double* out) {
+  if (max_extra == 0) return;
+  switch (active_tier()) {
+    case Tier::Avx2:
+      if (max_extra >= 4) {
+        detail::mu_scan_avx2(prefix_hits, size, total, current, max_extra, out);
+        return;
+      }
+      break;
+    case Tier::Neon: break;  // per-lane divides dominate; scalar is honest
+    case Tier::Scalar: break;
+  }
+  detail::mu_scan_scalar(prefix_hits, size, total, current, max_extra, out);
+}
+
+/// Batched clamped-prefix miss-count lookup (partition::projected_total_
+/// misses): out[i] = totals[i] - prefixes[i][min(ways[i], sizes[i]) - 1],
+/// or totals[i] when lane i has zero ways or an empty curve. Lanes are
+/// independent — the caller keeps its in-order summation, which is the
+/// determinism contract on every projected-miss artifact.
+inline void miss_counts(const double* const* prefixes, const std::uint32_t* sizes,
+                        const double* totals, const std::uint32_t* ways,
+                        std::size_t count, double* out) {
+  switch (active_tier()) {
+    case Tier::Avx2:
+      if (count >= 4) {
+        detail::miss_counts_avx2(prefixes, sizes, totals, ways, count, out);
+        return;
+      }
+      break;
+    case Tier::Neon: break;  // gather-dominated; scalar is honest
+    case Tier::Scalar: break;
+  }
+  detail::miss_counts_scalar(prefixes, sizes, totals, ways, count, out);
+}
 
 /// Software prefetch hints (no-ops where unsupported). The batched access
 /// pipeline's main lever: the DNUCA residency table is tens of megabytes,

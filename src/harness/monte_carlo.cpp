@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "harness/config_cli.hpp"
 #include "harness/snapshot_cache.hpp"
+#include "harness/system_pool.hpp"
 #include "msa/miss_curve.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
@@ -33,6 +34,9 @@ std::vector<std::pair<std::string, std::string>> MonteCarloConfig::cli_flags() {
       value_flag(kSampledIntervalsKnob),
       value_flag(kSampledIntervalInstrKnob),
       value_flag(kSampledWarmupKnob),
+      value_flag(kSnapshotBankKnob),
+      value_flag(kPoolKnob),
+      value_flag(kMmapKnob),
   };
 }
 
@@ -51,6 +55,9 @@ MonteCarloConfig MonteCarloConfig::from_args(const common::ArgParser& parser) {
   config.sampled_interval_instructions = read_u64(parser, kSampledIntervalInstrKnob,
                                                   config.sampled_interval_instructions);
   config.sampled_warmup = read_u64(parser, kSampledWarmupKnob, config.sampled_warmup);
+  config.snapshot_bank = read_string(parser, kSnapshotBankKnob, config.snapshot_bank);
+  config.pool = read_toggle(parser, kPoolKnob, config.pool);
+  config.mmap = read_toggle(parser, kMmapKnob, config.mmap);
   return config;
 }
 
@@ -73,14 +80,17 @@ std::vector<msa::MissRatioCurve> suite_curve_bank(WayCount depth) {
   return bank;
 }
 
-/// Per-core curves for one mix, copied out of the precomputed bank.
-std::vector<msa::MissRatioCurve> curves_for_mix(const trace::WorkloadMix& mix,
-                                                std::span<const msa::MissRatioCurve> bank) {
-  std::vector<msa::MissRatioCurve> curves;
+/// Per-core curve views for one mix — pointers into the shared bank. The
+/// partitioners and projected_total_misses take pointer spans, so a trial
+/// never copies curve storage (a copy per trial was ~4% of the analytic
+/// sweep).
+std::vector<const msa::MissRatioCurve*> curves_for_mix(
+    const trace::WorkloadMix& mix, std::span<const msa::MissRatioCurve> bank) {
+  std::vector<const msa::MissRatioCurve*> curves;
   curves.reserve(mix.num_cores());
   for (const std::size_t index : mix.workload_indices) {
     BACP_ASSERT(index < bank.size(), "workload index outside the curve bank");
-    curves.push_back(bank[index]);
+    curves.push_back(&bank[index]);
   }
   return curves;
 }
@@ -136,6 +146,7 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
   SnapshotCache snapshot_cache;
   std::unique_ptr<CacheSnapshotStore> snapshot_store;
   sampling::SampledRunConfig sampled_run;
+  SystemPool system_pool;
   if (config.sampled_k > 0) {
     sampled_config = sampling::sampled_system_config(
         config.geometry, config.seed, config.sampled_interval_instructions);
@@ -148,6 +159,10 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
     intervals.interval_instructions = config.sampled_interval_instructions;
     profile_bank =
         std::make_unique<sampling::IntervalProfileBank>(sampled_config, intervals);
+    if (!config.snapshot_bank.empty()) {
+      snapshot_cache.set_file_bank(config.snapshot_bank);
+    }
+    snapshot_cache.set_mmap_reads(config.mmap);
     snapshot_store = std::make_unique<CacheSnapshotStore>(snapshot_cache);
   }
 
@@ -168,14 +183,22 @@ MonteCarloSummary run_monte_carlo(const MonteCarloConfig& config) {
     result.unrestricted_misses =
         partition::projected_total_misses(curves, unrestricted.ways_per_core);
 
-    const auto bank_aware = partition::bank_aware_partition(config.geometry, curves);
+    // Capacity phase only — the trial compares projected misses, so the
+    // per-bank lowering (mask vectors, physical bank picks) is dead weight.
+    const auto bank_aware = partition::bank_aware_capacity(config.geometry, curves);
     result.bank_aware_misses = partition::projected_total_misses(
         curves, bank_aware.allocation.ways_per_core);
 
     if (config.sampled_k > 0) {
+      // Lease a pooled System for the trial (constructed once per worker,
+      // rewound per trial by run_sampled_mix's reuse path); the lease
+      // returns it to the pool when the trial's estimate is done.
+      SystemPool::Lease lease;
+      if (config.pool) lease = system_pool.acquire(sampled_config, result.mix);
       const sampling::SampledEstimate estimate =
           sampling::run_sampled_mix(sampled_config, result.mix, sampled_run,
-                                    profile_bank.get(), snapshot_store.get());
+                                    profile_bank.get(), snapshot_store.get(),
+                                    lease.get());
       result.sampled.evaluated = true;
       result.sampled.miss_ratio = estimate.miss_ratio;
       result.sampled.miss_ratio_ci_half = estimate.miss_ratio_ci_half;

@@ -36,6 +36,19 @@ struct MonteCarloConfig {
   std::uint32_t sampled_intervals = 96;
   std::uint64_t sampled_interval_instructions = 50'000;
   std::uint64_t sampled_warmup = 500'000;
+  /// Directory for file-backed boundary snapshots shared across shard
+  /// processes and repeated sweeps (SnapshotCache::set_file_bank); empty =
+  /// in-memory reuse only. Sampled mode only — analytic trials never
+  /// snapshot.
+  std::string snapshot_bank;
+  /// System pooling for sampled trials (harness::SystemPool): reuse one
+  /// constructed System per worker via reset_in_place instead of paying
+  /// construction per trial. Pure speed dial — artifacts are byte-identical
+  /// either way (--pool=off / BACP_POOL=off disables for A/B checks).
+  bool pool = true;
+  /// Snapshot-bank read path: mmap zero-copy (default) or buffered reads
+  /// (--mmap=off / BACP_MMAP=off). Pure speed dial, byte-identical results.
+  bool mmap = true;
 
   MonteCarloConfig& with_trials(std::size_t value) {
     trials = value;
@@ -79,6 +92,18 @@ struct MonteCarloConfig {
   }
   MonteCarloConfig& with_sampled_warmup(std::uint64_t value) {
     sampled_warmup = value;
+    return *this;
+  }
+  MonteCarloConfig& with_snapshot_bank(std::string value) {
+    snapshot_bank = std::move(value);
+    return *this;
+  }
+  MonteCarloConfig& with_pool(bool value) {
+    pool = value;
+    return *this;
+  }
+  MonteCarloConfig& with_mmap(bool value) {
+    mmap = value;
     return *this;
   }
 

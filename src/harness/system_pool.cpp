@@ -1,0 +1,79 @@
+#include "harness/system_pool.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/system_config.hpp"
+
+namespace bacp::harness {
+
+void SystemPool::Lease::release() {
+  if (pool_ != nullptr && system_ != nullptr) {
+    pool_->release(key_, std::move(system_));
+  }
+  pool_ = nullptr;
+  system_.reset();
+}
+
+SystemPool::Lease SystemPool::acquire(const sim::SystemConfig& config,
+                                      const trace::WorkloadMix& mix) {
+  const std::uint64_t key = sim::config_digest(config);
+  {
+    const common::MutexLock lock(mutex_);
+    auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<sim::System> system = std::move(it->second.back());
+      it->second.pop_back();
+      ++hits_;
+      ++outstanding_;
+      return Lease(this, key, std::move(system), /*pooled_hit=*/true);
+    }
+    ++misses_;
+    ++outstanding_;
+  }
+  // Construct outside the lock: first-time workers build in parallel, and
+  // the multi-megabyte flat-array allocations never serialize the pool.
+  return Lease(this, key, std::make_unique<sim::System>(config, mix),
+               /*pooled_hit=*/false);
+}
+
+void SystemPool::release(std::uint64_t key, std::unique_ptr<sim::System> system) {
+  const common::MutexLock lock(mutex_);
+  BACP_ASSERT(outstanding_ > 0, "pool release without a matching acquire");
+  --outstanding_;
+  idle_[key].push_back(std::move(system));
+}
+
+std::uint64_t SystemPool::hits() const {
+  const common::MutexLock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t SystemPool::misses() const {
+  const common::MutexLock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t SystemPool::idle() const {
+  const common::MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, systems] : idle_) total += systems.size();
+  return total;
+}
+
+std::uint64_t SystemPool::outstanding() const {
+  const common::MutexLock lock(mutex_);
+  return outstanding_;
+}
+
+audit::PoolBookkeepingInput SystemPool::bookkeeping() const {
+  const common::MutexLock lock(mutex_);
+  audit::PoolBookkeepingInput input;
+  input.hits = hits_;
+  input.misses = misses_;
+  input.outstanding = outstanding_;
+  for (const auto& [key, systems] : idle_) input.idle += systems.size();
+  return input;
+}
+
+}  // namespace bacp::harness

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -40,6 +41,12 @@ class MissRatioCurve {
   /// Projected miss count with `ways` allocated ways (`ways` may be 0, and
   /// is clamped to max_ways() above).
   double miss_count(WayCount ways) const;
+
+  /// Raw cumulative-hits representation — prefix_hits()[w-1] = hits at
+  /// depth <= w — for the vectorized projection kernels
+  /// (common::simd::mu_scan / miss_counts), which replay miss_count's
+  /// clamped lookup per lane. miss_count() stays the scalar reference.
+  std::span<const double> prefix_hits() const { return prefix_hits_; }
 
   /// miss_count / total (0 if the curve is empty).
   double miss_ratio(WayCount ways) const;

@@ -442,6 +442,29 @@ BankId DnucaCache::bank_of(BlockAddress block) const {
   return location != nullptr ? location->bank : kInvalidBank;
 }
 
+void DnucaCache::reset_in_place() {
+  for (auto& bank : banks_) bank.reset_in_place();
+  // Views fall back to the construction default (every bank in every core's
+  // view); the per-core vectors keep their capacity.
+  for (CoreId core = 0; core < config_.geometry.num_cores; ++core) {
+    views_[core].clear();
+    for (BankId id = 0; id < config_.geometry.num_banks; ++id) {
+      views_[core].push_back(id);
+    }
+  }
+  rebuild_view_positions();
+  std::fill(round_robin_.begin(), round_robin_.end(), 0);
+  // FlatHash64::clear() keeps the slab; stale slot bytes are invisible to
+  // snapshots (entries serialize in key order).
+  residency_.clear();
+  clear_stats();
+  std::fill(batch_miss_scratch_.begin(), batch_miss_scratch_.end(), 0);
+  std::fill(batch_bank_scratch_.begin(), batch_bank_scratch_.end(), kInvalidBank);
+  std::fill(batch_way_scratch_.begin(), batch_way_scratch_.end(), 0);
+  std::fill(batch_fill_scratch_.begin(), batch_fill_scratch_.end(), kInvalidBank);
+  std::fill(batch_miss_flag_.begin(), batch_miss_flag_.end(), 0);
+}
+
 void DnucaCache::clear_stats() {
   std::fill(stats_.hits.begin(), stats_.hits.end(), 0);
   std::fill(stats_.misses.begin(), stats_.misses.end(), 0);

@@ -39,21 +39,25 @@ PairSplit best_pair_split(const msa::MissRatioCurve& first,
   return best;
 }
 
-}  // namespace
-
-BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
-                                     std::span<const msa::MissRatioCurve> curves) {
+/// Shared core of both bank_aware_capacity overloads — Boxes 1-5, the
+/// decision half of the algorithm. No per-bank data structures are built
+/// here; the lowering consumes the returned decisions separately.
+template <typename CurveAt>
+BankAwareCapacity bank_aware_capacity_impl(const CmpGeometry& geometry,
+                                           std::size_t num_curves,
+                                           const CurveAt& curve_at) {
   geometry.validate();
-  BACP_ASSERT(curves.size() == geometry.num_cores, "one curve per core");
+  BACP_ASSERT(num_curves == geometry.num_cores, "one curve per core");
   const WayCount bank_ways = geometry.ways_per_bank;
   const WayCount max_ways = geometry.max_assignable_ways();
 
-  BankAwareResult result;
+  BankAwareCapacity result;
   auto& ways = result.allocation.ways_per_core;
   // "For the calculations, we assume that each Local bank is assigned to
   // the associated processor."
   ways.assign(geometry.num_cores, bank_ways);
-  std::vector<std::uint32_t> center_count(geometry.num_cores, 0);
+  auto& center_count = result.center_banks_per_core;
+  center_count.assign(geometry.num_cores, 0);
 
   // --- Boxes 1-2: hand out every Center bank by maximum Marginal Utility,
   // under the 9/16 capacity clamp (Rule 1: banks whole; Rule 2 is implied
@@ -74,10 +78,10 @@ BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
           banks_left, (max_ways - ways[core]) / bank_ways);
       double mu = 0.0;
       for (std::uint32_t k = 1; k <= headroom_banks; ++k) {
-        mu = std::max(mu, marginal_utility(curves[core], ways[core],
+        mu = std::max(mu, marginal_utility(curve_at(core), ways[core],
                                            k * bank_ways));
       }
-      const double misses = curves[core].miss_count(ways[core]);
+      const double misses = curve_at(core).miss_count(ways[core]);
       const bool better = winner == kInvalidCore || mu > winner_mu ||
                           (mu == winner_mu && misses > winner_misses);
       if (better) {
@@ -121,7 +125,7 @@ BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
     double hungry_mu = 0.0;
     for (CoreId core : pending) {
       const auto mu =
-          max_marginal_utility(curves[core], ways[core], bank_ways - 1);
+          max_marginal_utility(curve_at(core), ways[core], bank_ways - 1);
       if (mu.extra != 0 && mu.utility > hungry_mu) {
         hungry = core;
         hungry_mu = mu.utility;
@@ -142,7 +146,7 @@ BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
     for (const CoreId candidate : pending) {
       if (candidate == hungry || !geometry.adjacent(hungry, candidate)) continue;
       const auto split =
-          best_pair_split(curves[hungry], curves[candidate], 2 * bank_ways);
+          best_pair_split(curve_at(hungry), curve_at(candidate), 2 * bank_ways);
       if (!partner || split.combined_misses < partner_split.combined_misses) {
         partner = candidate;
         partner_split = split;
@@ -164,6 +168,36 @@ BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
 
   BACP_ASSERT(result.allocation.total() == geometry.total_ways(),
               "bank-aware allocation must cover the cache");
+  return result;
+}
+
+}  // namespace
+
+BankAwareCapacity bank_aware_capacity(const CmpGeometry& geometry,
+                                      std::span<const msa::MissRatioCurve> curves) {
+  return bank_aware_capacity_impl(
+      geometry, curves.size(),
+      [&](CoreId core) -> const msa::MissRatioCurve& { return curves[core]; });
+}
+
+BankAwareCapacity bank_aware_capacity(
+    const CmpGeometry& geometry,
+    std::span<const msa::MissRatioCurve* const> curves) {
+  return bank_aware_capacity_impl(
+      geometry, curves.size(),
+      [&](CoreId core) -> const msa::MissRatioCurve& { return *curves[core]; });
+}
+
+BankAwareResult bank_aware_lowering(const CmpGeometry& geometry,
+                                    BankAwareCapacity capacity) {
+  const WayCount bank_ways = geometry.ways_per_bank;
+  const auto& center_count = capacity.center_banks_per_core;
+  BACP_ASSERT(center_count.size() == geometry.num_cores,
+              "capacity decision core count mismatch");
+
+  BankAwareResult result;
+  result.allocation = std::move(capacity.allocation);
+  result.pairs = std::move(capacity.pairs);
 
   // --- Lowering: pick physical Center banks nearest each holder, then
   // emit per-bank way masks.
@@ -236,6 +270,11 @@ BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
 
   result.assignment.validate_against(geometry, result.allocation);
   return result;
+}
+
+BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
+                                     std::span<const msa::MissRatioCurve> curves) {
+  return bank_aware_lowering(geometry, bank_aware_capacity(geometry, curves));
 }
 
 }  // namespace bacp::partition

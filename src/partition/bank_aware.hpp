@@ -28,8 +28,23 @@ struct BankAwareResult {
   std::vector<Pair> pairs;
 };
 
-/// The paper's Bank-aware assignment algorithm (Section III-B/C, Fig. 6),
-/// honouring the three banking rules:
+/// Capacity-phase output (Boxes 1-5): the way allocation plus the decisions
+/// the lowering needs to realize it. Consumers that only compare projected
+/// misses (the Monte-Carlo trial loop) stop here and skip the per-bank mask
+/// construction entirely.
+struct BankAwareCapacity {
+  Allocation allocation;
+
+  /// Center banks granted per core (counts only; physical ids are chosen by
+  /// the lowering).
+  std::vector<std::uint32_t> center_banks_per_core;
+
+  /// Local-bank sharing pairs resolved in Boxes 4/5.
+  std::vector<BankAwareResult::Pair> pairs;
+};
+
+/// The capacity phase of the paper's Bank-aware assignment algorithm
+/// (Section III-B/C, Fig. 6), honouring the three banking rules:
 ///   1. Center banks are assigned whole to a single core;
 ///   2. any core holding Center banks also owns its full Local bank;
 ///   3. Local banks may be way-shared, but only with the adjacent core.
@@ -42,6 +57,24 @@ struct BankAwareResult {
 /// whose Marginal Utility demands ways beyond its own Local bank is paired
 /// with whichever adjacent incomplete core yields minimal combined misses
 /// under the pair's optimal 16-way split.
+BankAwareCapacity bank_aware_capacity(const CmpGeometry& geometry,
+                                      std::span<const msa::MissRatioCurve> curves);
+
+/// Pointer-view overload for hot sweeps: identical algorithm, no curve
+/// copies.
+BankAwareCapacity bank_aware_capacity(
+    const CmpGeometry& geometry,
+    std::span<const msa::MissRatioCurve* const> curves);
+
+/// Lowering of a capacity decision onto physical banks: picks the Center
+/// banks nearest each holder (greedy, heaviest holders first, for compact
+/// partitions / low NoC hop counts) and emits per-bank way masks, validated
+/// against the allocation.
+BankAwareResult bank_aware_lowering(const CmpGeometry& geometry,
+                                    BankAwareCapacity capacity);
+
+/// Capacity phase + lowering in one call (the original full-pipeline entry
+/// point; epoch control and the Table III bench still use this).
 BankAwareResult bank_aware_partition(const CmpGeometry& geometry,
                                      std::span<const msa::MissRatioCurve> curves);
 

@@ -71,8 +71,17 @@ struct BankAssignment {
 };
 
 /// Total projected miss count if each core i receives allocation[i] ways,
-/// given per-core (already intensity-weighted) miss-ratio curves.
+/// given per-core (already intensity-weighted) miss-ratio curves. The
+/// per-core miss counts are evaluated through the batched
+/// common::simd::miss_counts kernel; the summation stays strictly in core
+/// order — that ordered double sum is pinned by every projected-miss
+/// artifact's byte-identity contract and must never be reassociated.
 double projected_total_misses(std::span<const msa::MissRatioCurve> curves,
+                              std::span<const WayCount> ways);
+
+/// Pointer-view overload for hot sweeps (Monte-Carlo trials index a shared
+/// curve bank): identical math and summation order, no curve copies.
+double projected_total_misses(std::span<const msa::MissRatioCurve* const> curves,
                               std::span<const WayCount> ways);
 
 }  // namespace bacp::partition

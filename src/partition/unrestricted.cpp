@@ -1,15 +1,37 @@
 #include "partition/unrestricted.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/assert.hpp"
+#include "common/simd.hpp"
 #include "partition/marginal_utility.hpp"
 
 namespace bacp::partition {
 
-Allocation unrestricted_partition(const CmpGeometry& geometry,
-                                  std::span<const msa::MissRatioCurve> curves,
-                                  const UnrestrictedConfig& config) {
+namespace {
+
+/// Shared core of both unrestricted_partition overloads.
+///
+/// The direct formulation rescans max_marginal_utility(curve, current,
+/// headroom) for every core in every grant round, which is quadratic in
+/// the way count (a convex curve grants ~1 way per round). Instead we scan
+/// each core's full lookahead window once per allocation level through
+/// common::simd::mu_scan and store the first-wins running maximum per
+/// depth, so
+///   best_mu[h-1] / best_extra[h-1] == max_marginal_utility(curve, current, h)
+/// for any headroom h up to the scan depth. A round is then one O(1) table
+/// lookup per core; only the winner's table is rebuilt (its allocation
+/// changed). The scan replays marginal_utility's exact op sequence and the
+/// prefix maximum uses the same strict-greater comparison, so selections —
+/// and the resulting allocation — are bit-identical to the direct loop.
+template <typename CurveAt>
+Allocation unrestricted_partition_impl(const CmpGeometry& geometry,
+                                       std::size_t num_curves,
+                                       const CurveAt& curve_at,
+                                       const UnrestrictedConfig& config) {
   geometry.validate();
-  BACP_ASSERT(curves.size() == geometry.num_cores, "one curve per core");
+  BACP_ASSERT(num_curves == geometry.num_cores, "one curve per core");
   const WayCount total = geometry.total_ways();
   const WayCount cap =
       config.max_ways_per_core == 0 ? total : config.max_ways_per_core;
@@ -23,6 +45,39 @@ Allocation unrestricted_partition(const CmpGeometry& geometry,
   WayCount balance =
       total - config.min_ways_per_core * geometry.num_cores;
 
+  // Per-core cached lookahead tables, valid while the core's allocation
+  // still equals scanned_at[core] (the sentinel total + 1 marks "never
+  // scanned"; an allocation can never reach it).
+  const std::size_t cores = geometry.num_cores;
+  const WayCount kNeverScanned = total + 1;
+  std::vector<double> mu_buffer(cap, 0.0);
+  std::vector<double> best_mu(cores * cap, 0.0);
+  std::vector<WayCount> best_extra(cores * cap, 0);
+  std::vector<WayCount> scanned_at(cores, kNeverScanned);
+
+  const auto rescan = [&](CoreId core) {
+    const WayCount current = allocation.ways_per_core[core];
+    const WayCount depth = cap - current;
+    const msa::MissRatioCurve& curve = curve_at(core);
+    const auto prefix = curve.prefix_hits();
+    common::simd::mu_scan(prefix.data(),
+                          static_cast<std::uint32_t>(prefix.size()),
+                          curve.total(), current, depth, mu_buffer.data());
+    double running = 0.0;
+    WayCount running_extra = 0;
+    double* bm = best_mu.data() + static_cast<std::size_t>(core) * cap;
+    WayCount* be = best_extra.data() + static_cast<std::size_t>(core) * cap;
+    for (WayCount n = 1; n <= depth; ++n) {
+      if (mu_buffer[n - 1] > running) {
+        running = mu_buffer[n - 1];
+        running_extra = n;
+      }
+      bm[n - 1] = running;
+      be[n - 1] = running_extra;
+    }
+    scanned_at[core] = current;
+  };
+
   while (balance > 0) {
     CoreId winner = kInvalidCore;
     MaxMarginalUtility winner_mu;
@@ -31,9 +86,14 @@ Allocation unrestricted_partition(const CmpGeometry& geometry,
       const WayCount current = allocation.ways_per_core[core];
       const WayCount headroom = std::min<WayCount>(cap - current, balance);
       if (headroom == 0) continue;
-      const auto mu = max_marginal_utility(curves[core], current, headroom);
+      if (scanned_at[core] != current) rescan(core);
+      const std::size_t slot =
+          static_cast<std::size_t>(core) * cap + headroom - 1;
+      MaxMarginalUtility mu;
+      mu.extra = best_extra[slot];
+      mu.utility = best_mu[slot];
       if (mu.extra == 0) continue;
-      const double misses = curves[core].miss_count(current);
+      const double misses = curve_at(core).miss_count(current);
       const bool better = winner == kInvalidCore || mu.utility > winner_mu.utility ||
                           (mu.utility == winner_mu.utility && misses > winner_misses);
       if (better) {
@@ -62,6 +122,26 @@ Allocation unrestricted_partition(const CmpGeometry& geometry,
 
   BACP_ASSERT(allocation.total() == total, "unrestricted allocation must cover the cache");
   return allocation;
+}
+
+}  // namespace
+
+Allocation unrestricted_partition(const CmpGeometry& geometry,
+                                  std::span<const msa::MissRatioCurve> curves,
+                                  const UnrestrictedConfig& config) {
+  return unrestricted_partition_impl(
+      geometry, curves.size(),
+      [&](CoreId core) -> const msa::MissRatioCurve& { return curves[core]; },
+      config);
+}
+
+Allocation unrestricted_partition(const CmpGeometry& geometry,
+                                  std::span<const msa::MissRatioCurve* const> curves,
+                                  const UnrestrictedConfig& config) {
+  return unrestricted_partition_impl(
+      geometry, curves.size(),
+      [&](CoreId core) -> const msa::MissRatioCurve& { return *curves[core]; },
+      config);
 }
 
 }  // namespace bacp::partition

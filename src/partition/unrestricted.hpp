@@ -21,8 +21,20 @@ struct UnrestrictedConfig {
 /// Partitions `geometry.total_ways()` ways among the cores by iterated
 /// maximum Marginal Utility with lookahead. Deterministic: ties break
 /// toward the core with more remaining misses, then the lower core id.
+///
+/// The lookahead scans run through the common::simd::mu_scan kernel and
+/// are cached per core as first-wins prefix maxima, so a grant round costs
+/// one table lookup per core and one rescan for the winner — identical
+/// selections (bit-identical utilities) to the direct per-round scan, at a
+/// fraction of the divides.
 Allocation unrestricted_partition(const CmpGeometry& geometry,
                                   std::span<const msa::MissRatioCurve> curves,
+                                  const UnrestrictedConfig& config = {});
+
+/// Pointer-view overload for hot sweeps: identical algorithm, no curve
+/// copies.
+Allocation unrestricted_partition(const CmpGeometry& geometry,
+                                  std::span<const msa::MissRatioCurve* const> curves,
                                   const UnrestrictedConfig& config = {});
 
 }  // namespace bacp::partition

@@ -1,6 +1,7 @@
 #include "sampling/sampled_run.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "audit/sampling_audit.hpp"
 #include "common/assert.hpp"
@@ -101,9 +102,28 @@ SampledEstimate run_sampled_mix(const sim::SystemConfig& config,
                                 const SampledRunConfig& run,
                                 IntervalProfileBank* profiles,
                                 SnapshotStore* snapshots) {
+  return run_sampled_mix(config, mix, run, profiles, snapshots, nullptr);
+}
+
+SampledEstimate run_sampled_mix(const sim::SystemConfig& config,
+                                const trace::WorkloadMix& mix,
+                                const SampledRunConfig& run,
+                                IntervalProfileBank* profiles,
+                                SnapshotStore* snapshots, sim::System* reuse) {
   const SamplingPlan plan = plan_mix(config, mix, run, profiles);
 
-  sim::System system(config, mix);
+  // Pooled path: rewind the caller's System instead of constructing one.
+  // System is deliberately not movable (flat arrays hand out interior
+  // pointers), so the fresh-System path lives in an optional built in place.
+  std::optional<sim::System> local;
+  if (reuse != nullptr) {
+    BACP_ASSERT(sim::config_digest(reuse->config()) == sim::config_digest(config),
+                "pooled System was built under a different config shape");
+    reuse->reset_in_place(mix);
+  } else {
+    local.emplace(config, mix);
+  }
+  sim::System& system = reuse != nullptr ? *reuse : *local;
   // Boundary-state keys are a fold chain: the (config, mix) digest, the run
   // shape, then each medoid index in simulation order. The chain makes keys
   // *trajectory*-dependent — the state at boundary m depends on which
@@ -149,7 +169,10 @@ SampledEstimate run_sampled_mix(const sim::SystemConfig& config,
     // (possibly warmed by another thread or process); on a miss it re-applies
     // the bytes the live system just produced — either way the detailed
     // interval below starts from the identical boundary state.
-    system.restore_state(*boundary);
+    {
+      const auto timer = obs::global_phase_timers().scope("sampling.restore");
+      system.restore_state(*boundary);
+    }
     warmed = true;
     pos = medoid;
     system.reset_measurement();

@@ -10,6 +10,10 @@
 #include "snapshot/snapshot.hpp"
 #include "trace/mix.hpp"
 
+namespace bacp::sim {
+class System;
+}  // namespace bacp::sim
+
 namespace bacp::sampling {
 
 /// Warm-state forking seam: the engine keys each medoid's boundary state
@@ -101,5 +105,21 @@ SampledEstimate run_sampled_mix(const sim::SystemConfig& config,
                                 const SampledRunConfig& run,
                                 IntervalProfileBank* profiles,
                                 SnapshotStore* snapshots);
+
+/// Pooled-System variant: with `reuse != nullptr` the engine rewinds the
+/// caller's System via System::reset_in_place(mix) instead of constructing
+/// one — the dominant setup cost of short sampled trials (generator recency
+/// rings, residency index reserves) is paid once per pooled System instead
+/// of once per trial. `reuse` must have been built under a config whose
+/// mix-independent sim::config_digest() matches `config`'s (asserted);
+/// harness::SystemPool keys its Systems exactly this way. Results are
+/// byte-identical to the fresh-System path — reset_in_place() restores
+/// cold-construction state exactly. `reuse == nullptr` behaves like the
+/// five-argument overload.
+SampledEstimate run_sampled_mix(const sim::SystemConfig& config,
+                                const trace::WorkloadMix& mix,
+                                const SampledRunConfig& run,
+                                IntervalProfileBank* profiles,
+                                SnapshotStore* snapshots, sim::System* reuse);
 
 }  // namespace bacp::sampling

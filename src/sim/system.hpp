@@ -213,6 +213,17 @@ class System {
   void install_partition(const partition::Allocation& allocation,
                          const partition::BankAssignment& assignment);
 
+  /// Rewinds the whole system to the state a fresh `System(config(), mix)`
+  /// would have — every component cold, generators and timers rebound to
+  /// the new mix's workloads, the policy's initial plan reinstalled, the
+  /// epoch clock re-armed — without freeing or reallocating any component's
+  /// flat storage (cache columns, recency rings, hash slabs, stack arrays
+  /// all keep their allocations). `mix` must have the same core count as
+  /// the construction mix. A save_state() after reset_in_place() is
+  /// byte-identical to one taken from a freshly constructed System, so
+  /// pooled Systems (harness::SystemPool) replay trials bit-exactly.
+  void reset_in_place(const trace::WorkloadMix& mix);
+
   /// Clears all statistics and re-arms the measurement window at the
   /// current point (what warm_up() does after its run). Simulation
   /// trajectory is unaffected: only counters, marks and the per-epoch
@@ -377,7 +388,7 @@ class System {
   std::vector<std::unique_ptr<trace::SyntheticTraceGenerator>> generators_;
   // NOLINTNEXTLINE(bacp-snapshot-fields): transient batched-access buffers; flushed (and generators rewound) before any snapshot
   std::vector<CoreStream> streams_;
-  // NOLINTNEXTLINE(bacp-snapshot-fields): execution knob, not simulated state; not serialized and not part of the config digest
+  // NOLINTNEXTLINE(bacp-snapshot-fields, bacp-reset-fields): execution knob, not simulated state; survives resets like thread counts
   std::uint32_t batch_size_ = kDefaultBatchSize;
   std::vector<std::unique_ptr<msa::StackProfiler>> profilers_;
   std::vector<std::unique_ptr<core::CoreTimer>> timers_;

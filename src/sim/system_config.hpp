@@ -75,6 +75,14 @@ struct SystemConfig {
 /// extending the digest fails the build (fingerprint completeness).
 std::uint64_t config_digest(const SystemConfig& config, const trace::WorkloadMix& mix);
 
+/// Mix-independent fingerprint over every SystemConfig field (the same
+/// field stream as above, minus the mix tail). Two Systems with equal
+/// digests have identical component shapes — the same flat-array sizes,
+/// RNG seeding and policy wiring — so a pooled System built under one
+/// config can be reset_in_place() to serve any trial whose config digests
+/// equal (harness::SystemPool keys on this).
+std::uint64_t config_digest(const SystemConfig& config);
+
 /// The policy-neutral warm-up configuration for --shared-warmup: the same
 /// system with EqualPartition/Parallel and an epoch interval no run ever
 /// reaches, so no epoch boundary (profiler decay, repartition) fires during

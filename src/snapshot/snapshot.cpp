@@ -23,10 +23,19 @@ const char* to_string(SectionId id) {
 }
 
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  // Word-at-a-time (see the header doc): one xor+multiply per 8 bytes, the
+  // byte-serial chain only for the unaligned tail. memcpy keeps the word
+  // loads legal on any alignment; host byte order is fine because snapshots
+  // are host-order throughout.
   std::uint64_t hash = 0xCBF29CE484222325ull;
-  for (const std::uint8_t byte : bytes) {
-    hash ^= byte;
-    hash *= 0x00000100000001B3ull;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + i, sizeof(word));
+    hash = (hash ^ word) * 0x00000100000001B3ull;
+  }
+  for (; i < bytes.size(); ++i) {
+    hash = (hash ^ bytes[i]) * 0x00000100000001B3ull;
   }
   return hash;
 }
@@ -76,7 +85,11 @@ SystemSnapshot SnapshotBuilder::finish() {
 }
 
 SnapshotView::SnapshotView(const SystemSnapshot& snapshot) : snapshot_(&snapshot) {
-  const auto& bytes = snapshot.bytes;
+  // data(): identical walk for owned and mapped snapshots — on a mapped
+  // bank entry every assert below (including the per-section checksums)
+  // validates against the mmap'd pages themselves, so a truncated or
+  // bit-rotted map can never reach a restore path.
+  const std::span<const std::uint8_t> bytes = snapshot.data();
   BACP_ASSERT(bytes.size() >= kHeaderBytes, "snapshot smaller than its header");
   Reader header(bytes);
   BACP_ASSERT(header.u64() == kMagic, "snapshot magic mismatch");
@@ -113,8 +126,9 @@ bool SnapshotView::has_section(SectionId id) const {
 Reader SnapshotView::section(SectionId id) const {
   for (const TableEntry& entry : table_) {
     if (entry.id == id) {
-      return Reader(std::span<const std::uint8_t>(
-          snapshot_->bytes.data() + entry.offset, entry.length));
+      // subspan of data(): on a mapped snapshot this Reader walks the
+      // mmap'd pages directly — the zero-copy restore path.
+      return Reader(snapshot_->data().subspan(entry.offset, entry.length));
     }
   }
   BACP_ASSERT(false, "snapshot section missing");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,20 +35,48 @@ const char* to_string(SectionId id);
 ///   [24] table   count x {id u32, pad u32, offset u64, length u64, checksum u64}
 ///   ...  payload  sections, contiguous, in table order
 inline constexpr std::uint64_t kMagic = 0x50414E5350434142ull;  // "BACPSNAP"
-inline constexpr std::uint32_t kVersion = 1;
+// v2: section checksums switched from byte-serial FNV-1a to the
+// word-at-a-time variant below. Banked v1 snapshots fail the version check
+// and rewarm — the bank is a cache, so a version bump costs time, never
+// correctness.
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 24;
 inline constexpr std::size_t kTableEntryBytes = 32;
 inline constexpr std::size_t kMaxSections = 16;
 
-/// FNV-1a over a byte range; the per-section integrity checksum.
+/// Per-section integrity checksum: FNV-1a folding 8 bytes per multiply
+/// (host-order words, byte-serial tail). The byte-serial chain caps at one
+/// multiply per byte — under 1 GB/s on the reference host — and every
+/// snapshot is checksummed on save, on bank load *and* on restore, so the
+/// checksum was the dominant cost of a pooled sampled trial. The word
+/// variant keeps the same mixing structure at 8x fewer multiplies; it is
+/// format-internal (not FNV-compatible), which kVersion == 2 records.
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
 
 /// A whole simulated system's warm state as one flat buffer. Value type:
 /// copyable, shareable across threads once built (readers never mutate).
+///
+/// Two storage modes share one read interface, data():
+///   - owned: `bytes` holds the buffer (SnapshotBuilder output, buffered
+///     file loads). `backing` is null.
+///   - mapped (zero-copy): `mapped` spans a memory-mapped snapshot-bank
+///     file and `backing` shares ownership of the mapping, so copies of
+///     the snapshot — and every SnapshotView/Reader derived from it — keep
+///     the pages alive. Restore paths read sections straight out of the
+///     page cache; the buffer is never copied into the heap. The backing
+///     is type-erased (shared_ptr<const void>) so this header stays free
+///     of filesystem dependencies; harness::SnapshotCache supplies a
+///     common::MappedFile.
+/// Readers MUST go through data() — a mapped snapshot's `bytes` is empty.
 struct SystemSnapshot {
   std::vector<std::uint8_t> bytes;
+  std::span<const std::uint8_t> mapped;
+  std::shared_ptr<const void> backing;
 
-  std::size_t size_bytes() const { return bytes.size(); }
+  std::span<const std::uint8_t> data() const {
+    return backing != nullptr ? mapped : std::span<const std::uint8_t>(bytes);
+  }
+  std::size_t size_bytes() const { return data().size(); }
 };
 
 /// Accumulates sections and assembles the final buffer. Sections must be

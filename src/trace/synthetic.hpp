@@ -75,6 +75,14 @@ class SyntheticTraceGenerator {
   /// memory but the reuse pattern over it changes.
   void switch_model(const WorkloadModel& model);
 
+  /// Rewinds the generator to the state a fresh
+  /// `SyntheticTraceGenerator(model, config(), seed)` would have — new
+  /// model and RNG stream, empty recency rings, block counter at zero —
+  /// without freeing or reallocating the ring storage. Illegal while a
+  /// batch is outstanding. Snapshot bytes after reset match a fresh
+  /// generator's.
+  void reset_in_place(const WorkloadModel& model, std::uint64_t seed);
+
   const WorkloadModel& model() const { return *model_; }
   const GeneratorConfig& config() const { return config_; }
 
@@ -122,9 +130,9 @@ class SyntheticTraceGenerator {
   std::vector<BlockAddress> recency_entries_;
   std::vector<std::uint32_t> recency_heads_;
   std::vector<std::uint32_t> recency_sizes_;
-  // NOLINTNEXTLINE(bacp-snapshot-fields): derived geometry (bit_ceil of max_depth); restore asserts the config echo
+  // NOLINTNEXTLINE(bacp-snapshot-fields, bacp-reset-fields): derived geometry (bit_ceil of max_depth); never rewound
   std::uint32_t ring_capacity_ = 0;  ///< bit_ceil(max_depth)
-  // NOLINTNEXTLINE(bacp-snapshot-fields): derived geometry, as above
+  // NOLINTNEXTLINE(bacp-snapshot-fields, bacp-reset-fields): derived geometry, as above
   std::uint32_t ring_mask_ = 0;
   std::uint64_t next_block_id_ = 0;
   // Batch rewind bookkeeping: the RNG/block-counter state at the last

@@ -169,7 +169,10 @@ TEST(Fsio, SnapshotBankPublishesThroughForeignTmpdir) {
   });
   EXPECT_EQ(warmed, 0);
   EXPECT_EQ(cache.file_hits(), 1u);
-  EXPECT_EQ(snapshot->bytes, warm().bytes);
+  // Bank reloads default to the mmap zero-copy path, so the reloaded
+  // snapshot's contents live behind data(), not the owned-bytes vector.
+  const auto reloaded = snapshot->data();
+  EXPECT_EQ(std::vector<std::uint8_t>(reloaded.begin(), reloaded.end()), warm().bytes);
   std::filesystem::remove_all(scratch);
   std::filesystem::remove_all(bank);
 }

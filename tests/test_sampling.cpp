@@ -14,7 +14,9 @@
 #include <numeric>
 #include <vector>
 
+#include "audit/pool_audit.hpp"
 #include "audit/sampling_audit.hpp"
+#include "harness/system_pool.hpp"
 #include "sampling/interval_features.hpp"
 #include "sampling/kmedoids.hpp"
 #include "sim/system.hpp"
@@ -300,6 +302,74 @@ TEST(SampledRun, StoreReuseDoesNotChangeBytes) {
   expect_estimates_identical(bare, second);
   EXPECT_EQ(store.misses(), 3u);
   EXPECT_EQ(store.hits(), 3u);
+}
+
+TEST(SampledRun, PooledSystemReuseDoesNotChangeBytes) {
+  // The SystemPool seam: a trial handed a dirty leased System (previous
+  // trial's leftovers) must produce the identical estimate to one that
+  // constructs fresh — run_sampled_mix rewinds the reuse System itself.
+  const auto config = tiny_config();
+  const auto mix = eight_core_mix();
+  const auto other = trace::mix_from_names(
+      {"gzip", "mcf", "eon", "art", "gcc", "bzip2", "sixtrack", "facerec"});
+  const SampledEstimate bare =
+      run_sampled_mix(config, mix, tiny_run(), nullptr, nullptr);
+
+  harness::SystemPool pool;
+  {
+    // Dirty a pooled System with a different mix's trial, then return it.
+    auto lease = pool.acquire(config, other);
+    const SampledEstimate ignored =
+        run_sampled_mix(config, other, tiny_run(), nullptr, nullptr, lease.get());
+    (void)ignored;
+  }
+  auto lease = pool.acquire(config, mix);
+  ASSERT_TRUE(lease.pooled_hit());
+  const SampledEstimate pooled =
+      run_sampled_mix(config, mix, tiny_run(), nullptr, nullptr, lease.get());
+  expect_estimates_identical(bare, pooled);
+}
+
+TEST(SystemPoolLease, ReusesSystemsPerConfigShapeAndKeepsBooksClean) {
+  harness::SystemPool pool;
+  const auto config = tiny_config();
+  const auto mix = eight_core_mix();
+
+  {
+    auto first = pool.acquire(config, mix);
+    EXPECT_FALSE(first.pooled_hit());
+    EXPECT_EQ(pool.outstanding(), 1u);
+    // A second concurrent lease of the same shape cannot steal the first.
+    auto second = pool.acquire(config, mix);
+    EXPECT_FALSE(second.pooled_hit());
+    EXPECT_EQ(pool.misses(), 2u);
+    EXPECT_EQ(pool.outstanding(), 2u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.idle(), 2u);
+
+  // Same config shape — even under a different mix — is a pooled hit; the
+  // mix-independent digest keys the pool because reset_in_place rebinds it.
+  const auto other = trace::mix_from_names(
+      {"gzip", "mcf", "eon", "art", "gcc", "bzip2", "sixtrack", "facerec"});
+  {
+    auto lease = pool.acquire(config, other);
+    EXPECT_TRUE(lease.pooled_hit());
+    EXPECT_EQ(pool.hits(), 1u);
+  }
+
+  // A different config shape misses.
+  auto bigger = config;
+  bigger.epoch_cycles *= 2;
+  bigger.finalize();
+  {
+    auto lease = pool.acquire(bigger, mix);
+    EXPECT_FALSE(lease.pooled_hit());
+  }
+
+  const auto report = audit::audit_pool_bookkeeping(pool.bookkeeping());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
 }
 
 TEST(SampledRun, DifferentMixesNeverShareSnapshotKeys) {

@@ -380,7 +380,12 @@ TEST(SnapshotFileBank, PersistsAndReloadsAcrossCacheInstances) {
     const auto snapshot = cache.get_or_warm(0xABCD, warm);
     EXPECT_EQ(warmed, 1);
     EXPECT_EQ(cache.file_hits(), 1u);
-    EXPECT_EQ(snapshot->bytes, tiny_snapshot().bytes);
+    // The reload arrives through the mmap zero-copy path (backing set, owned
+    // bytes empty); its mapped contents must match what was banked.
+    EXPECT_NE(snapshot->backing, nullptr);
+    const auto reloaded = snapshot->data();
+    EXPECT_EQ(std::vector<std::uint8_t>(reloaded.begin(), reloaded.end()),
+              tiny_snapshot().bytes);
   }
   std::filesystem::remove_all(dir);
 }
@@ -426,7 +431,7 @@ TEST(SnapshotFileBank, UnwritableBankDegradesToInMemory) {
     return tiny_snapshot();
   });
   EXPECT_EQ(warmed, 1);
-  EXPECT_FALSE(snapshot->bytes.empty());
+  EXPECT_FALSE(snapshot->data().empty());
   // Second get on the same key still hits in memory.
   cache.get_or_warm(0x77, [&] {
     ++warmed;

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "audit/snapshot_audit.hpp"
@@ -283,6 +285,95 @@ TEST(SnapshotCache, SweepResultsIndependentOfReuseAndThreads) {
     EXPECT_EQ(reference[i].bank_aware.to_json().dump(),
               reused[i].bank_aware.to_json().dump());
   }
+}
+
+// ---------------------------------------------------------------------------
+// mmap zero-copy bank reads
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> contents(const snapshot::SystemSnapshot& snapshot) {
+  const auto span = snapshot.data();
+  return {span.begin(), span.end()};
+}
+
+// The mmap read path is a pure speed dial: a bank entry loaded zero-copy and
+// one loaded through buffered reads carry identical bytes, and a System
+// restored from the mapped pages resumes on the exact trajectory the saved
+// System was on.
+TEST(SnapshotCache, MmapAndBufferedBankReadsAreByteIdentical) {
+  const std::string dir = testing::TempDir() + "/bacp-snapbank-mmap";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto config = fast_config(sim::PolicyKind::BankAware);
+  const auto mix = capacity_diverse_mix();
+  sim::System original(config, mix);
+  original.warm_up(400'000);
+  const auto saved = original.save_state();
+  {
+    harness::SnapshotCache cache;
+    cache.set_file_bank(dir);
+    cache.get_or_warm(0xD15C, [&] { return saved; });
+  }
+
+  harness::SnapshotCache mapped_cache;
+  mapped_cache.set_file_bank(dir);
+  const auto mapped = mapped_cache.get_or_warm(0xD15C, [&] { return saved; });
+  ASSERT_EQ(mapped_cache.file_hits(), 1u);
+  EXPECT_NE(mapped->backing, nullptr);
+  EXPECT_TRUE(mapped->bytes.empty());
+  EXPECT_EQ(contents(*mapped), saved.bytes);
+
+  harness::SnapshotCache buffered_cache;
+  buffered_cache.set_file_bank(dir);
+  buffered_cache.set_mmap_reads(false);
+  const auto buffered = buffered_cache.get_or_warm(0xD15C, [&] { return saved; });
+  ASSERT_EQ(buffered_cache.file_hits(), 1u);
+  EXPECT_EQ(buffered->backing, nullptr);
+  EXPECT_EQ(contents(*buffered), contents(*mapped));
+
+  // Restoring straight off the mapped pages lands on the saved trajectory:
+  // a re-save of the restored twin reproduces the banked bytes exactly.
+  sim::System restored(config, mix);
+  restored.restore_state(*mapped);
+  EXPECT_TRUE(audit::audit_system(restored).ok());
+  EXPECT_EQ(restored.save_state().bytes, saved.bytes);
+
+  std::filesystem::remove_all(dir);
+}
+
+// Fail-closed: the per-section checksums are recomputed from the mapped
+// region itself, so a truncated (or otherwise damaged) bank file is rejected
+// before any restore can read it, and the cache falls back to warming.
+TEST(SnapshotCache, TruncatedBankEntryFailsClosedUnderMmap) {
+  const std::string dir = testing::TempDir() + "/bacp-snapbank-truncated";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    harness::SnapshotCache cache;
+    cache.set_file_bank(dir);
+    cache.get_or_warm(0x7C0B, [] {
+      return snapshot::SnapshotBuilder(/*config_digest=*/0x7C0B).finish();
+    });
+  }
+  std::string path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    path = entry.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+
+  int warmed = 0;
+  harness::SnapshotCache cache;
+  cache.set_file_bank(dir);
+  const auto snapshot = cache.get_or_warm(0x7C0B, [&] {
+    ++warmed;
+    return snapshot::SnapshotBuilder(0x7C0B).finish();
+  });
+  EXPECT_EQ(warmed, 1);
+  EXPECT_EQ(cache.file_hits(), 0u);
+  EXPECT_TRUE(audit::audit_snapshot(*snapshot).ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SnapshotCache, VariantSweepForksOneWarmupInSharedMode) {

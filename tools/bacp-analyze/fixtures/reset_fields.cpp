@@ -1,0 +1,26 @@
+// Planted violation for bacp-reset-fields: cursor_ is never touched by
+// reset_in_place (or anything it calls), so a pooled reuse of Ring would
+// resume mid-buffer with the previous run's cursor.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Ring {
+ public:
+  void reset_in_place() {
+    clear_entries();
+    total_ = 0;
+  }
+
+ private:
+  void clear_entries() {
+    for (auto& entry : entries_) entry = 0;
+  }
+
+  std::vector<std::uint64_t> entries_;
+  std::uint64_t total_ = 0;
+  std::uint64_t cursor_ = 0;  // PLANT
+};
+
+}  // namespace fixture
